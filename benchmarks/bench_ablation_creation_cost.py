@@ -1,0 +1,48 @@
+"""Benchmark A2 — ablation: module-creation cost versus switch perturbation.
+
+The knob behind Figure 5's spike: the longer the new module takes to
+create, the longer the abcast service stays unbound and the taller/wider
+the latency perturbation.  The paper's ≈1 s perturbation corresponds to
+its Java prototype's end-to-end replacement cost.
+"""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_creation_cost_ablation
+from repro.sim import ms
+from repro.viz import render_table
+
+
+@pytest.mark.benchmark(group="ablation-creation")
+def test_creation_cost_sweep(benchmark):
+    costs = (0.0, ms(5.0), ms(25.0), ms(100.0))
+    points = benchmark.pedantic(
+        lambda: run_creation_cost_ablation(
+            costs=costs, n=5, load=150.0, duration=10.0, seed=16
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            p.creation_cost * 1e3,
+            p.peak_factor if p.peak_factor is not None else float("nan"),
+            p.perturbation_duration if p.perturbation_duration is not None else 0.0,
+            p.blocked_time_total * 1e3,
+        )
+        for p in points
+    ]
+    report(
+        "ablation_creation_a2",
+        render_table(
+            ["creation [ms]", "peak x baseline", "perturbation [s]", "blocked [ms]"],
+            rows,
+            title="A2 — creation cost vs switch perturbation",
+        ),
+    )
+    # Blocked time grows monotonically with the creation cost.
+    blocked = [p.blocked_time_total for p in points]
+    assert all(b1 <= b2 + 1e-9 for b1, b2 in zip(blocked, blocked[1:]))
+    # With zero cost the switch is atomic: no blocking at all.
+    assert blocked[0] == 0.0

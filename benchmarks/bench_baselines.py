@@ -1,0 +1,36 @@
+"""Benchmark X1 — Algorithm 1 versus Maestro-style and Graceful-style DPU.
+
+Quantifies the paper's Section 4.2/5.3 comparison under an identical load
+and an identical CT→CT replacement.
+"""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_comparison
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_dpu_solutions_compared(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_comparison(n=5, load=100.0, duration=10.0, seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    report("baselines_x1", result.render())
+
+    ours = result.row("algorithm1")
+    maestro = result.row("maestro")
+    graceful = result.row("graceful")
+
+    # The paper's comparison, as assertions:
+    # 1. our solution never blocks the application; both baselines do.
+    assert ours.app_blocked_total == 0.0
+    assert maestro.app_blocked_total > 0.0
+    assert graceful.app_blocked_total > 0.0
+    # 2. Maestro (whole-stack, announce-to-go blocking) blocks longer
+    #    than Graceful (deactivate-to-activate blocking).
+    assert maestro.app_blocked_total > graceful.app_blocked_total
+    # 3. every solution completes its switch.
+    for row in result.rows:
+        assert row.switch_duration is not None and row.switch_duration > 0

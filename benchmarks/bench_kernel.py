@@ -1,0 +1,98 @@
+"""Microbenchmarks — substrate hot paths (pytest-benchmark timed loops).
+
+These are classic repeated-measurement benchmarks (unlike the figure
+regenerations, which are single deterministic simulations): event-loop
+throughput, CPU-queue submission, kernel call dispatch, and the RP2P
+message path.  They guard the simulator's performance, which bounds how
+large the figure benchmarks can afford to be.
+"""
+
+import pytest
+
+from repro.kernel import Module, System, WellKnown
+from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
+from repro.sim import ConstantLatency, Machine, Simulator
+
+
+@pytest.mark.benchmark(group="kernel-micro")
+def test_event_loop_throughput(benchmark):
+    def run():
+        sim = Simulator(seed=0)
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 10_000
+
+
+@pytest.mark.benchmark(group="kernel-micro")
+def test_machine_execute_throughput(benchmark):
+    def run():
+        sim = Simulator(seed=0)
+        machine = Machine(sim, 0)
+        for _ in range(5_000):
+            machine.execute(1e-6, lambda: None)
+        sim.run()
+        return machine.tasks_executed
+
+    assert benchmark(run) == 5_000
+
+
+@pytest.mark.benchmark(group="kernel-micro")
+def test_call_dispatch_throughput(benchmark):
+    class Ping(Module):
+        PROVIDES = ("p",)
+        PROTOCOL = "ping"
+
+        def __init__(self, stack):
+            super().__init__(stack)
+            self.count = 0
+            self.export_call("p", "go", self._go)
+
+        def _go(self):
+            self.count += 1
+
+    def run():
+        sys_ = System(n=1, seed=0, trace_enabled=False)
+        st = sys_.stack(0)
+        ping = st.add_module(Ping(st))
+        for _ in range(2_000):
+            st.issue_call(None, "p", "go", (), cost=0.0)
+        sys_.run()
+        return ping.count
+
+    assert benchmark(run) == 2_000
+
+
+@pytest.mark.benchmark(group="kernel-micro")
+def test_rp2p_message_path(benchmark):
+    class Sink(Module):
+        REQUIRES = (WellKnown.RP2P,)
+        PROTOCOL = "sink"
+
+        def __init__(self, stack):
+            super().__init__(stack)
+            self.count = 0
+            self.subscribe(
+                WellKnown.RP2P, "deliver", lambda s, p, z: setattr(self, "count", self.count + 1)
+            )
+
+    def run():
+        sys_ = System(n=2, seed=0, trace_enabled=False)
+        net = SimNetwork(
+            sys_.sim, sys_.machines, SwitchedLan(latency=ConstantLatency(1e-4))
+        )
+        sinks = []
+        for st in sys_.stacks:
+            st.add_module(UdpModule(st, net))
+            st.add_module(Rp2pModule(st))
+            snk = Sink(st)
+            st.add_module(snk)
+            sinks.append(snk)
+        for i in range(500):
+            sinks[0].call(WellKnown.RP2P, "send", 1, i, 64)
+        sys_.run(until=30.0)
+        return sinks[1].count
+
+    assert benchmark(run) == 500

@@ -1,0 +1,54 @@
+"""Benchmark C1 — the replacement layer's steady-state overhead.
+
+Paper: "the overhead of adding a replacement layer (approximately 5%)".
+Measured as the relative increase of mean steady-state latency when the
+workload calls ``r-abcast`` (through the Repl module) instead of
+``abcast`` directly, with no replacement triggered.
+"""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_one_config
+from repro.metrics import relative_overhead
+from repro.viz import render_table
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_replacement_layer_overhead(benchmark):
+    def measure():
+        rows = []
+        for n in (3, 7):
+            for load in (100.0, 200.0):
+                base = run_one_config(
+                    n, "normal_without_layer", load, duration=6.0, seed=11
+                )
+                layered = run_one_config(
+                    n, "normal_with_layer", load, duration=6.0, seed=11
+                )
+                rows.append(
+                    (
+                        n,
+                        load,
+                        base.mean_latency * 1e3,
+                        layered.mean_latency * 1e3,
+                        100.0
+                        * relative_overhead(base.mean_latency, layered.mean_latency),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "overhead_c1",
+        render_table(
+            ["n", "load [msg/s]", "bare [ms]", "with layer [ms]", "overhead [%]"],
+            rows,
+            title="C1 — replacement-layer overhead (paper: ≈5%)",
+        ),
+    )
+    overheads = [r[4] for r in rows]
+    # The paper's ballpark: small single-digit percentage, never free,
+    # never an order of magnitude.
+    assert all(-2.0 < o < 25.0 for o in overheads)
+    assert sum(overheads) / len(overheads) > 0.0

@@ -1,0 +1,61 @@
+"""Benchmark C2 — the cost of one replacement.
+
+Paper: "the cost of switching between different protocols is negligible";
+the latency increase "is lost during a short period (approximately one
+second)"; the application is never blocked.
+
+Measured: the replacement-window duration (paper definition), the kernel
+blocked-call time below the indirection, the app-visible blocked calls
+(must be zero), and the perturbation of the latency series.
+"""
+
+import pytest
+
+from conftest import report
+from repro.experiments import GroupCommConfig, PROTOCOL_CT, build_group_comm_system
+from repro.kernel import WellKnown
+from repro.metrics import find_perturbation, latency_series
+from repro.viz import render_table
+
+
+@pytest.mark.benchmark(group="switch-cost")
+def test_switch_cost_n7(benchmark):
+    def run():
+        cfg = GroupCommConfig(n=7, seed=12, load_msgs_per_sec=200.0, load_stop=12.0)
+        gcs = build_group_comm_system(cfg)
+        gcs.manager.request_change(PROTOCOL_CT, from_stack=0, at=6.0)
+        gcs.run(until=12.0)
+        gcs.run_to_quiescence()
+        return gcs
+
+    gcs = benchmark.pedantic(run, rounds=1, iterations=1)
+    window = gcs.manager.window(1)
+    blocked_below = sum(s.blocked_time_total for s in gcs.system.stacks)
+    app_blocked = sum(
+        s.blocked_call_count(WellKnown.R_ABCAST) for s in gcs.system.stacks
+    )
+    series = [(p.send_time, p.latency) for p in latency_series(gcs.log)]
+    perturbation = find_perturbation(series, 6.0)
+
+    rows = [
+        ("replacement window [ms]", window.duration * 1e3),
+        ("kernel blocked time below indirection [ms]", blocked_below * 1e3),
+        ("app-visible blocked calls", app_blocked),
+        (
+            "perturbation duration [s]",
+            perturbation.duration if perturbation else 0.0,
+        ),
+        (
+            "perturbation peak [x baseline]",
+            perturbation.peak_factor if perturbation else 1.0,
+        ),
+    ]
+    report(
+        "switch_cost_c2",
+        render_table(["metric", "value"], rows, title="C2 — cost of one replacement"),
+    )
+
+    assert app_blocked == 0                       # "never blocked"
+    assert window.duration < 1.0                  # "negligible"
+    if perturbation is not None:
+        assert perturbation.duration < 2.0        # "short period (~1s)"

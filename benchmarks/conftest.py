@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (see
+DESIGN.md §5) and writes its rendered rows/series to
+``benchmarks/out/<name>.txt`` so the reproduction record in
+EXPERIMENTS.md can be refreshed from the files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def report(name: str, text: str) -> None:
+    """Print *text* and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

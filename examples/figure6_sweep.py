@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 6 interactively (full grid).
+
+Mean ABcast latency versus load, n ∈ {3, 7}, three configurations each
+(without layer / with layer / during replacement).  The full grid is a
+substantial simulation batch — several minutes of wall time; ``--fast``
+shrinks the grid.
+
+Run:  python examples/figure6_sweep.py [--fast]
+"""
+
+import sys
+
+from repro.experiments import run_figure6
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    loads = (50.0, 150.0) if fast else (50.0, 100.0, 150.0, 250.0, 350.0, 450.0)
+    sizes = (3,) if fast else (3, 7)
+    duration = 4.0 if fast else 8.0
+    result = run_figure6(group_sizes=sizes, loads=loads, duration=duration, seed=6)
+    print(result.render(width=76, height=20))
+    for n in sizes:
+        for load in loads:
+            overhead = result.overhead_at(n, load)
+            if overhead is not None:
+                print(f"layer overhead at n={n}, load={load:.0f}: {overhead * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: dynamic protocol update in ~40 lines of API.
+
+Builds the paper's group-communication stack (Figure 4) on three
+simulated machines, puts atomic-broadcast load on it, replaces the
+Chandra–Toueg ABcast protocol by the fixed-sequencer one *while messages
+are flowing*, and verifies the four ABcast properties across the switch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dpu import assert_abcast_properties
+from repro.experiments import (
+    GroupCommConfig,
+    PROTOCOL_CT,
+    PROTOCOL_SEQ,
+    build_group_comm_system,
+)
+from repro.metrics import mean_latency
+from repro.sim import to_ms
+
+
+def main() -> None:
+    # 1. Build: 3 machines, the full stack on each, 60 ABcast msgs/s.
+    config = GroupCommConfig(n=3, seed=42, load_msgs_per_sec=60.0, load_stop=6.0)
+    gcs = build_group_comm_system(config)
+
+    # 2. Schedule a live replacement: CT-ABcast -> sequencer-ABcast at t=3s.
+    gcs.manager.request_change(PROTOCOL_SEQ, from_stack=0, at=3.0)
+
+    # 3. Run the distributed execution and drain in-flight messages.
+    gcs.run(until=6.0)
+    gcs.run_to_quiescence()
+
+    # 4. Inspect.
+    window = gcs.manager.window(1)
+    print(f"sent messages       : {len(gcs.log.sends)}")
+    print(f"replacement window  : {window.duration * 1e3:.1f} ms "
+          f"(request at t={window.start:.3f}s)")
+    print(f"protocols now       : {gcs.manager.current_protocols()}")
+    print(f"mean latency        : {to_ms(mean_latency(gcs.log)):.2f} ms")
+
+    # 5. Prove the switch was transparent: validity, uniform agreement,
+    #    uniform integrity, uniform total order — across the replacement.
+    assert_abcast_properties(gcs.log, gcs.system.trace.crashes(), [0, 1, 2])
+    print("all four ABcast properties hold across the replacement ✔")
+
+
+if __name__ == "__main__":
+    main()

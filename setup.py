@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP-517 editable installs are unavailable.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``pip install -e .`` on modern environments, via pyproject.toml)
+work everywhere.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Atomic broadcast implementations.
+
+All three satisfy the paper's Section 5.1 specification (under the fault
+assumptions stated in each module), so each is a valid replacement target
+for the others via the DPU algorithm.
+"""
+
+from .base import AbcastModuleBase, AbcastRecord, SnDeliveryBuffer, Uid
+from .ct_abcast import CtAbcastModule
+from .sequencer import SequencerAbcastModule
+from .token import TokenAbcastModule
+
+__all__ = [
+    "Uid",
+    "AbcastRecord",
+    "AbcastModuleBase",
+    "SnDeliveryBuffer",
+    "CtAbcastModule",
+    "SequencerAbcastModule",
+    "TokenAbcastModule",
+]

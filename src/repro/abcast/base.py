@@ -1,0 +1,178 @@
+"""Atomic broadcast: service contract and shared machinery.
+
+The specification (paper, Section 5.1, after Hadzilacos & Toueg):
+
+* **validity** — if a correct process ABcasts *m*, it eventually
+  Adelivers *m*;
+* **uniform agreement** — if a process Adelivers *m*, all correct
+  processes eventually Adeliver *m*;
+* **uniform integrity** — every process Adelivers *m* at most once, and
+  only if *m* was previously ABcast;
+* **uniform total order** — if some process Adelivers *m* before *m'*,
+  every process Adelivers *m'* only after it has Adelivered *m*.
+
+Kernel service (name ``abcast``):
+
+* call ``abcast(payload, size_bytes)``;
+* response ``adeliver(origin, payload, size_bytes)``.
+
+Payloads are opaque to the protocol; internally every ABcast call gets a
+unique ``uid = (origin_rank, local_seq)``, which is what the dedup logic
+and the trace-based property checkers key on.  The library ships three
+interchangeable implementations — the point of the paper is that any
+module satisfying this spec can replace any other on-the-fly:
+
+========================  =============================  =======================
+implementation            ordering mechanism             fault tolerance
+========================  =============================  =======================
+``CtAbcastModule``        consensus on batches (CT)      f < n/2 crashes
+``SequencerAbcastModule`` fixed sequencer                none (stalls on its crash)
+``TokenAbcastModule``     circulating token              none (stalls on loss)
+========================  =============================  =======================
+
+The two non-replicated variants deliberately omit fail-over: making a
+sequencer fault-tolerant needs view synchrony, which is the circular
+dependency the paper's stack avoids ("our ABcast module is not
+implemented on top of a view synchrony protocol").  Their stalls are used
+by the tests to demonstrate a real boundary of Algorithm 1: the *change
+message travels through the old protocol*, so a dead old protocol cannot
+be replaced (see ``tests/integration/test_limitations.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
+
+from ..kernel.module import Module
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.monitors import Counter
+
+__all__ = ["Uid", "AbcastRecord", "AbcastModuleBase", "SnDeliveryBuffer"]
+
+#: Unique message identity: (origin rank, per-origin sequence number).
+Uid = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AbcastRecord:
+    """One ABcast message as tracked inside a protocol implementation."""
+
+    uid: Uid
+    payload: Any
+    size_bytes: int
+
+    @property
+    def origin(self) -> int:
+        return self.uid[0]
+
+
+class AbcastModuleBase(Module):
+    """Common machinery of all atomic broadcast implementations:
+
+    * uid generation for locally ABcast messages,
+    * the Adelivered-uid set guaranteeing *uniform integrity* per
+      implementation (at most once per uid),
+    * counters shared by the benchmarks.
+    """
+
+    PROVIDES = (WellKnown.ABCAST,)
+
+    def __init__(
+        self,
+        stack: Stack,
+        group: Sequence[int],
+        instance_tag: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, name=name)
+        self.group: Tuple[int, ...] = tuple(sorted(set(group)))
+        if stack.stack_id not in self.group:
+            raise ValueError(
+                f"stack {stack.stack_id} is not in its abcast group {self.group!r}"
+            )
+        #: Incarnation tag: namespaces every wire frame (and consensus
+        #: instance key) of this protocol incarnation.  Two incarnations
+        #: of the *same* protocol — e.g. the paper's experiment replacing
+        #: CT-ABcast by itself — must not interpret each other's frames,
+        #: so the replacement module derives a fresh agreed tag from the
+        #: replacement sequence number for every module it creates.
+        self.instance_tag: str = (
+            instance_tag if instance_tag is not None else f"{self.protocol}/v0"
+        )
+        self.counters = Counter()
+        self._next_local_seq = 0
+        self._adelivered: Set[Uid] = set()
+        self._adelivered_order: list = []  # uids in local delivery order
+        self.export_call(WellKnown.ABCAST, "abcast", self._abcast)
+
+    # ------------------------------------------------------------------ #
+    # To be supplied by implementations
+    # ------------------------------------------------------------------ #
+    def _abcast(self, payload: Any, size_bytes: int) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _fresh_uid(self) -> Uid:
+        uid = (self.stack_id, self._next_local_seq)
+        self._next_local_seq += 1
+        return uid
+
+    def _adeliver_record(self, record: AbcastRecord) -> bool:
+        """Adeliver *record* unless its uid was already delivered.
+
+        Returns ``True`` when the delivery happened.  This is the uniform
+        integrity guard: one delivery per uid per stack, ever.
+        """
+        if record.uid in self._adelivered:
+            self.counters.incr("duplicate_deliveries_suppressed")
+            return False
+        self._adelivered.add(record.uid)
+        self._adelivered_order.append(record.uid)
+        self.counters.incr("adelivered")
+        self.respond(
+            WellKnown.ABCAST, "adeliver", record.origin, record.payload, record.size_bytes
+        )
+        return True
+
+    @property
+    def delivered_uids(self) -> list:
+        """Uids in local Adelivery order (inspected by tests/checkers)."""
+        return list(self._adelivered_order)
+
+
+class SnDeliveryBuffer:
+    """Contiguous in-order release of (sequence-number, record) pairs.
+
+    Used by the sequencer and token protocols: orders arrive tagged with a
+    global sequence number; delivery must follow 0, 1, 2, ... with gaps
+    buffered until filled.
+    """
+
+    def __init__(self) -> None:
+        self._next_sn = 0
+        self._pending: Dict[int, AbcastRecord] = {}
+
+    @property
+    def next_sn(self) -> int:
+        """The sequence number the buffer is waiting for."""
+        return self._next_sn
+
+    @property
+    def pending_count(self) -> int:
+        """Orders received but blocked behind a gap."""
+        return len(self._pending)
+
+    def offer(self, sn: int, record: AbcastRecord) -> list:
+        """Add one order; return the records now deliverable, in order."""
+        if sn < self._next_sn:
+            return []  # stale duplicate
+        self._pending.setdefault(sn, record)
+        out = []
+        while self._next_sn in self._pending:
+            out.append(self._pending.pop(self._next_sn))
+            self._next_sn += 1
+        return out

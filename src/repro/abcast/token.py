@@ -1,0 +1,162 @@
+"""Token-ring (moving sequencer / privilege-based) atomic broadcast.
+
+The group forms a logical ring in rank order.  A single token carries the
+next global sequence number; the holder
+
+1. assigns sequence numbers to everything it has locally pending and
+   R-broadcasts the orders,
+2. forwards the token — immediately if it ordered something, after
+   ``idle_hold`` otherwise (so an idle ring circulates slowly instead of
+   saturating the LAN).
+
+Delivery is in contiguous sequence-number order, exactly as in the
+sequencer protocol.  Compared to the fixed sequencer, ordering load is
+spread over the ring but a message must wait for the token to reach its
+origin — higher latency at low load, better fairness under multi-source
+load.  Like the fixed sequencer it is **not** fault-tolerant: a crashed
+holder loses the token and the protocol stalls (safety preserved), which
+the DPU limitation tests exploit.
+
+Satisfies the Section 5.1 specification in runs where no ring member
+crashes while holding (or about to receive) the token.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..kernel.module import NOT_MINE
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..rbcast.reliable import RBCAST_SERVICE
+from ..sim.clock import Duration, ms
+from .base import AbcastModuleBase, AbcastRecord, SnDeliveryBuffer
+
+__all__ = ["TokenAbcastModule"]
+
+_ORD = "tk.ord"
+_TOKEN = "tk.token"
+#: Frame overhead beyond the payload.
+_TK_HEADER = 20
+_TOKEN_BYTES = 16
+
+
+class TokenAbcastModule(AbcastModuleBase):
+    """Atomic broadcast ordered by a circulating token."""
+
+    REQUIRES = (WellKnown.RP2P, RBCAST_SERVICE)
+    PROTOCOL = "abcast-token"
+
+    def __init__(
+        self,
+        stack: Stack,
+        group: Sequence[int],
+        idle_hold: Duration = ms(1.0),
+        instance_tag: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, group, instance_tag=instance_tag, name=name)
+        self.idle_hold = idle_hold
+        self._pending: List[AbcastRecord] = []
+        self._buffer = SnDeliveryBuffer()
+        self._holding = False
+        self.subscribe(WellKnown.RP2P, "deliver", self._on_rp2p)
+        self.subscribe(RBCAST_SERVICE, "deliver", self._on_rbcast)
+
+    def on_start(self) -> None:
+        # The lowest rank mints the token when the protocol comes up.
+        # (When the protocol is *installed by a replacement*, each stack
+        # starts its own module as the change message is Adelivered; the
+        # minting rank may briefly hold pending messages of others — they
+        # are ordered on the token's first lap.)
+        if self.stack_id == self.group[0]:
+            self._receive_token(0)
+
+    @property
+    def next_in_ring(self) -> int:
+        """The ring successor of this stack."""
+        idx = self.group.index(self.stack_id)
+        return self.group[(idx + 1) % len(self.group)]
+
+    # ------------------------------------------------------------------ #
+    # ABcast: park locally until the token arrives
+    # ------------------------------------------------------------------ #
+    def _abcast(self, payload: Any, size_bytes: int) -> None:
+        uid = self._fresh_uid()
+        self.counters.incr("abcasts")
+        self._pending.append(AbcastRecord(uid, payload, size_bytes))
+        if self._holding:
+            # Fast path: we already hold the token; order immediately.
+            self._order_pending()
+
+    # ------------------------------------------------------------------ #
+    # Token handling
+    # ------------------------------------------------------------------ #
+    def _on_rp2p(self, src: int, payload: Any, size_bytes: int):
+        if not (isinstance(payload, tuple) and payload and payload[0] == _TOKEN):
+            return NOT_MINE
+        _, tag, next_sn = payload
+        if tag != self.instance_tag:
+            return NOT_MINE  # another incarnation's token
+        self._receive_token(next_sn)
+        return None
+
+    def _receive_token(self, next_sn: int) -> None:
+        self.counters.incr("token_receipts")
+        self._holding = True
+        self._token_sn = next_sn
+        if self._pending:
+            self._order_pending()
+            self._forward_token()
+        else:
+            # Idle: hold briefly so an empty ring does not spin.
+            self.set_timer(self.idle_hold, self._forward_token)
+
+    def _order_pending(self) -> None:
+        for record in self._pending:
+            sn = self._token_sn
+            self._token_sn += 1
+            self.counters.incr("orders_assigned")
+            self.call(
+                RBCAST_SERVICE,
+                "broadcast",
+                (_ORD, self.instance_tag, sn, record.uid, record.payload, record.size_bytes),
+                record.size_bytes + _TK_HEADER,
+            )
+        self._pending.clear()
+
+    def _forward_token(self) -> None:
+        if not self._holding:
+            return
+        # Order anything that arrived during an idle hold before passing.
+        if self._pending:
+            self._order_pending()
+        self._holding = False
+        self.call(
+            WellKnown.RP2P,
+            "send",
+            self.next_in_ring,
+            (_TOKEN, self.instance_tag, self._token_sn),
+            _TOKEN_BYTES,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
+    def _on_rbcast(self, origin: int, payload: Any, size_bytes: int):
+        if not (isinstance(payload, tuple) and payload and payload[0] == _ORD):
+            return NOT_MINE
+        _, tag, sn, uid, inner, inner_size = payload
+        if tag != self.instance_tag:
+            return NOT_MINE
+        for record in self._buffer.offer(sn, AbcastRecord(uid, inner, inner_size)):
+            self._adeliver_record(record)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_count(self) -> int:
+        """Locally ABcast messages waiting for the token."""
+        return len(self._pending)

@@ -1,0 +1,19 @@
+"""Baseline DPU solutions the paper compares against (Section 4.2/5.3).
+
+Both provide the same ``r-abcast`` interface as the paper's Repl module,
+so every workload, probe and benchmark runs unchanged on top of either —
+the comparison experiments just swap the indirection layer.
+"""
+
+from .barrier import BARRIER_SERVICE, BarrierModule
+from .graceful import GracefulAdaptorModule
+from .maestro import MaestroSwitchModule
+from .switchbase import DrainingSwitchModule
+
+__all__ = [
+    "BarrierModule",
+    "BARRIER_SERVICE",
+    "DrainingSwitchModule",
+    "MaestroSwitchModule",
+    "GracefulAdaptorModule",
+]

@@ -1,0 +1,104 @@
+"""Distributed barrier synchronisation (substrate for Graceful Adaptation).
+
+The Graceful Adaptation baseline needs barrier synchronisation between
+its phases — the very mechanism whose "implementation complexity in an
+asynchronous network" the paper argues should be avoided.  This is the
+classic coordinator barrier: everyone sends ``arrive`` to the
+coordinator (lowest rank); once all arrived, the coordinator sends
+``release`` to everyone.
+
+Service vocabulary (service ``barrier``):
+
+* call ``enter(barrier_id)``;
+* response ``passed(barrier_id)``.
+
+Cost per barrier: ``2(n-1)`` RP2P messages plus two message latencies —
+these are the extra rounds the baseline-comparison benchmark charges to
+Graceful Adaptation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
+
+from ..kernel.module import Module, NOT_MINE
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.monitors import Counter
+
+__all__ = ["BarrierModule", "BARRIER_SERVICE"]
+
+BARRIER_SERVICE = "barrier"
+_ARRIVE = "bar.arrive"
+_RELEASE = "bar.release"
+_BAR_BYTES = 16
+
+
+class BarrierModule(Module):
+    """Coordinator-based distributed barrier over RP2P."""
+
+    PROVIDES = (BARRIER_SERVICE,)
+    REQUIRES = (WellKnown.RP2P,)
+    PROTOCOL = "barrier"
+
+    def __init__(
+        self,
+        stack: Stack,
+        group: Sequence[int],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, name=name)
+        self.group: Tuple[int, ...] = tuple(sorted(set(group)))
+        self.coordinator = self.group[0]
+        self.counters = Counter()
+        #: Coordinator bookkeeping: barrier_id -> set of arrived ranks.
+        self._arrived: Dict[Any, Set[int]] = {}
+        self._released: Set[Any] = set()
+        self.export_call(BARRIER_SERVICE, "enter", self._enter)
+        self.subscribe(WellKnown.RP2P, "deliver", self._on_rp2p)
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.stack_id == self.coordinator
+
+    # ------------------------------------------------------------------ #
+    # Entering
+    # ------------------------------------------------------------------ #
+    def _enter(self, barrier_id: Any) -> None:
+        self.counters.incr("entered")
+        self.call(
+            WellKnown.RP2P,
+            "send",
+            self.coordinator,
+            (_ARRIVE, barrier_id, self.stack_id),
+            _BAR_BYTES,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Coordinator + release path
+    # ------------------------------------------------------------------ #
+    def _on_rp2p(self, src: int, payload: Any, size_bytes: int):
+        if not (isinstance(payload, tuple) and payload):
+            return NOT_MINE
+        if payload[0] == _ARRIVE:
+            if not self.is_coordinator:
+                return None  # stale routing; claimed but ignored
+            _, barrier_id, rank = payload
+            if barrier_id in self._released:
+                return None
+            arrived = self._arrived.setdefault(barrier_id, set())
+            arrived.add(rank)
+            if arrived >= set(self.group):
+                self._released.add(barrier_id)
+                del self._arrived[barrier_id]
+                self.counters.incr("released")
+                for dst in self.group:
+                    self.call(
+                        WellKnown.RP2P, "send", dst, (_RELEASE, barrier_id), _BAR_BYTES
+                    )
+            return None
+        if payload[0] == _RELEASE:
+            _, barrier_id = payload
+            self.respond(BARRIER_SERVICE, "passed", barrier_id)
+            return None
+        return NOT_MINE

@@ -1,0 +1,146 @@
+"""Graceful-Adaptation-style component adaptation (baseline, after [6]).
+
+The paper's reading of Graceful Adaptation (Sections 4.2, 5.3):
+
+* each updateable module hosts Adaptation-Aware Components (AACs), the
+  alternative implementations; a Component Adaptor (CA) coordinates
+  (1) *prepare*, (2) *deactivate old AAC*, (3) *activate new AAC*;
+* the phases are synchronised with **barrier synchronisation** — the
+  mechanism the paper argues against for asynchronous networks;
+* "each AAC in a module m can only use the services required by m",
+  which **limits the possible replacements** — the structural
+  restriction the paper's own solution removes.
+
+This rendering keeps those measurable/behavioural characteristics:
+
+* three barrier rounds per adaptation (prepare, deactivated, activated),
+  each costing 2(n-1) RP2P messages plus two latencies;
+* the application is blocked only between *deactivate* and *activate*
+  (shorter than Maestro's announcement-to-go window, but non-zero —
+  unlike Algorithm 1);
+* :meth:`request_change` **refuses protocols whose requirements exceed
+  the hosting module's service set** (:class:`RequirementError`) —
+  experiment X2 demonstrates that switching the sequencer ABcast to the
+  consensus-based one fails here while the paper's solution performs it.
+
+Sequence: the initiator announces the adaptation over RP2P; every stack
+enters barrier *prepare*; after passing it, every stack begins the flush
+drain (deactivation of the old AAC — application blocked); when locally
+quiescent it enters barrier *deactivated*; after passing that barrier it
+performs the switch and enters barrier *activated*; when the final
+barrier passes the adaptation is complete (the switch itself finished at
+activation; the last barrier is the CA's completion bookkeeping).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Set, Tuple
+
+from ..errors import RequirementError
+from ..kernel.module import NOT_MINE
+from ..kernel.registry import ProtocolRegistry
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.clock import Duration, ms
+from .barrier import BARRIER_SERVICE
+from .switchbase import DrainingSwitchModule
+
+__all__ = ["GracefulAdaptorModule"]
+
+_ANNOUNCE = "ca.announce"
+_CA_BYTES = 32
+
+
+class GracefulAdaptorModule(DrainingSwitchModule):
+    """The CA (component adaptor) of the Graceful-Adaptation baseline."""
+
+    PROTOCOL = "graceful-ca"
+
+    def __init__(
+        self,
+        stack: Stack,
+        registry: ProtocolRegistry,
+        group: Sequence[int],
+        initial_protocol: str,
+        allowed_services: Sequence[str],
+        creation_cost: Duration = ms(5.0),
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            stack,
+            registry,
+            group,
+            initial_protocol,
+            creation_cost=creation_cost,
+            name=name,
+            requires_extra=(WellKnown.RP2P, BARRIER_SERVICE),
+        )
+        #: The services the hosting module requires: an AAC may use these
+        #: and nothing else (the paper's Section 4.2 restriction).
+        self.allowed_services: Set[str] = set(allowed_services)
+        self._adaptation_seq = 0
+        self._phase: Optional[str] = None  # None | prepare | deactivating | activating
+        self._adaptation_id: Optional[Tuple[int, int]] = None
+        self._target: Optional[str] = None
+        self.subscribe(WellKnown.RP2P, "deliver", self._on_rp2p)
+        self.subscribe(BARRIER_SERVICE, "passed", self._on_barrier_passed)
+
+    # ------------------------------------------------------------------ #
+    # Coordination
+    # ------------------------------------------------------------------ #
+    def request_change(self, prot: str) -> None:
+        info = self.registry.info(prot)
+        excess = set(info.requires) - self.allowed_services
+        if excess:
+            # The defining restriction of this baseline: an AAC cannot
+            # require services its hosting module does not already use.
+            raise RequirementError(
+                f"Graceful Adaptation cannot install {prot!r}: it requires "
+                f"{sorted(excess)} outside the hosting module's services "
+                f"{sorted(self.allowed_services)}"
+            )
+        self._adaptation_seq += 1
+        adaptation_id = (self.stack_id, self._adaptation_seq)
+        self.counters.incr("change_requests")
+        for dst in self.group:
+            self.call(
+                WellKnown.RP2P, "send", dst, (_ANNOUNCE, adaptation_id, prot), _CA_BYTES
+            )
+
+    def _on_rp2p(self, src: int, payload: Any, size_bytes: int):
+        if not (isinstance(payload, tuple) and payload and payload[0] == _ANNOUNCE):
+            return NOT_MINE
+        _, adaptation_id, prot = payload
+        if self._phase is not None:
+            return None  # one adaptation at a time
+        self._phase = "prepare"
+        self._adaptation_id = adaptation_id
+        self._target = prot
+        self.counters.incr("adaptations_started")
+        self.call(BARRIER_SERVICE, "enter", ("prepare", adaptation_id))
+        return None
+
+    def _on_barrier_passed(self, barrier_id: Any) -> None:
+        phase, adaptation_id = barrier_id
+        if adaptation_id != self._adaptation_id:
+            return
+        if phase == "prepare" and self._phase == "prepare":
+            # Phase 2: deactivate the old AAC — drain it; the application
+            # blocks from here until activation.
+            self._phase = "deactivating"
+            assert self._target is not None
+            self._begin_drain(self._target)
+        elif phase == "deactivated" and self._phase == "deactivating":
+            # Phase 3: activate the new AAC.
+            self._phase = "activating"
+            self._perform_switch()
+            self.call(BARRIER_SERVICE, "enter", ("activated", adaptation_id))
+        elif phase == "activated" and self._phase == "activating":
+            self._phase = None
+            self._adaptation_id = None
+            self._target = None
+            self.counters.incr("adaptations_completed")
+
+    def _on_locally_quiescent(self) -> None:
+        # Old AAC drained locally: synchronise deactivation group-wide.
+        self.call(BARRIER_SERVICE, "enter", ("deactivated", self._adaptation_id))

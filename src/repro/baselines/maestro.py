@@ -1,0 +1,142 @@
+"""Maestro-style whole-stack replacement (baseline, after [20]).
+
+The paper's reading of Maestro (Sections 4.2, 5.3):
+
+* "Maestro supports only the replacement of complete protocol stacks" —
+  to replace one protocol the whole stack containing it is replaced;
+* a per-machine *stack switch* (SS) module finalises the local old stack
+  and coordinates the start of the new stack;
+* protocol modules must be extended with a ``finalize`` method — the DPU
+  logic depends on the updateable protocols (poor modularity);
+* "the application on top of the stack is blocked, which is not the
+  case in [the paper's] solution".
+
+This rendering keeps those measurable characteristics:
+
+* the application is blocked from the moment the switch announcement
+  arrives until the new stack is running (``app_blocked_total``);
+* the whole updateable stack is re-created:
+  :meth:`modules_replaced_factor` charges creation cost for the ABcast
+  module *and* its substrate (consensus + rbcast-equivalent), defaulting
+  to 3 modules' worth;
+* coordination uses a group-wide announcement plus per-stack readiness
+  messages over RP2P (2(n-1)+n extra messages per switch), the flush
+  drain providing the "finalize" semantics.
+
+Sequence: the initiator announces ``(switch_id, prot)`` to every stack;
+each stack begins draining (application blocked, flush markers through
+the old protocol); when a stack has Adelivered everyone's markers it
+reports ``ready`` to the initiator; once the initiator has everyone's
+``ready`` it broadcasts ``go``; every stack then replaces the stack and
+unblocks the application.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Set
+
+from ..kernel.module import NOT_MINE
+from ..kernel.registry import ProtocolRegistry
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.clock import Duration, ms
+from .switchbase import DrainingSwitchModule
+
+__all__ = ["MaestroSwitchModule"]
+
+_ANNOUNCE = "ss.announce"
+_READY = "ss.ready"
+_GO = "ss.go"
+_SS_BYTES = 32
+
+
+class MaestroSwitchModule(DrainingSwitchModule):
+    """The SS (stack switch) module of the Maestro-style baseline."""
+
+    PROTOCOL = "maestro-ss"
+
+    def __init__(
+        self,
+        stack: Stack,
+        registry: ProtocolRegistry,
+        group: Sequence[int],
+        initial_protocol: str,
+        creation_cost: Duration = ms(5.0),
+        whole_stack_modules: int = 3,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            stack,
+            registry,
+            group,
+            initial_protocol,
+            creation_cost=creation_cost,
+            name=name,
+            requires_extra=(WellKnown.RP2P,),
+        )
+        self.whole_stack_modules = whole_stack_modules
+        self._switch_seq = 0
+        self._current_switch: Optional[int] = None
+        #: Initiator bookkeeping: switch_id -> ranks that reported ready.
+        self._ready_from: Dict[int, Set[int]] = {}
+        self._go_sent: Set[int] = set()
+        self.subscribe(WellKnown.RP2P, "deliver", self._on_rp2p)
+
+    def modules_replaced_factor(self) -> int:
+        # Whole-stack replacement: the ABcast module and its substrate are
+        # all re-created (the paper's criticism of Maestro).
+        return self.whole_stack_modules
+
+    # ------------------------------------------------------------------ #
+    # Coordination
+    # ------------------------------------------------------------------ #
+    def request_change(self, prot: str) -> None:
+        self.registry.info(prot)  # fail fast
+        self._switch_seq += 1
+        switch_id = (self.stack_id << 20) | self._switch_seq
+        self.counters.incr("change_requests")
+        for dst in self.group:
+            self.call(
+                WellKnown.RP2P, "send", dst, (_ANNOUNCE, switch_id, prot), _SS_BYTES
+            )
+
+    def _on_rp2p(self, src: int, payload: Any, size_bytes: int):
+        if not (isinstance(payload, tuple) and payload):
+            return NOT_MINE
+        tag = payload[0]
+        if tag == _ANNOUNCE:
+            _, switch_id, prot = payload
+            if self._current_switch is None:
+                self._current_switch = switch_id
+                self._switch_initiator = src
+                self._begin_drain(prot)
+            return None
+        if tag == _READY:
+            _, switch_id, rank = payload
+            ready = self._ready_from.setdefault(switch_id, set())
+            ready.add(rank)
+            if ready >= set(self.group) and switch_id not in self._go_sent:
+                self._go_sent.add(switch_id)
+                for dst in self.group:
+                    self.call(
+                        WellKnown.RP2P, "send", dst, (_GO, switch_id), _SS_BYTES
+                    )
+            return None
+        if tag == _GO:
+            _, switch_id = payload
+            if self._current_switch == switch_id:
+                self._current_switch = None
+                self._perform_switch()
+            return None
+        return NOT_MINE
+
+    def _on_locally_quiescent(self) -> None:
+        # Old stack finalised locally: report readiness to the initiator.
+        self.counters.incr("ready_sent")
+        self.call(
+            WellKnown.RP2P,
+            "send",
+            self._switch_initiator,
+            (_READY, self._current_switch, self.stack_id),
+            _SS_BYTES,
+        )

@@ -1,0 +1,220 @@
+"""Shared drain-and-switch machinery for the baseline DPU solutions.
+
+Both baselines the paper compares against (Maestro [20] and Graceful
+Adaptation [6]) stop the old protocol *cleanly* before starting the new
+one, instead of letting the two overlap as Algorithm 1 does.  The common
+core is a **flush drain**:
+
+1. on entering the draining phase, new application ABcasts are buffered
+   (this is where the baselines block the application);
+2. each stack ABcasts a *flush marker* through the old protocol;
+3. total order guarantees that once a stack has Adelivered the markers of
+   every group member, it has Adelivered everything any member sent
+   before draining began — the old protocol is then locally quiescent;
+4. when the solution-specific coordination layer learns that *all*
+   stacks are quiescent, each stack unbinds the old module, creates the
+   new one, rebinds, and replays its buffered messages.
+
+Because nothing is ordered by the old protocol after the markers, no old
+delivery can trail into the new protocol's epoch: total order across the
+switch holds by construction.  The price — and the measured difference
+from Algorithm 1 — is the application-visible blocking between steps 1
+and 4.
+
+Subclasses implement the coordination (who triggers the drain, how
+"everyone is quiescent" is learned) by overriding the hooks at the
+bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..kernel.module import Module, NOT_MINE
+from ..kernel.registry import ProtocolRegistry
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.clock import Duration, Time, ms
+from ..sim.monitors import Counter
+
+__all__ = ["DrainingSwitchModule"]
+
+_NORMAL = "r.b.msg"
+_FLUSH = "r.b.flush"
+#: Wire overhead of the baseline indirection layer.
+_HDR = 18
+
+
+class DrainingSwitchModule(Module):
+    """Base class of the Maestro-style and Graceful-style switch modules.
+
+    Provides the same ``r-abcast`` interface as the paper's Repl module,
+    so workloads, GM, probes and benchmarks are agnostic about which DPU
+    solution runs underneath.
+    """
+
+    PROVIDES = (WellKnown.R_ABCAST,)
+    REQUIRES = (WellKnown.ABCAST,)
+    PROTOCOL = "baseline-switch"
+
+    def __init__(
+        self,
+        stack: Stack,
+        registry: ProtocolRegistry,
+        group: Sequence[int],
+        initial_protocol: str,
+        creation_cost: Duration = ms(5.0),
+        name: Optional[str] = None,
+        requires_extra: Tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(
+            stack,
+            name=name,
+            requires=(WellKnown.ABCAST,) + tuple(requires_extra),
+        )
+        self.registry = registry
+        self.group: Tuple[int, ...] = tuple(sorted(set(group)))
+        self.current_protocol = initial_protocol
+        self.creation_cost = creation_cost
+        self.counters = Counter()
+        self._epoch = 0
+        self._next_rid = 0
+        self._draining = False
+        self._buffered: List[Tuple[Any, int]] = []
+        self._blocked_since: Optional[Time] = None
+        #: Total seconds the application spent blocked (buffered) here.
+        self.app_blocked_total: Duration = 0.0
+        self._flush_seen: Set[int] = set()
+        self._switch_protocol: Optional[str] = None
+        #: Hooks fired as ``hook(stack_id, epoch, prot, duration)``.
+        self.on_switch_complete: List[Callable[..., None]] = []
+        self._switch_started_at: Optional[Time] = None
+
+        self.export_call(WellKnown.R_ABCAST, "abcast", self._rabcast)
+        self.export_call(WellKnown.R_ABCAST, "change_protocol", self.request_change)
+        self.export_query(WellKnown.R_ABCAST, "status", self._status)
+        self.subscribe(WellKnown.ABCAST, "adeliver", self._on_adeliver)
+
+    # ------------------------------------------------------------------ #
+    # Application path
+    # ------------------------------------------------------------------ #
+    def _rabcast(self, m: Any, size_bytes: int) -> None:
+        self.counters.incr("rabcasts")
+        if self._draining:
+            # *** The application is blocked here — the measured cost of
+            # the drain-first baselines (paper, Section 5.3). ***
+            if self._blocked_since is None:
+                self._blocked_since = self.now
+            self._buffered.append((m, size_bytes))
+            self.counters.incr("app_calls_buffered")
+            return
+        self._forward(m, size_bytes)
+
+    def _forward(self, m: Any, size_bytes: int) -> None:
+        self.call(
+            WellKnown.ABCAST,
+            "abcast",
+            (_NORMAL, self._epoch, m, size_bytes),
+            size_bytes + _HDR,
+        )
+
+    def _on_adeliver(self, origin: int, frame: Any, size_bytes: int):
+        if not (isinstance(frame, tuple) and frame and frame[0] in (_NORMAL, _FLUSH)):
+            return NOT_MINE
+        if frame[0] == _NORMAL:
+            _, epoch, m, m_size = frame
+            self.counters.incr("radelivers")
+            self.respond(WellKnown.R_ABCAST, "adeliver", origin, m, m_size)
+            return None
+        _, epoch, rank = frame
+        self._flush_seen.add(rank)
+        if self._flush_seen >= set(self.group):
+            self._on_locally_quiescent()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # The drain
+    # ------------------------------------------------------------------ #
+    def _begin_drain(self, prot: str) -> None:
+        """Stop forwarding, emit the flush marker (idempotent per epoch)."""
+        if self._draining:
+            return
+        self._draining = True
+        self._switch_protocol = prot
+        self._flush_seen = set()
+        if self._switch_started_at is None:
+            self._switch_started_at = self.now
+        self.counters.incr("drains")
+        self.call(
+            WellKnown.ABCAST,
+            "abcast",
+            (_FLUSH, self._epoch, self.stack_id),
+            _HDR,
+        )
+
+    def _perform_switch(self) -> None:
+        """Unbind old, create new, rebind, replay the buffer."""
+        prot = self._switch_protocol
+        assert prot is not None
+        self._epoch += 1
+        self.stack.unbind(WellKnown.ABCAST)
+        # Elapsed-time creation, matching the Repl module's model (see
+        # repro.dpu.repl): classloading yields the CPU.
+        cost = self.creation_cost * self.modules_replaced_factor()
+        if cost > 0:
+            self.set_timer(cost, self._complete_switch, prot)
+        else:
+            self._complete_switch(prot)
+
+    def _complete_switch(self, prot: str) -> None:
+        tag = f"{prot}/{type(self).__name__}/e{self._epoch}"
+        self.registry.create_module(
+            self.stack, prot, bind=True, factory_kwargs={"instance_tag": tag}
+        )
+        self.current_protocol = prot
+        self._draining = False
+        self._switch_protocol = None
+        self.counters.incr("switches")
+        if self._blocked_since is not None:
+            self.app_blocked_total += self.now - self._blocked_since
+            self._blocked_since = None
+        backlog, self._buffered = self._buffered, []
+        for m, size_bytes in backlog:
+            self.counters.incr("buffered_replayed")
+            self._forward(m, size_bytes)
+        started = self._switch_started_at
+        self._switch_started_at = None
+        for hook in self.on_switch_complete:
+            hook(
+                self.stack_id,
+                self._epoch,
+                prot,
+                (self.now - started) if started is not None else 0.0,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def _status(self) -> dict:
+        return {
+            "epoch": self._epoch,
+            "current_protocol": self.current_protocol,
+            "draining": self._draining,
+            "buffered": len(self._buffered),
+            "app_blocked_total": self.app_blocked_total,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Subclass hooks
+    # ------------------------------------------------------------------ #
+    def request_change(self, prot: str) -> None:
+        """Trigger a replacement to *prot* (solution-specific)."""
+        raise NotImplementedError
+
+    def _on_locally_quiescent(self) -> None:
+        """All flush markers Adelivered here (solution-specific follow-up)."""
+        raise NotImplementedError
+
+    def modules_replaced_factor(self) -> int:
+        """How many modules' worth of creation cost a switch pays."""
+        return 1

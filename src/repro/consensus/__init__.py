@@ -1,0 +1,8 @@
+"""Chandra–Toueg ◊S consensus (rotating coordinator), as in the paper's
+CT module, plus the shared quorum helpers."""
+
+from .base import coordinator_of_round, majority
+from .chandra_toueg import CtConsensusModule
+from .instance import CtInstance
+
+__all__ = ["majority", "coordinator_of_round", "CtConsensusModule", "CtInstance"]

@@ -1,0 +1,40 @@
+"""Consensus service contract and shared helpers.
+
+The paper's CT module "provides a distributed consensus service using the
+Chandra–Toueg ◊S consensus algorithm based on a rotating coordinator".
+The kernel service (name ``consensus``) is instance-oriented so one module
+serves the unbounded sequence of consensus instances that atomic
+broadcast consumes:
+
+* call ``propose(instance_id, value, size_bytes)`` — this process's
+  initial value for the given instance;
+* response ``decide(instance_id, value, size_bytes)`` — the instance's
+  decision (emitted exactly once per instance per stack).
+
+Properties guaranteed (crash-stop, ◊S detector, majority of correct
+processes):
+
+* **validity** — a decided value was proposed by some process;
+* **uniform agreement** — no two processes decide differently;
+* **uniform integrity** — every process decides at most once per instance;
+* **termination** — every correct process eventually decides.
+"""
+
+from __future__ import annotations
+
+__all__ = ["majority", "coordinator_of_round"]
+
+
+def majority(n: int) -> int:
+    """Size of a majority quorum among *n* processes: ``⌈(n+1)/2⌉``."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return n // 2 + 1
+
+
+def coordinator_of_round(group: tuple, round_: int) -> int:
+    """The rotating coordinator of *round_* (paper: "rotating coordinator").
+
+    *group* must be sorted; round 0 is led by the lowest rank.
+    """
+    return group[round_ % len(group)]

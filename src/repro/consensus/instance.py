@@ -1,0 +1,246 @@
+"""One Chandra–Toueg consensus instance (per-process state machine).
+
+The classic rotating-coordinator algorithm (Chandra & Toueg, JACM 1996),
+with one standard engineering optimisation and one liveness helper, both
+documented here because correctness arguments depend on them:
+
+* **Lazy rounds** (optimisation): in the original algorithm every process
+  advances rounds forever until the decide arrives.  Here a process that
+  has ACKed round *r* stays in round *r* until it either R-delivers the
+  decision, suspects coordinator(*r*), or learns of a higher round.  This
+  cuts the steady-state message count to 3n + n·relay (estimate, propose,
+  ack, decide) per instance, and is safe: staying put never updates any
+  estimate.
+* **Abort broadcast** (liveness helper needed *because* of lazy rounds):
+  a coordinator whose reply quorum contains a NACK cannot decide; in the
+  original algorithm everyone just advances, but lazy processes that ACKed
+  would wait forever for a decide that never comes if the coordinator is
+  correct (never suspected).  The coordinator therefore broadcasts
+  ``abort(r)``, which pushes every process past round *r*.  Rounds are
+  also advanced by *round catch-up*: any message of a round > current
+  fast-forwards the receiver.
+
+Safety is untouched: estimates are only adopted from a round's
+coordinator, a coordinator only decides after a majority of ACKs locks
+its estimate, and the locked-value argument of CT carries over verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .base import coordinator_of_round, majority
+
+__all__ = ["CtInstance"]
+
+# Wire message kinds (within the ('ct', iid, ...) frame).
+EST = "est"
+PROP = "prop"
+ACK = "ack"
+NACK = "nack"
+ABORT = "abort"
+
+#: Sender signature: send_fn(dst_rank, kind, round, value, ts, size_bytes)
+SendFn = Callable[[int, str, int, Any, int, int], None]
+#: Decide signature: decide_fn(value, size_bytes) → R-broadcasts the decision.
+DecideFn = Callable[[Any, int], None]
+
+
+class CtInstance:
+    """Per-process state of one consensus instance."""
+
+    def __init__(
+        self,
+        instance_id: int,
+        group: Tuple[int, ...],
+        my_rank: int,
+        send_fn: SendFn,
+        decide_fn: DecideFn,
+        is_suspected: Callable[[int], bool],
+    ) -> None:
+        self.instance_id = instance_id
+        self.group = tuple(sorted(group))
+        self.n = len(self.group)
+        self.quorum = majority(self.n)
+        self.my_rank = my_rank
+        self._send = send_fn
+        self._decide = decide_fn
+        self._is_suspected = is_suspected
+
+        self.round = -1  # no round entered yet (before local propose)
+        self.estimate: Any = None
+        self.estimate_size = 0
+        self.ts = -1
+        self.proposed = False
+        self.decided = False
+        self.decision: Any = None
+        self.rounds_executed = 0
+
+        # Per-round coordinator state.
+        self._estimates: Dict[int, Dict[int, Tuple[Any, int, int]]] = {}
+        self._replies: Dict[int, Dict[int, bool]] = {}
+        self._proposal_done: set = set()
+        self._quorum_closed: set = set()
+        # Participant per-round state: round -> "ack" | "nack".
+        self._replied: Dict[int, str] = {}
+        # Messages for rounds ahead of us: round -> [(src, kind, value, ts, size)].
+        self._future: Dict[int, List[Tuple[int, str, Any, int, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+    def coordinator(self, round_: int) -> int:
+        return coordinator_of_round(self.group, round_)
+
+    def propose(self, value: Any, size_bytes: int) -> None:
+        """Adopt the local initial value and enter round 0."""
+        if self.proposed or self.decided:
+            return
+        self.proposed = True
+        self.estimate = value
+        self.estimate_size = size_bytes
+        self.ts = 0
+        self._enter_round(0)
+
+    def _enter_round(self, round_: int) -> None:
+        if self.decided:
+            return
+        self.round = round_
+        self.rounds_executed += 1
+        coord = self.coordinator(round_)
+        # Phase 1: send my estimate to the round's coordinator (self-sends
+        # go through the loopback path of RP2P, keeping one code path).
+        self._send(coord, EST, round_, self.estimate, self.ts, self.estimate_size)
+        # A coordinator that is already suspected locally gets an instant
+        # NACK — the paper's Phase 3 "suspect" branch taken at entry.
+        if coord != self.my_rank and self._is_suspected(coord):
+            self._reply_nack(round_)
+        self._drain_future(round_)
+
+    def _drain_future(self, round_: int) -> None:
+        pending = self._future.pop(round_, None)
+        if pending:
+            for src, kind, value, ts, size in pending:
+                self.on_message(src, kind, round_, value, ts, size)
+
+    def _advance_past(self, round_: int) -> None:
+        """Move to ``round_ + 1`` (round catch-up and nack path)."""
+        if self.decided or round_ < self.round:
+            return
+        self._enter_round(round_ + 1)
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def on_message(
+        self, src: int, kind: str, round_: int, value: Any, ts: int, size: int
+    ) -> None:
+        """Dispatch one consensus message for this instance."""
+        if self.decided:
+            return
+        if not self.proposed:
+            # Before the local propose we cannot participate (no estimate);
+            # the owning module buffers at instance granularity, so this
+            # only happens for self-sends, which cannot occur unproposed.
+            self._future.setdefault(max(round_, 0), []).append(
+                (src, kind, value, ts, size)
+            )
+            return
+        if kind == EST:
+            self._on_estimate(src, round_, value, ts, size)
+        elif kind == PROP:
+            self._on_propose(src, round_, value, size)
+        elif kind in (ACK, NACK):
+            self._on_reply(src, round_, kind == ACK)
+        elif kind == ABORT:
+            self._on_abort(round_)
+
+    # Phase 2 (coordinator): gather estimates, propose the freshest. ----- #
+    def _on_estimate(self, src: int, round_: int, value: Any, ts: int, size: int) -> None:
+        if self.coordinator(round_) != self.my_rank:
+            return  # misdirected or stale
+        if round_ > self.round:
+            # I will coordinate this round but haven't reached it; buffer.
+            self._future.setdefault(round_, []).append((src, EST, value, ts, size))
+            return
+        table = self._estimates.setdefault(round_, {})
+        if src in table or round_ in self._proposal_done:
+            return
+        table[src] = (value, ts, size)
+        if len(table) >= self.quorum:
+            self._proposal_done.add(round_)
+            # Highest timestamp wins; ties break by lowest sender rank so
+            # every run is deterministic.
+            best_src = min(table, key=lambda r: (-table[r][1], r))
+            best_value, _best_ts, best_size = table[best_src]
+            self.estimate, self.ts = best_value, round_
+            self.estimate_size = best_size
+            for dst in self.group:
+                self._send(dst, PROP, round_, best_value, round_, best_size)
+
+    # Phase 3 (all): adopt the proposal, ack — or nack on suspicion. ----- #
+    def _on_propose(self, src: int, round_: int, value: Any, size: int) -> None:
+        if src != self.coordinator(round_):
+            return
+        if round_ > self.round:
+            self._enter_round(round_)  # catch up, then fall through
+        if round_ != self.round or round_ in self._replied:
+            return
+        self.estimate = value
+        self.estimate_size = size
+        self.ts = round_
+        self._replied[round_] = ACK
+        self._send(src, ACK, round_, None, 0, 0)
+        # Lazy round: now wait for decide / suspicion / higher round.
+
+    def _reply_nack(self, round_: int) -> None:
+        if round_ in self._replied:
+            return
+        self._replied[round_] = NACK
+        self._send(self.coordinator(round_), NACK, round_, None, 0, 0)
+        self._advance_past(round_)
+
+    # Phase 4 (coordinator): majority of ACKs decides; any NACK aborts. -- #
+    def _on_reply(self, src: int, round_: int, is_ack: bool) -> None:
+        if self.coordinator(round_) != self.my_rank:
+            return
+        if round_ in self._quorum_closed:
+            return
+        table = self._replies.setdefault(round_, {})
+        if src in table:
+            return
+        table[src] = is_ack
+        if len(table) >= self.quorum:
+            self._quorum_closed.add(round_)
+            if all(table.values()):
+                # The estimate is locked at a majority: decide.
+                self._decide(self.estimate, self.estimate_size)
+            else:
+                for dst in self.group:
+                    if dst != self.my_rank:
+                        self._send(dst, ABORT, round_, None, 0, 0)
+                self._advance_past(round_)
+
+    def _on_abort(self, round_: int) -> None:
+        self._advance_past(round_)
+
+    # ------------------------------------------------------------------ #
+    # External stimuli
+    # ------------------------------------------------------------------ #
+    def on_suspect(self, rank: int) -> None:
+        """The failure detector now suspects *rank*."""
+        if self.decided or not self.proposed:
+            return
+        if rank == self.coordinator(self.round):
+            if self.round not in self._replied:
+                self._reply_nack(self.round)
+            else:
+                self._advance_past(self.round)
+
+    def on_decided(self, value: Any) -> None:
+        """The R-broadcast decision arrived (possibly before any propose)."""
+        self.decided = True
+        self.decision = value
+        self._future.clear()
+        self._estimates.clear()
+        self._replies.clear()

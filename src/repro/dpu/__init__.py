@@ -1,0 +1,66 @@
+"""Dynamic protocol update — the paper's contribution.
+
+* :class:`ReplAbcastModule` — Algorithm 1 (replacement of atomic
+  broadcast protocols) behind the ``r-abcast`` indirection level;
+* :class:`IndirectionModule` — the generic structural pattern;
+* :class:`ReplacementManager` — orchestration + the paper's replacement
+  window measurement;
+* :class:`ReplConsensusModule` — the future-work extension (replacement
+  of consensus protocols);
+* :mod:`~repro.dpu.properties` / :mod:`~repro.dpu.abcast_checker` —
+  trace checkers for the Section 3 generic properties and the Section 5
+  ABcast properties across replacements;
+* :class:`AbcastProbeModule` / :class:`DeliveryLog` — the observation
+  layer the checkers consume.
+"""
+
+from .abcast_checker import (
+    assert_abcast_properties,
+    check_all_abcast_properties,
+    check_uniform_agreement,
+    check_uniform_integrity,
+    check_uniform_total_order,
+    check_validity,
+)
+from .consensus_repl import ReplConsensusModule
+from .generic import IndirectionModule
+from .manager import ReplacementManager, ReplacementWindow
+from .probes import AbcastProbeModule, DeliveryLog, payload_key
+from .properties import (
+    assert_strong_protocol_operationability,
+    assert_strong_stack_well_formedness,
+    assert_weak_protocol_operationability,
+    assert_weak_stack_well_formedness,
+    check_strong_protocol_operationability,
+    check_strong_stack_well_formedness,
+    check_weak_protocol_operationability,
+    check_weak_stack_well_formedness,
+)
+from .repl import NEW_ABCAST, NIL, ReplAbcastModule
+
+__all__ = [
+    "ReplAbcastModule",
+    "NIL",
+    "NEW_ABCAST",
+    "IndirectionModule",
+    "ReplacementManager",
+    "ReplacementWindow",
+    "ReplConsensusModule",
+    "AbcastProbeModule",
+    "DeliveryLog",
+    "payload_key",
+    "check_weak_stack_well_formedness",
+    "check_strong_stack_well_formedness",
+    "check_weak_protocol_operationability",
+    "check_strong_protocol_operationability",
+    "assert_weak_stack_well_formedness",
+    "assert_strong_stack_well_formedness",
+    "assert_weak_protocol_operationability",
+    "assert_strong_protocol_operationability",
+    "check_validity",
+    "check_uniform_agreement",
+    "check_uniform_integrity",
+    "check_uniform_total_order",
+    "check_all_abcast_properties",
+    "assert_abcast_properties",
+]

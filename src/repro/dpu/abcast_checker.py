@@ -1,0 +1,165 @@
+"""Checkers for the atomic broadcast properties *across replacements*.
+
+Section 5.2.2 of the paper proves that Algorithm 1 preserves the four
+ABcast properties end-to-end (at the ``r-abcast`` level) assuming each
+installed protocol satisfies them.  These checkers verify exactly that on
+a recorded :class:`~repro.dpu.probes.DeliveryLog`:
+
+* **validity** — a message ABcast by a correct (never-crashed) stack is
+  eventually Adelivered by that stack;
+* **uniform agreement** — a message Adelivered by *any* stack (even one
+  that crashed later) is Adelivered by every correct stack;
+* **uniform integrity** — each stack Adelivers a message at most once,
+  and only if it was previously ABcast;
+* **uniform total order** — the delivery sequences of any two stacks,
+  restricted to the messages they both delivered, are identical.
+
+The total-order formulation via restriction-equality is equivalent to the
+pairwise definition: if i delivers m before m' and j delivers both, then j
+must deliver them in the same order — quantified over all pairs.
+
+Finite-trace caveat: "eventually" obligations near the end of a run may be
+in flight; run experiments to quiescence or pass ``in_flight_ok`` keys to
+exempt (the property tests drain the system, so they check strictly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+from ..errors import PropertyViolation
+from ..sim.clock import Time
+from .probes import DeliveryLog
+
+__all__ = [
+    "check_validity",
+    "check_uniform_agreement",
+    "check_uniform_integrity",
+    "check_uniform_total_order",
+    "check_all_abcast_properties",
+    "assert_abcast_properties",
+]
+
+
+def check_validity(
+    log: DeliveryLog,
+    crashed: Dict[int, Time],
+    in_flight_ok: Optional[Set[Hashable]] = None,
+) -> List[str]:
+    """Correct senders must deliver their own messages."""
+    exempt = in_flight_ok or set()
+    violations = []
+    for key, (sender, t_send) in log.sends.items():
+        if sender in crashed or key in exempt:
+            continue
+        if key not in log.delivered_set(sender):
+            violations.append(
+                f"message {key!r} ABcast by correct stack {sender} at "
+                f"t={t_send:.6f} was never Adelivered by its sender"
+            )
+    return violations
+
+
+def check_uniform_agreement(
+    log: DeliveryLog,
+    crashed: Dict[int, Time],
+    stacks: Sequence[int],
+    in_flight_ok: Optional[Set[Hashable]] = None,
+) -> List[str]:
+    """Anything delivered anywhere must be delivered at every correct stack."""
+    exempt = in_flight_ok or set()
+    delivered_anywhere: Set[Hashable] = set()
+    for stack_id in stacks:
+        delivered_anywhere |= log.delivered_set(stack_id)
+    violations = []
+    for stack_id in stacks:
+        if stack_id in crashed:
+            continue
+        missing = delivered_anywhere - log.delivered_set(stack_id) - exempt
+        for key in sorted(missing, key=repr):
+            violations.append(
+                f"message {key!r} was Adelivered somewhere but never by "
+                f"correct stack {stack_id}"
+            )
+    return violations
+
+
+def check_uniform_integrity(log: DeliveryLog, stacks: Sequence[int]) -> List[str]:
+    """At-most-once per stack; only previously-ABcast messages."""
+    violations = []
+    for stack_id in stacks:
+        seen: Set[Hashable] = set()
+        for key in log.delivery_sequence(stack_id):
+            if key in seen:
+                violations.append(
+                    f"stack {stack_id} Adelivered message {key!r} more than once"
+                )
+            seen.add(key)
+            if key not in log.sends:
+                violations.append(
+                    f"stack {stack_id} Adelivered message {key!r} that was never ABcast"
+                )
+    return violations
+
+
+def check_uniform_total_order(log: DeliveryLog, stacks: Sequence[int]) -> List[str]:
+    """Pairwise restriction-equality of delivery sequences."""
+    sequences = {s: log.delivery_sequence(s) for s in stacks}
+    sets = {s: set(seq) for s, seq in sequences.items()}
+    violations = []
+    ordered = sorted(stacks)
+    for idx, i in enumerate(ordered):
+        for j in ordered[idx + 1:]:
+            common = sets[i] & sets[j]
+            if not common:
+                continue
+            seq_i = [k for k in sequences[i] if k in common]
+            seq_j = [k for k in sequences[j] if k in common]
+            if seq_i != seq_j:
+                # Report the first divergence point, which is the most
+                # useful debugging artefact.
+                for a, b in zip(seq_i, seq_j):
+                    if a != b:
+                        violations.append(
+                            f"stacks {i} and {j} diverge: {i} delivered {a!r} "
+                            f"where {j} delivered {b!r}"
+                        )
+                        break
+                else:  # pragma: no cover - same prefix, different length is
+                    violations.append(  # impossible on equal common sets
+                        f"stacks {i} and {j} delivered common messages in "
+                        f"different multiplicity"
+                    )
+    return violations
+
+
+def check_all_abcast_properties(
+    log: DeliveryLog,
+    crashed: Dict[int, Time],
+    stacks: Sequence[int],
+    in_flight_ok: Optional[Set[Hashable]] = None,
+) -> Dict[str, List[str]]:
+    """Run all four checkers; returns ``{property: violations}``."""
+    return {
+        "validity": check_validity(log, crashed, in_flight_ok),
+        "uniform agreement": check_uniform_agreement(
+            log, crashed, stacks, in_flight_ok
+        ),
+        "uniform integrity": check_uniform_integrity(log, stacks),
+        "uniform total order": check_uniform_total_order(log, stacks),
+    }
+
+
+def assert_abcast_properties(
+    log: DeliveryLog,
+    crashed: Dict[int, Time],
+    stacks: Sequence[int],
+    in_flight_ok: Optional[Set[Hashable]] = None,
+) -> None:
+    """Raise :class:`PropertyViolation` on the first failing property."""
+    results = check_all_abcast_properties(log, crashed, stacks, in_flight_ok)
+    for prop, violations in results.items():
+        if violations:
+            preview = "; ".join(violations[:5])
+            more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+            raise PropertyViolation(prop, preview + more)

@@ -1,0 +1,199 @@
+"""Dynamic replacement of consensus protocols (the paper's future work).
+
+Section 7: "We have actually already designed an algorithm to replace
+consensus protocols [16], another building block of our group
+communication middleware."  This module implements that extension in the
+same structural style as Algorithm 1 — an indirection module providing
+``r-consensus`` and requiring ``consensus`` — with the switch point agreed
+through the consensus service itself:
+
+* every proposal is wrapped as ``(value, change-request-or-None)``; a
+  stack with a pending ``changeConsensus(prot)`` request piggybacks it on
+  each proposal until some decision carries it;
+* consensus instances are decided uniformly, so *the decision of instance
+  k carrying a change request* is the agreed switch point: every stack
+  installs the new consensus module when it learns that decision, and
+  routes instances *after k in the same namespace* to it;
+* in-flight instances at or before the switch point finish on the old
+  module — unbound modules keep responding (paper, Section 2), so nothing
+  is lost.
+
+Scope restriction (documented, enforced by the experiments): routing is
+**per instance namespace** — the sequential instance stream of one
+consumer (e.g. one atomic broadcast incarnation).  A namespace first seen
+locally is pinned to the newest locally-installed version; replacing
+consensus while an *abcast* replacement is concurrently creating a new
+namespace can therefore race.  The library's experiments replace one
+layer at a time, which is also the only scenario the paper's future-work
+sketch contemplates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..errors import ReplacementError
+from ..kernel.module import Module, NOT_MINE
+from ..kernel.registry import ProtocolRegistry
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.monitors import Counter
+
+__all__ = ["ReplConsensusModule"]
+
+_WRAP = "rc"
+#: Extra bytes the wrapper adds to each proposal.
+_RC_OVERHEAD = 24
+
+#: A change request: (unique id, protocol name).
+_Change = Tuple[Tuple[int, int], str]
+
+
+class ReplConsensusModule(Module):
+    """``Repl`` dedicated to the consensus service.
+
+    Service vocabulary (service ``r-consensus``):
+
+    * call ``propose(instance_key, value, size_bytes)``;
+    * call ``change_protocol(prot_name)``;
+    * response ``decide(instance_key, value, size_bytes)``;
+    * query ``status()``.
+
+    ``instance_key`` must be ``(namespace, k)`` with sequential integer
+    ``k`` per namespace — the shape produced by
+    :class:`~repro.abcast.ct_abcast.CtAbcastModule`.
+    """
+
+    PROVIDES = (WellKnown.R_CONSENSUS,)
+    REQUIRES = (WellKnown.CONSENSUS,)
+    PROTOCOL = "repl-consensus"
+
+    def __init__(
+        self,
+        stack: Stack,
+        registry: ProtocolRegistry,
+        initial_protocol: str,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, name=name)
+        self.registry = registry
+        self.counters = Counter()
+        self.version = 0
+        self.current_protocol = initial_protocol
+        initial = stack.bound_module(WellKnown.CONSENSUS)
+        if initial is None:
+            raise ReplacementError(
+                f"stack {stack.stack_id}: install the initial consensus module "
+                f"before the r-consensus indirection"
+            )
+        #: channel -> consensus module object (old versions stay reachable).
+        #: Channels are *agreed* identifiers: the initial module uses its
+        #: own channel; replacement channels are derived from the decided
+        #: switch point, so they match across stacks by construction.
+        self._channels: Dict[str, Module] = {getattr(initial, "channel", "0"): initial}
+        #: namespace -> channel pinned at first local propose.
+        self._pin: Dict[Hashable, str] = {}
+        #: namespace -> [(k_switch, channel, protocol)], appended as
+        #: decided; sorted by k at routing time.
+        self._switch_points: Dict[Hashable, List[Tuple[int, str, str]]] = {}
+        self._bound_channel: str = getattr(initial, "channel", "0")
+        self._next_rid = 0
+        self._pending_changes: List[_Change] = []
+        self._applied_rids: set = set()
+        self._decided_keys: set = set()
+
+        self.export_call(WellKnown.R_CONSENSUS, "propose", self._propose)
+        self.export_call(WellKnown.R_CONSENSUS, "change_protocol", self._change)
+        self.export_query(WellKnown.R_CONSENSUS, "status", self._status)
+        self.subscribe(WellKnown.CONSENSUS, "decide", self._on_decide)
+
+    # ------------------------------------------------------------------ #
+    # changeConsensus(prot)
+    # ------------------------------------------------------------------ #
+    def _change(self, prot: str) -> None:
+        self.registry.info(prot)  # fail fast on unknown protocols
+        rid = (self.stack_id, self._next_rid)
+        self._next_rid += 1
+        self._pending_changes.append((rid, prot))
+        self.counters.incr("change_requests")
+        # No message is sent here: the request rides the next proposals.
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _route(self, instance_key: Any) -> Module:
+        namespace, k = instance_key
+        channel = self._pin.setdefault(namespace, self._bound_channel)
+        for k_switch, new_channel, _prot in sorted(
+            self._switch_points.get(namespace, [])
+        ):
+            if k > k_switch:
+                channel = new_channel
+        return self._channels[channel]
+
+    def _propose(self, instance_key: Any, value: Any, size_bytes: int) -> None:
+        change = self._pending_changes[0] if self._pending_changes else None
+        wrapped = (_WRAP, value, change)
+        module = self._route(instance_key)
+        self.counters.incr("proposals_forwarded")
+        handler = module.call_handler(WellKnown.CONSENSUS, "propose")
+        # Old versions are unbound, so the call is routed directly to the
+        # owning module object — the same privilege the paper's Repl uses
+        # when it binds the module it just created.
+        handler(instance_key, wrapped, size_bytes + _RC_OVERHEAD)
+
+    # ------------------------------------------------------------------ #
+    # Decisions: unwrap, forward, apply switch points
+    # ------------------------------------------------------------------ #
+    def _on_decide(self, instance_key: Any, value: Any, size_bytes: int):
+        if not (isinstance(value, tuple) and len(value) == 3 and value[0] == _WRAP):
+            return NOT_MINE
+        if instance_key in self._decided_keys:
+            return None  # duplicate across versions (split-race protection)
+        self._decided_keys.add(instance_key)
+        _, inner, change = value
+        self.counters.incr("decisions_forwarded")
+        self.respond(
+            WellKnown.R_CONSENSUS, "decide", instance_key, inner, size_bytes
+        )
+        if change is not None:
+            self._apply_change(instance_key, change)
+        return None
+
+    def _apply_change(self, instance_key: Any, change: _Change) -> None:
+        rid, prot = change
+        self._pending_changes = [c for c in self._pending_changes if c[0] != rid]
+        if rid in self._applied_rids:
+            return
+        self._applied_rids.add(rid)
+        namespace, k = instance_key
+        self.version += 1
+        self.counters.incr("switches")
+        # The wire channel is derived from the *decided* switch point, so
+        # every stack's new module lands on the same channel even if
+        # decisions for different instances arrive in different orders.
+        channel = f"{namespace}/{k}"
+        # Install the new consensus module and bind it; the old module
+        # stays in the stack, unbound, to finish its in-flight instances.
+        self.stack.unbind(WellKnown.CONSENSUS)
+        module = self.registry.create_module(
+            self.stack,
+            prot,
+            bind=True,
+            factory_kwargs={"channel": channel},
+        )
+        self._channels[channel] = module
+        self._bound_channel = channel
+        self.current_protocol = prot
+        self._switch_points.setdefault(namespace, []).append((k, channel, prot))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def _status(self) -> dict:
+        return {
+            "version": self.version,
+            "current_protocol": self.current_protocol,
+            "pending_changes": len(self._pending_changes),
+            "namespaces": len(self._pin),
+        }

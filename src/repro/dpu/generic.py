@@ -1,0 +1,112 @@
+"""The generic indirection level (structural dimension, service-agnostic).
+
+The paper's structural idea is independent of atomic broadcast: a
+replacement module provides ``r-p`` and requires ``p``, intercepting calls
+and responses.  :class:`IndirectionModule` implements exactly that pattern
+for *any* service, forwarding verbatim.  It is useful on its own to
+
+* measure the cost of the indirection level in isolation (bench C1
+  separates "kernel dispatch cost of one more level" from "Algorithm 1's
+  header/sequence-number work"), and
+* serve as the base of service-specific replacement modules (the
+  consensus replacement extension builds on it).
+
+A subclass overrides :meth:`forward_call` / :meth:`forward_response` to
+add interception logic; the default implementation is a transparent relay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..kernel.module import Module, NOT_MINE
+from ..kernel.service import replacement_service_name
+from ..kernel.stack import Stack
+
+__all__ = ["IndirectionModule"]
+
+
+class IndirectionModule(Module):
+    """A transparent ``r-p`` → ``p`` relay for an arbitrary service ``p``.
+
+    Parameters
+    ----------
+    stack:
+        Hosting stack.
+    service:
+        The wrapped service name (``p``); the module provides
+        ``replacement_service_name(service)`` (``r-p``).
+    calls / responses / queries:
+        The service vocabulary to relay.  Only declared names are
+        forwarded — anything else is a configuration error surfacing as
+        an unknown-handler kernel error, which is deliberate.
+    """
+
+    PROTOCOL = "indirection"
+
+    def __init__(
+        self,
+        stack: Stack,
+        service: str,
+        calls: Iterable[str],
+        responses: Iterable[str],
+        queries: Iterable[str] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        self.wrapped_service = service
+        self.indirect_service = replacement_service_name(service)
+        super().__init__(
+            stack,
+            name=name,
+            provides=(self.indirect_service,),
+            requires=(service,),
+        )
+        for method in calls:
+            self.export_call(
+                self.indirect_service, method, self._make_call_forwarder(method)
+            )
+        for event in responses:
+            self.subscribe(
+                self.wrapped_service, event, self._make_response_forwarder(event)
+            )
+        for query in queries:
+            self.export_query(
+                self.indirect_service, query, self._make_query_forwarder(query)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Forwarding (override points)
+    # ------------------------------------------------------------------ #
+    def forward_call(self, method: str, args: tuple) -> None:
+        """Relay one intercepted call downward (default: verbatim)."""
+        self.call(self.wrapped_service, method, *args)
+
+    def forward_response(self, event: str, args: tuple) -> Any:
+        """Relay one intercepted response upward (default: verbatim).
+
+        May return :data:`~repro.kernel.module.NOT_MINE` to disclaim the
+        response (subclasses filtering multiplexed frames).
+        """
+        self.respond(self.indirect_service, event, *args)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _make_call_forwarder(self, method: str):
+        def forwarder(*args: Any) -> None:
+            self.forward_call(method, args)
+
+        return forwarder
+
+    def _make_response_forwarder(self, event: str):
+        def forwarder(*args: Any) -> Any:
+            return self.forward_response(event, args)
+
+        return forwarder
+
+    def _make_query_forwarder(self, query: str):
+        def forwarder(*args: Any) -> Any:
+            return self.query(self.wrapped_service, query, *args)
+
+        return forwarder

@@ -1,0 +1,225 @@
+"""Checkers for the paper's generic dynamic-update properties (Section 3).
+
+All checkers are pure functions over a recorded
+:class:`~repro.kernel.trace.TraceRecorder`; each returns a list of
+violation strings (empty = property holds on this trace) and has an
+``assert_*`` twin raising :class:`~repro.errors.PropertyViolation`.
+
+Finite-trace caveat: the *weak* properties are "eventually" properties.
+On a finite trace a pending obligation near the end may be an artefact of
+stopping the clock, not a violation; callers can pass ``ignore_after`` to
+exempt obligations created after that instant (experiments instead run to
+quiescence, making the strict check exact).
+
+Definitions implemented (quoted from the paper):
+
+* **strong stack-well-formedness** — "a stack is strongly well-formed iff
+  whenever a module calls a service, the service is bound to one module";
+* **weak stack-well-formedness** — "... the service is *eventually* bound
+  to one module";
+* **strong protocol-operationability** — "a protocol P is strongly
+  operational in a set of stacks Π iff whenever a module Pi is bound in
+  some stack i, then all non-crashed stacks j in Π contain a module Pj";
+* **weak protocol-operationability** — "... *eventually* contain a module
+  Pj".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import PropertyViolation
+from ..kernel.events import TraceKind
+from ..kernel.trace import TraceRecorder
+from ..sim.clock import Time
+
+__all__ = [
+    "check_weak_stack_well_formedness",
+    "check_strong_stack_well_formedness",
+    "check_weak_protocol_operationability",
+    "check_strong_protocol_operationability",
+    "assert_weak_stack_well_formedness",
+    "assert_strong_stack_well_formedness",
+    "assert_weak_protocol_operationability",
+    "assert_strong_protocol_operationability",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Stack-well-formedness
+# --------------------------------------------------------------------------- #
+def check_weak_stack_well_formedness(
+    trace: TraceRecorder,
+    ignore_after: Optional[Time] = None,
+) -> List[str]:
+    """Every blocked call must eventually be released (unless the stack crashed).
+
+    A blocked call on a crashed stack is exempt: a crashed stack makes no
+    further calls and honours no obligations (the paper's properties
+    quantify over non-crashed stacks).
+    """
+    crashes = trace.crashes()
+    blocked: Dict[Tuple[int, str], Time] = {}  # (stack, call_id) -> block time
+    for event in trace:
+        if event.kind is TraceKind.CALL_BLOCKED:
+            blocked[(event.stack_id, event.get("call_id"))] = event.time
+        elif event.kind is TraceKind.CALL_UNBLOCKED:
+            blocked.pop((event.stack_id, event.get("call_id")), None)
+    violations = []
+    for (stack_id, call_id), t in sorted(blocked.items(), key=lambda kv: kv[1]):
+        if stack_id in crashes and crashes[stack_id] <= t + 1e-12:
+            continue
+        if ignore_after is not None and t > ignore_after:
+            continue
+        violations.append(
+            f"call {call_id} on stack {stack_id} blocked at t={t:.6f} and never released"
+        )
+    return violations
+
+
+def check_strong_stack_well_formedness(trace: TraceRecorder) -> List[str]:
+    """No call may ever block (the service must be bound at call time)."""
+    return [
+        f"call {e.get('call_id')} on stack {e.stack_id} blocked at t={e.time:.6f} "
+        f"(service {e.service!r} unbound)"
+        for e in trace.of_kind(TraceKind.CALL_BLOCKED)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Protocol-operationability
+# --------------------------------------------------------------------------- #
+def _module_presence(
+    trace: TraceRecorder, protocol: str
+) -> Dict[int, List[Tuple[Time, Time]]]:
+    """Per stack, the [added, removed) intervals of modules of *protocol*."""
+    open_since: Dict[Tuple[int, str], Time] = {}
+    intervals: Dict[int, List[Tuple[Time, Time]]] = {}
+    for event in trace:
+        if event.protocol != protocol:
+            continue
+        if event.kind is TraceKind.MODULE_ADDED:
+            open_since[(event.stack_id, event.module)] = event.time
+        elif event.kind is TraceKind.MODULE_REMOVED:
+            start = open_since.pop((event.stack_id, event.module), None)
+            if start is not None:
+                intervals.setdefault(event.stack_id, []).append((start, event.time))
+    for (stack_id, _module), start in open_since.items():
+        intervals.setdefault(stack_id, []).append((start, float("inf")))
+    return intervals
+
+
+def check_weak_protocol_operationability(
+    trace: TraceRecorder,
+    protocol: str,
+    stacks: Sequence[int],
+    ignore_after: Optional[Time] = None,
+) -> List[str]:
+    """Whenever a module of *protocol* is bound on some stack, every
+    non-crashed stack in *stacks* must eventually contain such a module."""
+    crashes = trace.crashes()
+    presence = _module_presence(trace, protocol)
+    binds = [
+        e for e in trace.of_kind(TraceKind.BIND)
+        if e.protocol == protocol and e.stack_id in set(stacks)
+    ]
+    violations = []
+    for bind in binds:
+        if ignore_after is not None and bind.time > ignore_after:
+            continue
+        for j in stacks:
+            crash_t = crashes.get(j)
+            if crash_t is not None and crash_t <= bind.time:
+                continue  # j crashed before the obligation arose
+            # "eventually contains": some presence interval ends after the
+            # bind instant (still open counts), or j crashes later.
+            ok = any(end > bind.time for (_s, end) in presence.get(j, []))
+            if not ok and crash_t is None:
+                violations.append(
+                    f"protocol {protocol!r} bound on stack {bind.stack_id} at "
+                    f"t={bind.time:.6f}, but stack {j} never contains a module of it"
+                )
+    return violations
+
+
+def check_strong_protocol_operationability(
+    trace: TraceRecorder,
+    protocol: str,
+    stacks: Sequence[int],
+) -> List[str]:
+    """Whenever a module of *protocol* is bound on some stack, every
+    non-crashed stack in *stacks* must contain such a module *right then*."""
+    crashes = trace.crashes()
+    presence = _module_presence(trace, protocol)
+    binds = [
+        e for e in trace.of_kind(TraceKind.BIND)
+        if e.protocol == protocol and e.stack_id in set(stacks)
+    ]
+    violations = []
+    for bind in binds:
+        for j in stacks:
+            crash_t = crashes.get(j)
+            if crash_t is not None and crash_t <= bind.time:
+                continue
+            ok = any(
+                start <= bind.time < end for (start, end) in presence.get(j, [])
+            )
+            if not ok:
+                violations.append(
+                    f"protocol {protocol!r} bound on stack {bind.stack_id} at "
+                    f"t={bind.time:.6f}, but stack {j} does not contain a module of "
+                    f"it at that instant"
+                )
+    return violations
+
+
+# --------------------------------------------------------------------------- #
+# Assertion twins
+# --------------------------------------------------------------------------- #
+def _raise_if(prop: str, violations: List[str]) -> None:
+    if violations:
+        preview = "; ".join(violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise PropertyViolation(prop, preview + more)
+
+
+def assert_weak_stack_well_formedness(
+    trace: TraceRecorder, ignore_after: Optional[Time] = None
+) -> None:
+    """Raise :class:`PropertyViolation` unless the property holds."""
+    _raise_if(
+        "weak stack-well-formedness",
+        check_weak_stack_well_formedness(trace, ignore_after=ignore_after),
+    )
+
+
+def assert_strong_stack_well_formedness(trace: TraceRecorder) -> None:
+    """Raise :class:`PropertyViolation` unless the property holds."""
+    _raise_if(
+        "strong stack-well-formedness", check_strong_stack_well_formedness(trace)
+    )
+
+
+def assert_weak_protocol_operationability(
+    trace: TraceRecorder,
+    protocol: str,
+    stacks: Sequence[int],
+    ignore_after: Optional[Time] = None,
+) -> None:
+    """Raise :class:`PropertyViolation` unless the property holds."""
+    _raise_if(
+        "weak protocol-operationability",
+        check_weak_protocol_operationability(
+            trace, protocol, stacks, ignore_after=ignore_after
+        ),
+    )
+
+
+def assert_strong_protocol_operationability(
+    trace: TraceRecorder, protocol: str, stacks: Sequence[int]
+) -> None:
+    """Raise :class:`PropertyViolation` unless the property holds."""
+    _raise_if(
+        "strong protocol-operationability",
+        check_strong_protocol_operationability(trace, protocol, stacks),
+    )

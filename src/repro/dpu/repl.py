@@ -1,0 +1,335 @@
+"""The replacement module for atomic broadcast — Algorithm 1 of the paper.
+
+Structure (paper, Section 4.1 / Figure 3): ``Repl`` provides the
+indirection service ``r-abcast`` and requires ``abcast``.  Every consumer
+of atomic broadcast (group membership, the application work-load) calls
+``r-abcast`` instead of ``abcast``; ``Repl`` intercepts both the calls and
+the ``adeliver`` responses.  The updateable ABcast modules are *unaware
+that replacement happens* — they are ordinary, unmodified protocol
+modules.  This is the paper's central structural claim, and the library
+enforces it: the ABcast implementations in :mod:`repro.abcast` contain no
+replacement-related code whatsoever.
+
+Algorithm (paper, Section 5.2, Algorithm 1), stack *i*::
+
+     1: Initialisation:
+     2:    undelivered ← ∅            {messages not yet rAdelivered}
+     3:    curABcast ← current ABcast protocol
+     4:    seqNumber ← 0              {protocol version number}
+     5: upon changeABcast(prot) do
+     6:    ABcast(newABcast, seqNumber, prot)
+     7: upon rABcast(m) do
+     8:    undelivered ← undelivered ∪ {m}
+     9:    ABcast(nil, seqNumber, m)
+    10: upon Adeliver(newABcast, sn, prot) do
+    11:    seqNumber ← seqNumber + 1
+    12:    unbind(curABcast)
+    13:    create_module(prot)
+    14:    curABcast ← prot
+    15:    for all m ∈ undelivered do
+    16:        ABcast(nil, seqNumber, m)
+    17: upon Adeliver(nil, sn, m) do
+    18:    if sn = seqNumber then
+    19:        if m ∈ undelivered then
+    20:            undelivered ← undelivered \\ {m}
+    21:        rAdeliver(m)
+
+The change request travels through the *current* protocol's total order
+(line 6), so every stack switches at the same point of that order; stale
+messages (line 18) are discarded and re-issued by their origin through
+the new protocol (line 16); ``create_module`` (lines 13, 22–28) performs
+the requirement recursion implemented by
+:meth:`repro.kernel.registry.ProtocolRegistry.create_module`.
+
+Two deliberate deviations, both configurable (see DESIGN.md §4):
+
+* ``guard_change_sn`` (default ``True``) — the printed algorithm does not
+  test ``sn`` on *change* messages (line 10).  With concurrent
+  replacement requests, a stale change message is processed at a point
+  that is **not** synchronised with the new protocol's total order, and
+  uniform agreement can break (a regression test demonstrates it).  The
+  guard discards stale change messages exactly like stale ordinary
+  messages; the initiator re-issues its pending change through the new
+  protocol according to ``reissue_policy`` (``"reissue"``) or drops it
+  (``"drop"``, default — a superseding replacement has already happened).
+* ``creation_cost`` — module creation occupies the host CPU and keeps
+  the abcast service *unbound* for that long, so calls issued meanwhile
+  block in the kernel's blocked-call queue and are released at the new
+  bind (weak stack-well-formedness, exactly the paper's Section 3
+  mechanism).  Setting it to 0 makes the switch atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ReplacementError
+from ..kernel.module import Module, NOT_MINE
+from ..kernel.registry import ProtocolRegistry
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.clock import Duration, ms
+from ..sim.monitors import Counter
+
+__all__ = ["ReplAbcastModule", "NIL", "NEW_ABCAST"]
+
+#: Tag of an ordinary (application) message (the algorithm's ``nil``).
+NIL = "r.nil"
+#: Tag of a protocol-change request (the algorithm's ``newABcast``).
+NEW_ABCAST = "r.new"
+
+#: Wire overhead the replacement layer adds to each message (tag + sn + uid).
+_REPL_HEADER = 18
+
+#: Internal unique id of a message or change request: (origin stack, seq).
+_Rid = Tuple[int, int]
+
+
+class ReplAbcastModule(Module):
+    """``Repl`` — the replacement module dedicated to the ABcast service.
+
+    Service vocabulary (service ``r-abcast``):
+
+    * call ``abcast(m, size_bytes)`` — the algorithm's ``rABcast``;
+    * call ``change_protocol(prot_name)`` — the algorithm's
+      ``changeABcast``;
+    * response ``adeliver(origin, m, size_bytes)`` — ``rAdeliver``;
+    * query ``status()`` — current version, protocol, pending counts.
+
+    Parameters
+    ----------
+    stack, registry:
+        The hosting stack and the protocol registry used by
+        ``create_module``.
+    initial_protocol:
+        Name (in the registry) of the protocol bound to ``abcast`` when
+        the system starts; used only for bookkeeping/reporting.
+    guard_change_sn, reissue_policy, creation_cost:
+        See the module docstring.
+    dedup_deliveries:
+        Belt-and-braces uid dedup at rAdeliver (default off — with the
+        guard on, Algorithm 1 needs no dedup, and leaving it off lets the
+        property checkers *observe* the paper-literal anomaly).
+    """
+
+    PROVIDES = (WellKnown.R_ABCAST,)
+    REQUIRES = (WellKnown.ABCAST,)
+    PROTOCOL = "repl-abcast"
+
+    def __init__(
+        self,
+        stack: Stack,
+        registry: ProtocolRegistry,
+        initial_protocol: str,
+        guard_change_sn: bool = True,
+        reissue_policy: str = "drop",
+        creation_cost: Duration = ms(5.0),
+        dedup_deliveries: bool = False,
+        retire_old_after: Optional[Duration] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, name=name)
+        if reissue_policy not in ("drop", "reissue"):
+            raise ReplacementError(
+                f"unknown reissue_policy {reissue_policy!r}; use 'drop' or 'reissue'"
+            )
+        if retire_old_after is not None and retire_old_after <= 0:
+            raise ReplacementError("retire_old_after must be positive (or None)")
+        self.registry = registry
+        self.guard_change_sn = guard_change_sn
+        self.reissue_policy = reissue_policy
+        self.creation_cost = creation_cost
+        self.dedup_deliveries = dedup_deliveries
+        #: Remove the unbound old module this long after a switch.  The
+        #: paper keeps old modules forever ("unbinding a module does not
+        #: remove it from the stack"); a long-running system must
+        #: eventually reclaim them.  The delay must exceed the time other
+        #: stacks may still need this stack's participation in the old
+        #: protocol's in-flight traffic (seconds are plenty on a LAN).
+        self.retire_old_after = retire_old_after
+        self.counters = Counter()
+
+        # -- Algorithm 1 state ------------------------------------------ #
+        #: line 2 — messages rABcast here and not yet rAdelivered here,
+        #: as ``rid -> (m, size, issued_sn)``.  ``issued_sn`` is the
+        #: seqNumber the frame was (last) issued under; the reissue loop
+        #: (lines 15-16) skips entries already issued under the current
+        #: version.  This matters only when module creation takes time:
+        #: a message ABcast inside the unbind→bind gap carries the *new*
+        #: sn and its own (kernel-blocked) call is released at bind —
+        #: reissuing it too would deliver it twice.  With zero creation
+        #: cost the gap is empty and this reduces to the paper's lines
+        #: 15-16 verbatim.
+        self.undelivered: Dict[_Rid, Tuple[Any, int, int]] = {}
+        #: line 4 — the protocol version number.
+        self.seq_number = 0
+        #: line 3 — name of the protocol currently bound (bookkeeping).
+        self.current_protocol = initial_protocol
+
+        # -- deviation / instrumentation state -------------------------- #
+        self._next_rid = 0
+        #: Change requests this stack initiated and not yet seen applied.
+        self._pending_changes: Dict[_Rid, str] = {}
+        self._switching = False
+        self._deferred_changes: List[tuple] = []
+        self._delivered_rids: set = set()
+        #: Hooks fired as ``hook(stack_id, seq_number, prot, started_at)``.
+        self.on_switch_start: List[Callable[..., None]] = []
+        #: Hooks fired as ``hook(stack_id, seq_number, prot, duration)``.
+        self.on_switch_complete: List[Callable[..., None]] = []
+
+        self.export_call(WellKnown.R_ABCAST, "abcast", self._rabcast)
+        self.export_call(WellKnown.R_ABCAST, "change_protocol", self._change_abcast)
+        self.export_query(WellKnown.R_ABCAST, "status", self._status)
+        self.subscribe(WellKnown.ABCAST, "adeliver", self._on_adeliver)
+
+    # ------------------------------------------------------------------ #
+    # Lines 5-6: changeABcast(prot)
+    # ------------------------------------------------------------------ #
+    def _change_abcast(self, prot: str) -> None:
+        self.registry.info(prot)  # fail fast on unknown protocols
+        rid = self._fresh_rid()
+        self._pending_changes[rid] = prot
+        self.counters.incr("change_requests")
+        self._abcast_frame((NEW_ABCAST, self.seq_number, rid, prot), 64)
+
+    # ------------------------------------------------------------------ #
+    # Lines 7-9: rABcast(m)
+    # ------------------------------------------------------------------ #
+    def _rabcast(self, m: Any, size_bytes: int) -> None:
+        rid = self._fresh_rid()
+        self.undelivered[rid] = (m, size_bytes, self.seq_number)  # line 8
+        self.counters.incr("rabcasts")
+        self._abcast_frame((NIL, self.seq_number, rid, m, size_bytes), size_bytes)
+
+    def _abcast_frame(self, frame: tuple, size_bytes: int) -> None:
+        self.call(WellKnown.ABCAST, "abcast", frame, size_bytes + _REPL_HEADER)
+
+    def _fresh_rid(self) -> _Rid:
+        rid = (self.stack_id, self._next_rid)
+        self._next_rid += 1
+        return rid
+
+    # ------------------------------------------------------------------ #
+    # Lines 10-21: the Adeliver interceptor
+    # ------------------------------------------------------------------ #
+    def _on_adeliver(self, origin: int, frame: Any, size_bytes: int):
+        if not (isinstance(frame, tuple) and frame and frame[0] in (NIL, NEW_ABCAST)):
+            return NOT_MINE
+        if frame[0] == NEW_ABCAST:
+            _, sn, rid, prot = frame
+            self._on_change_message(sn, rid, prot)
+        else:
+            _, sn, rid, m, m_size = frame
+            self._on_ordinary_message(sn, rid, m, m_size)
+        return None
+
+    # Lines 10-16 -------------------------------------------------------- #
+    def _on_change_message(self, sn: int, rid: _Rid, prot: str) -> None:
+        if self.guard_change_sn and sn != self.seq_number:
+            # Deviation (DESIGN.md §4): a stale change message is not
+            # synchronised with the current protocol's total order.
+            self.counters.incr("stale_changes_discarded")
+            if rid in self._pending_changes:
+                if self.reissue_policy == "reissue":
+                    self.counters.incr("changes_reissued")
+                    self._abcast_frame((NEW_ABCAST, self.seq_number, rid, prot), 64)
+                else:
+                    del self._pending_changes[rid]
+                    self.counters.incr("changes_dropped_superseded")
+            return
+        if self._switching:
+            # Only reachable in paper-literal mode (guard off) with
+            # concurrent changes: a second change arrives while the
+            # previous switch still occupies the CPU.  Serialise it.
+            self._deferred_changes.append((sn, rid, prot))
+            return
+        # line 11
+        self.seq_number += 1
+        self._pending_changes.pop(rid, None)
+        self._switching = True
+        self.counters.incr("switches")
+        started_at = self.now
+        for hook in self.on_switch_start:
+            hook(self.stack_id, self.seq_number, prot, started_at)
+        # line 12 — from here until the new bind, calls to ``abcast``
+        # block in the kernel's queue (weak stack-well-formedness).
+        old_module = self.stack.unbind(WellKnown.ABCAST)
+        if self.retire_old_after is not None:
+            self.set_timer(self.retire_old_after, self._retire, old_module.name)
+        # Module creation is modelled as *elapsed* time, not CPU burn:
+        # the dominant cost in the paper's Java framework is classloading
+        # and allocation, during which the event loop keeps serving the
+        # still-running old protocol.  This is what lets calls actually
+        # reach the unbound service and block (weak well-formedness).
+        if self.creation_cost > 0:
+            self.set_timer(self.creation_cost, self._complete_switch, prot, started_at)
+        else:
+            self._complete_switch(prot, started_at)
+
+    def _complete_switch(self, prot: str, started_at: float) -> None:
+        # lines 13-14 (+ 22-28 via the registry): create and bind the new
+        # protocol module under a fresh incarnation tag agreed via the
+        # totally-ordered seq_number.
+        tag = f"{prot}/v{self.seq_number}"
+        self.registry.create_module(
+            self.stack, prot, bind=True, factory_kwargs={"instance_tag": tag}
+        )
+        self.current_protocol = prot
+        # lines 15-16 — re-issue everything not yet rAdelivered that was
+        # issued under an older protocol version (see the ``undelivered``
+        # docstring for why gap-issued messages are skipped).
+        for rid, (m, m_size, issued_sn) in list(self.undelivered.items()):
+            if issued_sn >= self.seq_number:
+                continue
+            self.counters.incr("reissues")
+            self.undelivered[rid] = (m, m_size, self.seq_number)
+            self._abcast_frame((NIL, self.seq_number, rid, m, m_size), m_size)
+        self._switching = False
+        for hook in self.on_switch_complete:
+            hook(self.stack_id, self.seq_number, prot, self.now - started_at)
+        if self._deferred_changes:
+            sn, rid, prot2 = self._deferred_changes.pop(0)
+            self._on_change_message(sn, rid, prot2)
+
+    # Lines 17-21 -------------------------------------------------------- #
+    def _on_ordinary_message(self, sn: int, rid: _Rid, m: Any, m_size: int) -> None:
+        if sn != self.seq_number:  # line 18
+            self.counters.incr("stale_messages_discarded")
+            return
+        if rid in self.undelivered:  # lines 19-20
+            del self.undelivered[rid]
+        if self.dedup_deliveries:
+            if rid in self._delivered_rids:
+                self.counters.incr("dedup_suppressed")
+                return
+            self._delivered_rids.add(rid)
+        self.counters.incr("radelivers")
+        # line 21 — rAdeliver(m)
+        self.respond(WellKnown.R_ABCAST, "adeliver", rid[0], m, m_size)
+
+    def _retire(self, module_name: str) -> None:
+        """Reclaim a long-unbound old protocol module (see constructor)."""
+        if module_name in self.stack.modules:
+            bound = self.stack.bound_module(WellKnown.ABCAST)
+            if bound is not None and bound.name == module_name:
+                return  # it was re-bound meanwhile; never remove the active one
+            self.stack.remove_module(module_name)
+            self.counters.incr("retired_modules")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def _status(self) -> dict:
+        return {
+            "seq_number": self.seq_number,
+            "current_protocol": self.current_protocol,
+            "undelivered": len(self.undelivered),
+            "pending_changes": len(self._pending_changes),
+            "switching": self._switching,
+        }
+
+    @property
+    def undelivered_count(self) -> int:
+        """Messages rABcast here and not yet rAdelivered here."""
+        return len(self.undelivered)

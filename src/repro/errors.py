@@ -1,0 +1,107 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised by library code derives from :class:`ReproError`,
+so callers can catch library failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ScheduleInPastError",
+    "KernelError",
+    "UnknownServiceError",
+    "ServiceAlreadyBoundError",
+    "ModuleNotInStackError",
+    "UnknownProtocolError",
+    "RequirementError",
+    "NetworkError",
+    "UnknownDestinationError",
+    "ReplacementError",
+    "PropertyViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+# --------------------------------------------------------------------------- #
+# Simulation layer
+# --------------------------------------------------------------------------- #
+class SimulationError(ReproError):
+    """A misuse of the discrete-event simulation engine."""
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled strictly before the current simulated time."""
+
+
+# --------------------------------------------------------------------------- #
+# Protocol kernel
+# --------------------------------------------------------------------------- #
+class KernelError(ReproError):
+    """A misuse of the protocol kernel (services / modules / stacks)."""
+
+
+class UnknownServiceError(KernelError):
+    """A service name was used that no module in the stack provides."""
+
+
+class ServiceAlreadyBoundError(KernelError):
+    """A bind was attempted on a service that already has a bound provider.
+
+    The paper's model (Section 2) requires that *at most one* module in a
+    stack is bound to a service at a time; binding a second provider
+    without unbinding the first is an error.
+    """
+
+
+class ModuleNotInStackError(KernelError):
+    """An operation referenced a module that is not part of the stack."""
+
+
+class UnknownProtocolError(KernelError):
+    """A protocol name was requested that the registry does not know."""
+
+
+class RequirementError(KernelError):
+    """A module's required services could not be satisfied.
+
+    Raised e.g. by the Graceful-Adaptation baseline, which (per the paper's
+    Section 4.2) *restricts* an alternative implementation to the services
+    required by the module that hosts it.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# Network substrate
+# --------------------------------------------------------------------------- #
+class NetworkError(ReproError):
+    """A misuse of the simulated network."""
+
+
+class UnknownDestinationError(NetworkError):
+    """A message was addressed to a machine the network does not know."""
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic protocol update
+# --------------------------------------------------------------------------- #
+class ReplacementError(ReproError):
+    """A dynamic protocol replacement could not be carried out."""
+
+
+class PropertyViolation(ReproError, AssertionError):
+    """A correctness property was violated on a recorded trace.
+
+    Derives from :class:`AssertionError` as well so that property checkers
+    integrate naturally with test harnesses.
+    """
+
+    def __init__(self, prop: str, detail: str) -> None:
+        super().__init__(f"{prop}: {detail}")
+        self.prop = prop
+        self.detail = detail

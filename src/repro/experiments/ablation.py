@@ -1,0 +1,178 @@
+"""Ablations A1/A2 — quantifying the design choices DESIGN.md calls out.
+
+* **A1 (re-issue policy, guard)** — concurrent replacement requests under
+  the guarded algorithm with both pending-change policies, and under the
+  paper-literal algorithm (no sn guard).  Reports delivery-correctness
+  outcomes; the literal variant is where the DESIGN.md §4 anomaly can
+  surface.
+* **A2 (module-creation cost)** — sweeps the creation cost and reports
+  the resulting latency-perturbation height and width around a switch:
+  the knob behind Figure 5's spike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..dpu import check_all_abcast_properties
+from ..metrics import find_perturbation, latency_series
+from ..sim.clock import Duration, ms, to_ms
+from ..viz import render_table
+from .common import GroupCommConfig, PROTOCOL_CT, PROTOCOL_SEQ, build_group_comm_system
+
+__all__ = [
+    "ConcurrentChangeOutcome",
+    "run_concurrent_change_ablation",
+    "CreationCostPoint",
+    "run_creation_cost_ablation",
+]
+
+
+@dataclass(frozen=True)
+class ConcurrentChangeOutcome:
+    """Result of one concurrent-replacement run."""
+
+    variant: str                      # guarded+drop | guarded+reissue | literal
+    switches_total: int               # switches performed across stacks
+    property_violations: Dict[str, int]
+    stale_changes_discarded: int
+
+    @property
+    def correct(self) -> bool:
+        return all(v == 0 for v in self.property_violations.values())
+
+
+def _run_concurrent(variant: str, n: int, seed: int, duration: float,
+                    gap: float) -> ConcurrentChangeOutcome:
+    guard = variant != "literal"
+    policy = "reissue" if variant == "guarded+reissue" else "drop"
+    cfg = GroupCommConfig(
+        n=n,
+        seed=seed,
+        load_msgs_per_sec=60.0,
+        load_stop=duration,
+        guard_change_sn=guard,
+        reissue_policy=policy,
+    )
+    gcs = build_group_comm_system(cfg)
+    assert gcs.manager is not None
+    # Two nearly-simultaneous change requests from different stacks: the
+    # second is in flight when the first lands.
+    gcs.manager.request_change(PROTOCOL_CT, from_stack=0, at=duration / 2.0)
+    gcs.manager.request_change(PROTOCOL_SEQ, from_stack=n - 1, at=duration / 2.0 + gap)
+    gcs.run(until=duration)
+    gcs.run_to_quiescence()
+
+    alive = [s for s in range(n) if not gcs.system.machine(s).crashed]
+    results = check_all_abcast_properties(
+        gcs.log, gcs.system.trace.crashes(), alive
+    )
+    switches = sum(
+        gcs.manager.module(s).counters.get("switches") for s in range(n)
+    )
+    stale = sum(
+        gcs.manager.module(s).counters.get("stale_changes_discarded")
+        for s in range(n)
+    )
+    return ConcurrentChangeOutcome(
+        variant=variant,
+        switches_total=switches,
+        property_violations={k: len(v) for k, v in results.items()},
+        stale_changes_discarded=stale,
+    )
+
+
+def run_concurrent_change_ablation(
+    n: int = 5,
+    seed: int = 0,
+    duration: float = 8.0,
+    gap: float = 0.005,
+    variants: Sequence[str] = ("guarded+drop", "guarded+reissue", "literal"),
+) -> List[ConcurrentChangeOutcome]:
+    """A1: concurrent change requests under the three algorithm variants."""
+    return [_run_concurrent(v, n, seed, duration, gap) for v in variants]
+
+
+@dataclass(frozen=True)
+class CreationCostPoint:
+    """Perturbation caused by one module-creation cost setting."""
+
+    creation_cost: Duration
+    peak_factor: Optional[float]
+    perturbation_duration: Optional[float]
+    blocked_time_total: float  # kernel blocked-call seconds, all stacks
+
+
+def run_creation_cost_ablation(
+    costs: Sequence[Duration] = (0.0, ms(1.0), ms(5.0), ms(20.0), ms(100.0)),
+    n: int = 5,
+    load: float = 100.0,
+    duration: float = 10.0,
+    seed: int = 0,
+) -> List[CreationCostPoint]:
+    """A2: module-creation cost versus switch-time latency perturbation."""
+    points = []
+    for cost in costs:
+        cfg = GroupCommConfig(
+            n=n,
+            seed=seed,
+            load_msgs_per_sec=load,
+            load_stop=duration,
+            creation_cost=cost,
+        )
+        gcs = build_group_comm_system(cfg)
+        assert gcs.manager is not None
+        gcs.manager.request_change(PROTOCOL_CT, from_stack=0, at=duration / 2.0)
+        gcs.run(until=duration)
+        gcs.run_to_quiescence()
+        series = [(p.send_time, p.latency) for p in latency_series(gcs.log)]
+        perturbation = find_perturbation(series, duration / 2.0)
+        points.append(
+            CreationCostPoint(
+                creation_cost=cost,
+                peak_factor=perturbation.peak_factor if perturbation else None,
+                perturbation_duration=perturbation.duration if perturbation else None,
+                blocked_time_total=sum(
+                    s.blocked_time_total for s in gcs.system.stacks
+                ),
+            )
+        )
+    return points
+
+
+def render_ablations(
+    concurrent: List[ConcurrentChangeOutcome],
+    creation: List[CreationCostPoint],
+) -> str:
+    """Plain-text report of both ablations."""
+    a1 = render_table(
+        ["variant", "switches", "stale discarded", "violations", "correct"],
+        [
+            (
+                o.variant,
+                o.switches_total,
+                o.stale_changes_discarded,
+                sum(o.property_violations.values()),
+                o.correct,
+            )
+            for o in concurrent
+        ],
+        title="A1 — concurrent replacement requests",
+    )
+    a2 = render_table(
+        ["creation cost [ms]", "peak ×baseline", "perturbation [s]", "blocked [ms]"],
+        [
+            (
+                to_ms(p.creation_cost),
+                p.peak_factor if p.peak_factor is not None else float("nan"),
+                p.perturbation_duration
+                if p.perturbation_duration is not None
+                else float("nan"),
+                to_ms(p.blocked_time_total),
+            )
+            for p in creation
+        ],
+        title="A2 — module-creation cost vs switch perturbation",
+    )
+    return a1 + "\n\n" + a2

@@ -1,0 +1,301 @@
+"""Experiment scaffolding: building and running the Figure 4 stack.
+
+:func:`build_group_comm_system` is the code rendering of the paper's
+Figure 4 ("Architecture of the group communication stack"): on every
+machine — UDP, RP2P, FD, CT (consensus), ABcast, Repl, GM — plus the
+substrate pieces the figure leaves implicit (reliable broadcast inside
+CT) and the measurement layer (load generator, delivery probe).
+
+Every experiment and most integration tests go through this builder, so
+its :class:`GroupCommConfig` is the single place where the simulation is
+calibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..abcast import CtAbcastModule, SequencerAbcastModule, TokenAbcastModule
+from ..baselines import (
+    BarrierModule,
+    GracefulAdaptorModule,
+    MaestroSwitchModule,
+)
+from ..consensus import CtConsensusModule
+from ..dpu import (
+    AbcastProbeModule,
+    DeliveryLog,
+    ReplAbcastModule,
+    ReplacementManager,
+)
+from ..dpu.probes import is_workload_key
+from ..fd import HeartbeatFd
+from ..gm import GroupMembershipModule
+from ..kernel import System, WellKnown
+from ..net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
+from ..rbcast import RBCAST_SERVICE, RbcastModule
+from ..sim.clock import Duration, ms, us
+from ..sim.latency import lan_latency
+from ..workload import FixedPayload, LoadGeneratorModule
+
+__all__ = [
+    "GroupCommConfig",
+    "GroupCommSystem",
+    "build_group_comm_system",
+    "register_standard_protocols",
+    "PROTOCOL_CT",
+    "PROTOCOL_SEQ",
+    "PROTOCOL_TOKEN",
+    "PROTOCOL_CONSENSUS_CT",
+]
+
+PROTOCOL_CT = "abcast-ct"
+PROTOCOL_SEQ = "abcast-seq"
+PROTOCOL_TOKEN = "abcast-token"
+PROTOCOL_CONSENSUS_CT = "consensus-ct"
+
+
+@dataclass(frozen=True)
+class GroupCommConfig:
+    """Everything needed to build and load one group-communication system.
+
+    Defaults are the calibration used throughout DESIGN.md §6: a 100 Mb/s
+    switched LAN, ~10 µs kernel dispatches, 1 KiB payloads.  The paper's
+    absolute numbers are not reproducible (different hardware); the
+    *shapes* in EXPERIMENTS.md are produced with exactly these values.
+    """
+
+    n: int = 7
+    seed: int = 0
+    # Workload -----------------------------------------------------------
+    load_msgs_per_sec: float = 100.0   # aggregate over all stacks
+    payload_bytes: int = 1024
+    load_start: float = 0.0
+    load_stop: Optional[float] = None
+    load_jitter: float = 0.0
+    # Replacement layer ---------------------------------------------------
+    with_repl_layer: bool = True
+    initial_protocol: str = PROTOCOL_CT
+    creation_cost: Duration = ms(5.0)
+    guard_change_sn: bool = True
+    reissue_policy: str = "drop"
+    # Baseline layers (mutually exclusive with with_repl_layer) -----------
+    baseline: Optional[str] = None      # None | "maestro" | "graceful"
+    # Stack pieces ---------------------------------------------------------
+    with_gm: bool = False
+    # Substrate calibration -------------------------------------------------
+    # CPU costs are calibrated to the paper's era (766 MHz Pentium III
+    # running a Java protocol framework): one kernel dispatch ~30 µs, one
+    # datagram receive ~120 µs.  These put the n=7 saturation knee in the
+    # few-hundred-msgs/s range, like the paper's Figure 6.
+    call_cost: Duration = us(30.0)
+    response_cost: Duration = us(30.0)
+    udp_recv_cost: Duration = us(120.0)
+    udp_send_cost: Duration = us(60.0)
+    bandwidth_bps: float = 100e6
+    loss_rate: float = 0.0
+    fd_period: Duration = ms(50.0)
+    fd_timeout: Duration = ms(200.0)
+    token_idle_hold: Duration = ms(1.0)
+    trace_enabled: bool = True
+
+    def per_stack_rate(self) -> float:
+        """The paper's constant load split evenly across machines."""
+        return self.load_msgs_per_sec / self.n
+
+
+@dataclass
+class GroupCommSystem:
+    """A built system plus its measurement handles."""
+
+    config: GroupCommConfig
+    system: System
+    network: SimNetwork
+    log: DeliveryLog
+    generators: List[LoadGeneratorModule]
+    manager: Optional[ReplacementManager] = None
+    #: The service the workload/GM/probes consume (r-abcast or abcast).
+    app_service: str = WellKnown.R_ABCAST
+
+    def run(self, until: float) -> None:
+        self.system.run(until=until)
+
+    def run_to_quiescence(self, extra: float = 5.0, step: float = 0.5) -> None:
+        """Run until every sent message is delivered everywhere (or the
+        budget of *extra* seconds past the last attempt is exhausted)."""
+        alive = [s for s in range(self.config.n) if not self.system.machine(s).crashed]
+        deadline = self.system.sim.now + extra
+        while self.system.sim.now < deadline:
+            self.system.run(until=self.system.sim.now + step)
+            sent = set(self.log.sends)
+            if all(sent <= self.log.delivered_set(s) for s in alive):
+                return
+
+    def stacks(self) -> List:
+        return self.system.stacks
+
+
+def register_standard_protocols(gcs_system: System, group: Sequence[int],
+                                config: GroupCommConfig) -> None:
+    """Register the three ABcast protocols + CT consensus in the registry.
+
+    The registry is what Algorithm 1's ``create_module`` recursion draws
+    from; ``default_for`` entries make the recursion deterministic.
+    """
+    registry = gcs_system.registry
+    group = list(group)
+    registry.register(
+        PROTOCOL_CT,
+        lambda st, **kw: CtAbcastModule(st, group, **kw),
+        provides=(WellKnown.ABCAST,),
+        requires=(RBCAST_SERVICE, WellKnown.CONSENSUS),
+        default_for=(WellKnown.ABCAST,),
+    )
+    registry.register(
+        PROTOCOL_SEQ,
+        lambda st, **kw: SequencerAbcastModule(st, group, **kw),
+        provides=(WellKnown.ABCAST,),
+        requires=(WellKnown.RP2P, RBCAST_SERVICE),
+    )
+    registry.register(
+        PROTOCOL_TOKEN,
+        lambda st, **kw: TokenAbcastModule(
+            st, group, idle_hold=config.token_idle_hold, **kw
+        ),
+        provides=(WellKnown.ABCAST,),
+        requires=(WellKnown.RP2P, RBCAST_SERVICE),
+    )
+    registry.register(
+        PROTOCOL_CONSENSUS_CT,
+        lambda st, **kw: CtConsensusModule(st, group, **kw),
+        provides=(WellKnown.CONSENSUS,),
+        requires=(WellKnown.RP2P, WellKnown.FD, RBCAST_SERVICE),
+        default_for=(WellKnown.CONSENSUS,),
+    )
+
+
+def build_group_comm_system(config: GroupCommConfig) -> GroupCommSystem:
+    """Build the paper's Figure 4 stack on every machine of a fresh system."""
+    if config.baseline is not None and config.baseline not in ("maestro", "graceful"):
+        raise ValueError(f"unknown baseline {config.baseline!r}")
+    if config.baseline is not None and not config.with_repl_layer:
+        raise ValueError("a baseline run implies an indirection layer")
+
+    system = System(
+        n=config.n,
+        seed=config.seed,
+        trace_enabled=config.trace_enabled,
+        call_cost=config.call_cost,
+        response_cost=config.response_cost,
+    )
+    lan = SwitchedLan(
+        bandwidth_bps=config.bandwidth_bps,
+        latency=lan_latency(),
+        loss_rate=config.loss_rate,
+    )
+    network = SimNetwork(system.sim, system.machines, lan)
+    system.network = network
+    group = list(range(config.n))
+    register_standard_protocols(system, group, config)
+
+    log = DeliveryLog()
+    generators: List[LoadGeneratorModule] = []
+    app_service = WellKnown.R_ABCAST if config.with_repl_layer else WellKnown.ABCAST
+
+    needs_consensus = config.initial_protocol == PROTOCOL_CT
+
+    for stack in system.stacks:
+        stack.add_module(
+            UdpModule(
+                stack,
+                network,
+                recv_cost=config.udp_recv_cost,
+                send_cost=config.udp_send_cost,
+            )
+        )
+        stack.add_module(Rp2pModule(stack))
+        stack.add_module(
+            HeartbeatFd(
+                stack, group, period=config.fd_period, timeout=config.fd_timeout
+            )
+        )
+        stack.add_module(RbcastModule(stack, group))
+        if needs_consensus:
+            stack.add_module(CtConsensusModule(stack, group))
+        # The initial ABcast protocol, incarnation v0.
+        info = system.registry.info(config.initial_protocol)
+        stack.add_module(info.factory(stack))
+
+        if config.baseline == "maestro":
+            stack.add_module(
+                MaestroSwitchModule(
+                    stack,
+                    system.registry,
+                    group,
+                    config.initial_protocol,
+                    creation_cost=config.creation_cost,
+                )
+            )
+        elif config.baseline == "graceful":
+            stack.add_module(BarrierModule(stack, group))
+            stack.add_module(
+                GracefulAdaptorModule(
+                    stack,
+                    system.registry,
+                    group,
+                    config.initial_protocol,
+                    allowed_services=info.requires,
+                    creation_cost=config.creation_cost,
+                )
+            )
+        elif config.with_repl_layer:
+            stack.add_module(
+                ReplAbcastModule(
+                    stack,
+                    system.registry,
+                    initial_protocol=config.initial_protocol,
+                    guard_change_sn=config.guard_change_sn,
+                    reissue_policy=config.reissue_policy,
+                    creation_cost=config.creation_cost,
+                )
+            )
+
+        if config.with_gm:
+            stack.add_module(
+                GroupMembershipModule(stack, group, abcast_service=app_service)
+            )
+        stack.add_module(
+            AbcastProbeModule(
+                stack,
+                log,
+                service=app_service,
+                key_filter=is_workload_key,
+            )
+        )
+        generator = LoadGeneratorModule(
+            stack,
+            log,
+            rate_per_sec=config.per_stack_rate(),
+            start_at=config.load_start + stack.stack_id * (1.0 / config.load_msgs_per_sec),
+            stop_at=config.load_stop,
+            service=app_service,
+            payload=FixedPayload(config.payload_bytes),
+            jitter=config.load_jitter,
+        )
+        stack.add_module(generator)
+        generators.append(generator)
+
+    manager: Optional[ReplacementManager] = None
+    if config.with_repl_layer and config.baseline is None:
+        manager = ReplacementManager(system)
+
+    return GroupCommSystem(
+        config=config,
+        system=system,
+        network=network,
+        log=log,
+        generators=generators,
+        manager=manager,
+        app_service=app_service,
+    )

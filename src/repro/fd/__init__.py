@@ -1,0 +1,13 @@
+"""Failure detectors.
+
+``HeartbeatFd`` is the realistic adaptive ◊S detector of the paper's FD
+module; ``PerfectFd`` and ``OracleFd`` are simulation-only instruments for
+tests and ablations.  All three provide the kernel service ``fd``.
+"""
+
+from .base import FdModuleBase
+from .heartbeat import HeartbeatFd
+from .oracle import OracleFd
+from .perfect import PerfectFd
+
+__all__ = ["FdModuleBase", "HeartbeatFd", "PerfectFd", "OracleFd"]

@@ -1,0 +1,80 @@
+"""Failure-detector service contract.
+
+The paper's FD module "implements a failure detector; we assume that it
+ensures the properties of the ◊S failure detector" — eventually-strong:
+
+* **strong completeness** — every crashed process is eventually suspected
+  by every correct process, permanently;
+* **eventual weak accuracy** — eventually some correct process is never
+  suspected by any correct process.
+
+Service vocabulary (service name ``fd``):
+
+* query ``suspects()`` → frozenset of currently suspected ranks;
+* query ``is_suspected(rank)`` → bool;
+* response ``suspect(rank)`` — rank newly added to the suspect list;
+* response ``restore(rank)`` — rank removed from the suspect list
+  (◊S detectors may wrongly suspect and later repent).
+
+:class:`FdModuleBase` implements the bookkeeping shared by all detectors;
+concrete detectors decide *when* to call :meth:`_mark_suspected` /
+:meth:`_mark_restored`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence, Set
+
+from ..kernel.module import Module
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+
+__all__ = ["FdModuleBase"]
+
+
+class FdModuleBase(Module):
+    """Shared machinery of the failure detectors (suspect-set + events)."""
+
+    PROVIDES = (WellKnown.FD,)
+    PROTOCOL = "fd-base"
+
+    def __init__(
+        self,
+        stack: Stack,
+        peers: Sequence[int],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, name=name)
+        #: All ranks this detector monitors (excluding self).
+        self.peers: tuple = tuple(p for p in peers if p != stack.stack_id)
+        self._suspected: Set[int] = set()
+        self.export_query(WellKnown.FD, "suspects", self.suspects)
+        self.export_query(WellKnown.FD, "is_suspected", self.is_suspected)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def suspects(self) -> FrozenSet[int]:
+        """The current suspect set (a snapshot)."""
+        return frozenset(self._suspected)
+
+    def is_suspected(self, rank: int) -> bool:
+        """Whether *rank* is currently suspected."""
+        return rank in self._suspected
+
+    # ------------------------------------------------------------------ #
+    # State transitions (for subclasses)
+    # ------------------------------------------------------------------ #
+    def _mark_suspected(self, rank: int) -> None:
+        """Add *rank* to the suspect set, emitting ``suspect`` on change."""
+        if rank in self._suspected or rank == self.stack_id:
+            return
+        self._suspected.add(rank)
+        self.respond(WellKnown.FD, "suspect", rank)
+
+    def _mark_restored(self, rank: int) -> None:
+        """Remove *rank* from the suspect set, emitting ``restore`` on change."""
+        if rank not in self._suspected:
+            return
+        self._suspected.discard(rank)
+        self.respond(WellKnown.FD, "restore", rank)

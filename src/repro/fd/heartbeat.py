@@ -1,0 +1,106 @@
+"""Heartbeat failure detector (the realistic ◊S implementation).
+
+Every process sends a small heartbeat datagram to every peer each
+``period``; a peer unheard-from for ``timeout`` seconds is suspected.
+When a heartbeat arrives from a suspected peer the suspicion is dropped
+**and that peer's timeout is increased** (multiplied by ``backoff``, up to
+``max_timeout``) — the standard adaptive trick that yields the ◊S
+*eventual* accuracy property in partially synchronous runs: after finitely
+many false suspicions the timeout exceeds the real message delay and the
+peer is never wrongly suspected again.
+
+Heartbeats ride raw UDP (not RP2P): a retransmitted heartbeat would be
+worse than a missed one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..kernel.module import NOT_MINE
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.clock import Duration, ms
+from .base import FdModuleBase
+
+__all__ = ["HeartbeatFd"]
+
+_HB = "fd.hb"
+#: Wire size of a heartbeat datagram payload (rank + epoch).
+_HB_BYTES = 12
+
+#: Defaults tuned for the simulated LAN: sub-ms delays, so 50 ms períod /
+#: 200 ms initial timeout keeps FD traffic negligible next to the load.
+DEFAULT_PERIOD: Duration = ms(50.0)
+DEFAULT_TIMEOUT: Duration = ms(200.0)
+DEFAULT_MAX_TIMEOUT: Duration = ms(2000.0)
+
+
+class HeartbeatFd(FdModuleBase):
+    """Adaptive heartbeat ◊S failure detector over UDP."""
+
+    REQUIRES = (WellKnown.UDP,)
+    PROTOCOL = "fd-heartbeat"
+
+    def __init__(
+        self,
+        stack: Stack,
+        peers: Sequence[int],
+        period: Duration = DEFAULT_PERIOD,
+        timeout: Duration = DEFAULT_TIMEOUT,
+        backoff: float = 1.5,
+        max_timeout: Duration = DEFAULT_MAX_TIMEOUT,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, peers, name=name)
+        if period <= 0 or timeout <= 0:
+            raise ValueError("period and timeout must be positive")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        self.period = period
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self._timeout: Dict[int, Duration] = {p: timeout for p in self.peers}
+        self._last_heard: Dict[int, float] = {}
+        self.false_suspicions = 0
+        self.subscribe(WellKnown.UDP, "deliver", self._on_udp)
+
+    def on_start(self) -> None:
+        now = self.now
+        for p in self.peers:
+            self._last_heard[p] = now
+        self._tick()
+
+    # ------------------------------------------------------------------ #
+    # Periodic work: send heartbeats, check timeouts
+    # ------------------------------------------------------------------ #
+    def _tick(self) -> None:
+        for p in self.peers:
+            self.call(WellKnown.UDP, "send", p, (_HB, self.stack_id), _HB_BYTES)
+        now = self.now
+        for p in self.peers:
+            if p in self._suspected:
+                continue
+            if now - self._last_heard[p] > self._timeout[p]:
+                self._mark_suspected(p)
+        self.set_timer(self.period, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # Heartbeat receipt
+    # ------------------------------------------------------------------ #
+    def _on_udp(self, src: int, payload, size_bytes: int):
+        if not (isinstance(payload, tuple) and payload and payload[0] == _HB):
+            return NOT_MINE
+        sender = payload[1]
+        self._last_heard[sender] = self.now
+        if sender in self._suspected:
+            # False suspicion: repent and adapt the timeout upward.
+            self.false_suspicions += 1
+            self._timeout[sender] = min(
+                self._timeout[sender] * self.backoff, self.max_timeout
+            )
+            self._mark_restored(sender)
+
+    def current_timeout(self, rank: int) -> Duration:
+        """The adaptive timeout currently applied to *rank*."""
+        return self._timeout[rank]

@@ -1,0 +1,60 @@
+"""A scripted failure detector for adversarial tests.
+
+:class:`OracleFd` does nothing on its own: tests drive it explicitly with
+:meth:`inject_suspicion` / :meth:`inject_restore`, or schedule scripted
+(time, action, rank) steps.  Property-based tests use it to explore
+arbitrary ◊S-compatible suspicion patterns — including pathological ones
+(suspect everyone, flap forever, suspect the coordinator at the worst
+instant) — while the simulated machines stay up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..kernel.stack import Stack
+from ..sim.clock import Time
+from .base import FdModuleBase
+
+__all__ = ["OracleFd"]
+
+#: A scripted step: (absolute time, "suspect" | "restore", rank).
+Script = Iterable[Tuple[Time, str, int]]
+
+
+class OracleFd(FdModuleBase):
+    """A test-controlled failure detector."""
+
+    REQUIRES = ()
+    PROTOCOL = "fd-oracle"
+
+    def __init__(
+        self,
+        stack: Stack,
+        peers: Sequence[int],
+        script: Optional[Script] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, peers, name=name)
+        self._script = sorted(script) if script is not None else []
+
+    def on_start(self) -> None:
+        for time, action, rank in self._script:
+            if action not in ("suspect", "restore"):
+                raise ValueError(f"unknown oracle action {action!r}")
+            delay = max(0.0, time - self.now)
+            if action == "suspect":
+                self.set_timer(delay, self.inject_suspicion, rank)
+            else:
+                self.set_timer(delay, self.inject_restore, rank)
+
+    # ------------------------------------------------------------------ #
+    # Test hooks
+    # ------------------------------------------------------------------ #
+    def inject_suspicion(self, rank: int) -> None:
+        """Make this detector suspect *rank* right now."""
+        self._mark_suspected(rank)
+
+    def inject_restore(self, rank: int) -> None:
+        """Make this detector trust *rank* again right now."""
+        self._mark_restored(rank)

@@ -1,0 +1,6 @@
+"""Group membership (the paper's GM module) — the protocol that *depends
+on* the replaceable atomic broadcast and must keep working during DPU."""
+
+from .membership import GroupMembershipModule
+
+__all__ = ["GroupMembershipModule"]

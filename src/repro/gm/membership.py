@@ -1,0 +1,138 @@
+"""Group membership on top of (replaceable) atomic broadcast.
+
+The paper's GM module "provides a group membership service that maintains
+consistent membership among all group members; the module requires the
+atomic broadcast service" — and in the adaptive middleware it requires it
+*through the replacement layer* (``r-abcast``), which is what makes GM the
+paper's witness that "all middleware protocols, including those that
+depend on the updated protocols, provide service correctly and with
+negligible delay while the global update takes place".
+
+Model (simplified from dynamic group communication, the paper's [17]):
+the membership is a sequence of **views** ``(view_id, members)``.  View
+changes (join/leave/expel proposals) are ABcast; because ABcast delivers
+them in the same total order everywhere, every stack installs the same
+sequence of views — consistency by construction.  Suspicions from the
+failure detector trigger expel proposals (rate-limited, one proposer per
+suspicion: the lowest-ranked live member, to avoid n duplicate
+proposals; duplicates are harmless anyway since proposals are idempotent
+per (view, member)).
+
+Service vocabulary (service ``gm``):
+
+* call ``propose_expel(rank)`` / ``propose_join(rank)``;
+* response ``view(view_id, members)`` — a new view was installed;
+* query ``current_view()`` → ``(view_id, members)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..kernel.module import Module, NOT_MINE
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.monitors import Counter
+
+__all__ = ["GroupMembershipModule"]
+
+_GM = "gm.op"
+_GM_BYTES = 24
+
+
+class GroupMembershipModule(Module):
+    """View-based group membership over an atomic broadcast service."""
+
+    PROVIDES = (WellKnown.GM,)
+    PROTOCOL = "gm"
+
+    def __init__(
+        self,
+        stack: Stack,
+        members: Sequence[int],
+        abcast_service: str = WellKnown.R_ABCAST,
+        auto_expel: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        self.abcast_service = abcast_service
+        super().__init__(
+            stack,
+            name=name,
+            requires=(abcast_service, WellKnown.FD),
+        )
+        self.auto_expel = auto_expel
+        self.counters = Counter()
+        self.view_id = 0
+        self.members: FrozenSet[int] = frozenset(members)
+        #: (kind, rank, proposed-in-view) operations already applied.
+        self._applied_ops: set = set()
+        self._proposed_ops: set = set()
+        self.view_history: List[Tuple[int, FrozenSet[int]]] = [
+            (self.view_id, self.members)
+        ]
+
+        self.export_call(WellKnown.GM, "propose_expel", self._propose_expel)
+        self.export_call(WellKnown.GM, "propose_join", self._propose_join)
+        self.export_query(WellKnown.GM, "current_view", self._current_view)
+        self.subscribe(abcast_service, "adeliver", self._on_adeliver)
+        self.subscribe(WellKnown.FD, "suspect", self._on_suspect)
+
+    # ------------------------------------------------------------------ #
+    # Proposals
+    # ------------------------------------------------------------------ #
+    def _propose_expel(self, rank: int) -> None:
+        self._propose("expel", rank)
+
+    def _propose_join(self, rank: int) -> None:
+        self._propose("join", rank)
+
+    def _propose(self, kind: str, rank: int) -> None:
+        op = (kind, rank, self.view_id)
+        if op in self._proposed_ops:
+            return
+        self._proposed_ops.add(op)
+        self.counters.incr(f"proposed_{kind}")
+        self.call(self.abcast_service, "abcast", (_GM, kind, rank, self.view_id), _GM_BYTES)
+
+    # ------------------------------------------------------------------ #
+    # Failure-detector coupling
+    # ------------------------------------------------------------------ #
+    def _on_suspect(self, rank: int) -> None:
+        if not self.auto_expel or rank not in self.members:
+            return
+        # One designated proposer (lowest live rank) keeps traffic down;
+        # the designated proposer being wrong/crashed only costs a delay
+        # until its own expulsion, after which the next rank takes over.
+        live = sorted(self.members - {rank})
+        if live and self.stack_id == live[0]:
+            self._propose_expel(rank)
+
+    # ------------------------------------------------------------------ #
+    # View installation (totally ordered, hence consistent)
+    # ------------------------------------------------------------------ #
+    def _on_adeliver(self, origin: int, payload: Any, size_bytes: int):
+        if not (isinstance(payload, tuple) and payload and payload[0] == _GM):
+            return NOT_MINE
+        _, kind, rank, proposed_in_view = payload
+        op = (kind, rank, proposed_in_view)
+        if op in self._applied_ops:
+            return None
+        self._applied_ops.add(op)
+        if kind == "expel" and rank in self.members:
+            self._install(self.members - {rank})
+        elif kind == "join" and rank not in self.members:
+            self._install(self.members | {rank})
+        return None
+
+    def _install(self, members: FrozenSet[int]) -> None:
+        self.view_id += 1
+        self.members = frozenset(members)
+        self.view_history.append((self.view_id, self.members))
+        self.counters.incr("views_installed")
+        self.respond(WellKnown.GM, "view", self.view_id, self.members)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _current_view(self) -> Tuple[int, FrozenSet[int]]:
+        return (self.view_id, self.members)

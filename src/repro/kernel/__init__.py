@@ -1,0 +1,59 @@
+"""Protocol kernel: the paper's composition model (Section 2) in code.
+
+Services (specifications), modules (per-stack implementations), stacks
+(the modules of one machine plus a binding table), dynamic bind/unbind
+with blocked-call queues, response routing with buffering, a shared trace
+recorder, and the protocol registry implementing the ``create_module``
+recursion of Algorithm 1.
+
+This is the library's rendering of the SAMOA protocol framework the paper
+built on; it is what the replacement module plugs into *without the
+updateable protocols being aware of it*.
+"""
+
+from .binding import BindingTable
+from .events import TraceEvent, TraceKind
+from .module import NOT_MINE, Module
+from .registry import ProtocolInfo, ProtocolRegistry
+from .service import (
+    ABCAST_SPEC,
+    CONSENSUS_SPEC,
+    FD_SPEC,
+    GM_SPEC,
+    RP2P_SPEC,
+    UDP_SPEC,
+    ServiceSpec,
+    WellKnown,
+    is_replacement_service,
+    replacement_service_name,
+    spec_for,
+)
+from .stack import DEFAULT_CALL_COST, DEFAULT_RESPONSE_COST, Stack
+from .system import System
+from .trace import TraceRecorder
+
+__all__ = [
+    "ServiceSpec",
+    "WellKnown",
+    "replacement_service_name",
+    "is_replacement_service",
+    "spec_for",
+    "UDP_SPEC",
+    "RP2P_SPEC",
+    "FD_SPEC",
+    "CONSENSUS_SPEC",
+    "ABCAST_SPEC",
+    "GM_SPEC",
+    "Module",
+    "NOT_MINE",
+    "Stack",
+    "BindingTable",
+    "System",
+    "TraceRecorder",
+    "TraceEvent",
+    "TraceKind",
+    "ProtocolRegistry",
+    "ProtocolInfo",
+    "DEFAULT_CALL_COST",
+    "DEFAULT_RESPONSE_COST",
+]

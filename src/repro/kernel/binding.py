@@ -1,0 +1,88 @@
+"""The binding table: which module currently provides each service.
+
+The paper's model (Section 2): a module can be dynamically bound to a
+service it provides and later unbound; unbinding does not remove it from
+the stack; a stack may contain several modules providing the same
+service, but **at most one is bound at a time**.  This class enforces
+exactly that invariant and nothing more — blocking semantics for calls on
+unbound services live in :class:`repro.kernel.stack.Stack`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import KernelError, ServiceAlreadyBoundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .module import Module
+
+__all__ = ["BindingTable"]
+
+
+class BindingTable:
+    """Service → bound module map for one stack."""
+
+    def __init__(self) -> None:
+        self._bound: Dict[str, "Module"] = {}
+
+    def bound(self, service: str) -> Optional["Module"]:
+        """The module currently bound to *service*, or ``None``."""
+        return self._bound.get(service)
+
+    def is_bound(self, service: str) -> bool:
+        """Whether some module is currently bound to *service*."""
+        return service in self._bound
+
+    def bind(self, service: str, module: "Module") -> None:
+        """Bind *module* to *service*.
+
+        Raises
+        ------
+        ServiceAlreadyBoundError
+            If another module is already bound (unbind it first — the
+            at-most-one-provider invariant is never silently rewritten).
+        KernelError
+            If *module* does not provide *service*.
+        """
+        if service not in module.provides:
+            raise KernelError(
+                f"module {module.name!r} does not provide service {service!r} "
+                f"(provides {module.provides})"
+            )
+        current = self._bound.get(service)
+        if current is not None:
+            if current is module:
+                return  # idempotent re-bind of the same module
+            raise ServiceAlreadyBoundError(
+                f"service {service!r} already bound to {current.name!r}; "
+                f"unbind before binding {module.name!r}"
+            )
+        self._bound[service] = module
+
+    def unbind(self, service: str) -> "Module":
+        """Unbind and return the module bound to *service*.
+
+        Raises :class:`KernelError` if the service is not bound.
+        """
+        module = self._bound.pop(service, None)
+        if module is None:
+            raise KernelError(f"service {service!r} is not bound")
+        return module
+
+    def services_of(self, module: "Module") -> List[str]:
+        """All services *module* is currently bound to."""
+        return [s for s, m in self._bound.items() if m is module]
+
+    def as_dict(self) -> Dict[str, str]:
+        """Snapshot ``{service: module-name}`` (for debugging/tests)."""
+        return {s: m.name for s, m in self._bound.items()}
+
+    def __len__(self) -> int:
+        return len(self._bound)
+
+    def __contains__(self, service: str) -> bool:
+        return service in self._bound
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BindingTable({self.as_dict()!r})"

@@ -1,0 +1,93 @@
+"""Kernel trace events.
+
+Every structurally relevant action in a stack — adding or removing a
+module, binding or unbinding a service, issuing / blocking / dispatching
+a call, emitting a response, crashing — is recorded as a
+:class:`TraceEvent`.  The correctness checkers of
+:mod:`repro.dpu.properties` are pure functions over these traces, which is
+what lets the property-based tests explore random schedules and then
+*prove* facts about each concrete execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from ..sim.clock import Time
+
+__all__ = ["TraceKind", "TraceEvent"]
+
+
+class TraceKind(enum.Enum):
+    """The kinds of kernel events a trace can contain."""
+
+    #: A module object was added to a stack (not necessarily bound).
+    MODULE_ADDED = "module_added"
+    #: A module object was removed from a stack.
+    MODULE_REMOVED = "module_removed"
+    #: A module was bound to a service it provides.
+    BIND = "bind"
+    #: A module was unbound from a service.
+    UNBIND = "unbind"
+    #: A service call was issued by a caller module.
+    CALL = "call"
+    #: A call found no bound provider and was queued.
+    CALL_BLOCKED = "call_blocked"
+    #: A previously blocked call was released to a provider.
+    CALL_UNBLOCKED = "call_unblocked"
+    #: A call was handed to the bound provider's handler.
+    CALL_DISPATCHED = "call_dispatched"
+    #: A provider emitted a response event on a service.
+    RESPONSE = "response"
+    #: A response found no subscriber and was buffered.
+    RESPONSE_BUFFERED = "response_buffered"
+    #: The machine hosting the stack crashed.
+    CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped kernel event.
+
+    Attributes
+    ----------
+    time:
+        Simulated instant of the event.
+    kind:
+        What happened.
+    stack_id:
+        Rank of the stack (machine) where it happened.
+    service:
+        Service involved, when applicable.
+    module:
+        Name of the module involved, when applicable.
+    protocol:
+        Protocol name of that module (identical modules on different
+        stacks share it), when applicable.
+    detail:
+        Free-form extras: ``method``/``event`` names, call ids, etc.
+    """
+
+    time: Time
+    kind: TraceKind
+    stack_id: int
+    service: Optional[str] = None
+    module: Optional[str] = None
+    protocol: Optional[str] = None
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Shortcut into :attr:`detail`."""
+        return self.detail.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"t={self.time:.6f}", self.kind.value, f"stack={self.stack_id}"]
+        if self.service:
+            bits.append(f"svc={self.service}")
+        if self.module:
+            bits.append(f"mod={self.module}")
+        if self.detail:
+            bits.append(f"detail={dict(self.detail)!r}")
+        return f"<TraceEvent {' '.join(bits)}>"

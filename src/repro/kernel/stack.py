@@ -1,0 +1,464 @@
+"""Protocol stacks.
+
+A :class:`Stack` is the set of modules located on one machine (paper,
+Section 2), plus:
+
+* the **binding table** (at most one bound provider per service),
+* the **blocked-call queue**: a call issued while its service is unbound
+  is queued and released when some module is bound — this is precisely the
+  *weak stack-well-formedness* mechanism the replacement algorithm relies
+  on between ``unbind`` (Algorithm 1, line 12) and ``bind`` (line 13/14),
+* the **response router**: responses are delivered to every module of the
+  stack that requires the service and subscribed to the event; responses
+  with no subscriber are buffered and flushed when a subscriber appears
+  (paper: "if Pj is not currently in stack j, the invocation made by Q is
+  completed when Pj is added to stack j"),
+* CPU accounting: every dispatch occupies the machine's serial CPU for a
+  configurable cost, which is what makes indirection measurably non-free
+  (the paper's ≈5 % replacement-layer overhead).
+
+All interactions are one-way events except *queries*, which are
+synchronous zero-cost reads (failure-detector suspect lists and similar).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..errors import KernelError, ModuleNotInStackError, UnknownServiceError
+from ..sim.clock import Duration, us
+from ..sim.process import Machine
+from .binding import BindingTable
+from .events import TraceKind
+from .module import Module, NOT_MINE
+from .trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+
+__all__ = ["Stack", "DEFAULT_CALL_COST", "DEFAULT_RESPONSE_COST"]
+
+#: Default CPU cost of dispatching one service call (~a method invocation
+#: plus queueing in the Java framework the paper instruments).
+DEFAULT_CALL_COST: Duration = us(10.0)
+#: Default CPU cost of delivering one response event.
+DEFAULT_RESPONSE_COST: Duration = us(10.0)
+
+#: A queued blocked call: (call_id, caller name, method, args).
+_BlockedCall = Tuple[str, str, str, tuple]
+#: A buffered response: (event, args, provider name, protocol name).
+_BufferedResponse = Tuple[str, tuple, str, str]
+
+
+class Stack:
+    """The modules, bindings and dispatch machinery of one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        trace: TraceRecorder,
+        call_cost: Duration = DEFAULT_CALL_COST,
+        response_cost: Duration = DEFAULT_RESPONSE_COST,
+        max_buffered_responses: Optional[int] = None,
+    ) -> None:
+        self.machine = machine
+        self.trace = trace
+        self.call_cost = call_cost
+        self.response_cost = response_cost
+        #: Per-service cap on the unclaimed-response buffer (None =
+        #: unbounded).  Long-running systems that retire old protocol
+        #: modules need the cap: frames of a retired incarnation are
+        #: never claimed again.  Overflow drops the oldest entry.
+        self.max_buffered_responses = max_buffered_responses
+        self.buffered_responses_dropped = 0
+        self.modules: Dict[str, Module] = {}
+        self.bindings = BindingTable()
+        self._blocked_calls: Dict[str, Deque[_BlockedCall]] = {}
+        self._buffered_responses: Dict[str, Deque[_BufferedResponse]] = {}
+        self._call_seq = 0
+        self._module_ordinal = 0
+        self._blocked_time_total: Duration = 0.0
+        self._blocked_since: Dict[str, float] = {}  # call_id -> block instant
+        machine.on_crash.append(self._on_machine_crash)
+
+    # ------------------------------------------------------------------ #
+    # Identity / convenience
+    # ------------------------------------------------------------------ #
+    @property
+    def stack_id(self) -> int:
+        """Rank of this stack (= machine id = network address)."""
+        return self.machine.machine_id
+
+    @property
+    def sim(self) -> "Simulator":
+        return self.machine.sim
+
+    @property
+    def crashed(self) -> bool:
+        return self.machine.crashed
+
+    def module(self, name: str) -> Module:
+        """Look up a module by instance name."""
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise ModuleNotInStackError(
+                f"stack {self.stack_id}: no module named {name!r}"
+            ) from None
+
+    def fresh_module_name(self, protocol: str) -> str:
+        """A stack-unique instance name for a new module of *protocol*.
+
+        Replacing a protocol by itself (the paper's Section 6 experiment)
+        creates a second module of the same protocol in the same stack,
+        so instance names carry an incarnation ordinal.
+        """
+        self._module_ordinal += 1
+        return f"{protocol}#{self._module_ordinal}@{self.stack_id}"
+
+    def modules_providing(self, service: str) -> List[Module]:
+        """All modules of this stack that provide *service* (bound or not)."""
+        return [m for m in self.modules.values() if service in m.provides]
+
+    def bound_module(self, service: str) -> Optional[Module]:
+        """The module currently bound to *service*, or ``None``."""
+        return self.bindings.bound(service)
+
+    # ------------------------------------------------------------------ #
+    # Module lifecycle
+    # ------------------------------------------------------------------ #
+    def add_module(self, module: Module, bind: bool = True) -> Module:
+        """Add *module* to the stack and optionally bind all its services.
+
+        Binding only succeeds for services with no current provider; pass
+        ``bind=False`` to add a dormant alternative implementation (the
+        paper's model explicitly allows several providers per service as
+        long as at most one is bound).
+        """
+        if module.stack is not self:
+            raise KernelError(
+                f"module {module.name!r} was created for stack "
+                f"{module.stack.stack_id}, not {self.stack_id}"
+            )
+        if module.name in self.modules:
+            raise KernelError(
+                f"stack {self.stack_id}: duplicate module name {module.name!r}"
+            )
+        self.modules[module.name] = module
+        self.trace.record(
+            self.sim.now,
+            TraceKind.MODULE_ADDED,
+            self.stack_id,
+            module=module.name,
+            protocol=module.protocol,
+            provides=module.provides,
+            requires=module.requires,
+        )
+        module.started = True
+        module.on_start()
+        if bind:
+            for service in module.provides:
+                self.bind(service, module)
+        self._flush_buffered_responses(module)
+        return module
+
+    def remove_module(self, name: str) -> Module:
+        """Remove a module (auto-unbinding it from any bound service)."""
+        module = self.module(name)
+        for service in self.bindings.services_of(module):
+            self.unbind(service)
+        del self.modules[name]
+        self.trace.record(
+            self.sim.now,
+            TraceKind.MODULE_REMOVED,
+            self.stack_id,
+            module=module.name,
+            protocol=module.protocol,
+        )
+        module.stopped = True
+        module.on_stop()
+        return module
+
+    # ------------------------------------------------------------------ #
+    # Binding
+    # ------------------------------------------------------------------ #
+    def bind(self, service: str, module: Module) -> None:
+        """Bind *module* to *service* and release any blocked calls."""
+        if module.name not in self.modules:
+            raise ModuleNotInStackError(
+                f"stack {self.stack_id}: cannot bind {module.name!r}; not in stack"
+            )
+        self.bindings.bind(service, module)
+        self.trace.record(
+            self.sim.now,
+            TraceKind.BIND,
+            self.stack_id,
+            service=service,
+            module=module.name,
+            protocol=module.protocol,
+        )
+        self._release_blocked_calls(service)
+
+    def unbind(self, service: str) -> Module:
+        """Unbind whatever module is bound to *service*."""
+        module = self.bindings.unbind(service)
+        self.trace.record(
+            self.sim.now,
+            TraceKind.UNBIND,
+            self.stack_id,
+            service=service,
+            module=module.name,
+            protocol=module.protocol,
+        )
+        return module
+
+    # ------------------------------------------------------------------ #
+    # Calls
+    # ------------------------------------------------------------------ #
+    def issue_call(
+        self,
+        caller: Optional[Module],
+        service: str,
+        method: str,
+        args: tuple,
+        cost: Optional[Duration] = None,
+    ) -> None:
+        """Issue a one-way service call.
+
+        The call occupies the CPU for *cost* seconds (default
+        :attr:`call_cost`), then is dispatched to the module bound to the
+        service *at dispatch time*.  If none is bound, it joins the
+        blocked-call queue and is released by the next :meth:`bind`.
+        """
+        if self.crashed:
+            return
+        self._call_seq += 1
+        call_id = f"{self.stack_id}:{self._call_seq}"
+        caller_name = caller.name if caller is not None else "<external>"
+        self.trace.record(
+            self.sim.now,
+            TraceKind.CALL,
+            self.stack_id,
+            service=service,
+            module=caller_name,
+            method=method,
+            call_id=call_id,
+        )
+        actual_cost = self.call_cost if cost is None else cost
+        self.machine.execute(actual_cost, self._dispatch_call, call_id, caller_name, service, method, args)
+
+    def _dispatch_call(
+        self, call_id: str, caller_name: str, service: str, method: str, args: tuple
+    ) -> None:
+        provider = self.bindings.bound(service)
+        if provider is None:
+            queue = self._blocked_calls.setdefault(service, deque())
+            queue.append((call_id, caller_name, method, args))
+            self._blocked_since[call_id] = self.sim.now
+            self.trace.record(
+                self.sim.now,
+                TraceKind.CALL_BLOCKED,
+                self.stack_id,
+                service=service,
+                module=caller_name,
+                method=method,
+                call_id=call_id,
+            )
+            return
+        self._invoke_provider(provider, call_id, service, method, args)
+
+    def _invoke_provider(
+        self, provider: Module, call_id: str, service: str, method: str, args: tuple
+    ) -> None:
+        handler = provider.call_handler(service, method)
+        if handler is None:
+            raise KernelError(
+                f"stack {self.stack_id}: module {provider.name!r} bound to "
+                f"{service!r} has no handler for call {method!r}"
+            )
+        self.trace.record(
+            self.sim.now,
+            TraceKind.CALL_DISPATCHED,
+            self.stack_id,
+            service=service,
+            module=provider.name,
+            protocol=provider.protocol,
+            method=method,
+            call_id=call_id,
+        )
+        handler(*args)
+
+    def _release_blocked_calls(self, service: str) -> None:
+        queue = self._blocked_calls.get(service)
+        if not queue:
+            return
+        # Hand the whole backlog to the CPU in FIFO order.  Binding
+        # resolution happens again at dispatch time, so a racing unbind
+        # simply re-queues them.
+        backlog = list(queue)
+        queue.clear()
+        for call_id, caller_name, method, args in backlog:
+            blocked_at = self._blocked_since.pop(call_id, None)
+            if blocked_at is not None:
+                self._blocked_time_total += self.sim.now - blocked_at
+            self.trace.record(
+                self.sim.now,
+                TraceKind.CALL_UNBLOCKED,
+                self.stack_id,
+                service=service,
+                module=caller_name,
+                method=method,
+                call_id=call_id,
+            )
+            self.machine.execute(
+                0.0, self._dispatch_call, call_id, caller_name, service, method, args
+            )
+
+    def blocked_call_count(self, service: Optional[str] = None) -> int:
+        """Number of calls currently blocked (on *service*, or overall)."""
+        if service is not None:
+            return len(self._blocked_calls.get(service, ()))
+        return sum(len(q) for q in self._blocked_calls.values())
+
+    @property
+    def blocked_time_total(self) -> Duration:
+        """Cumulative seconds calls spent blocked on unbound services."""
+        return self._blocked_time_total
+
+    # ------------------------------------------------------------------ #
+    # Queries (synchronous reads)
+    # ------------------------------------------------------------------ #
+    def query(self, service: str, query: str, *args: Any) -> Any:
+        """Synchronously query the module bound to *service*.
+
+        Queries model shared-memory reads of a provider's local data (the
+        FD suspect list being the canonical example); they cost no
+        simulated time and cannot block, so querying an unbound service
+        is a structural error.
+        """
+        provider = self.bindings.bound(service)
+        if provider is None:
+            raise UnknownServiceError(
+                f"stack {self.stack_id}: query {query!r} on unbound service {service!r}"
+            )
+        handler = provider.query_handler(service, query)
+        if handler is None:
+            raise KernelError(
+                f"stack {self.stack_id}: module {provider.name!r} has no query "
+                f"{query!r} on service {service!r}"
+            )
+        return handler(*args)
+
+    # ------------------------------------------------------------------ #
+    # Responses
+    # ------------------------------------------------------------------ #
+    def issue_response(
+        self,
+        provider: Module,
+        service: str,
+        event: str,
+        args: tuple,
+        cost: Optional[Duration] = None,
+    ) -> None:
+        """Emit response *event* of *service* to this stack's subscribers.
+
+        Deliberately **not** gated on the binding table: an unbound module
+        may still respond (paper, Section 2).
+        """
+        if self.crashed:
+            return
+        if service not in provider.provides:
+            raise KernelError(
+                f"stack {self.stack_id}: module {provider.name!r} cannot respond "
+                f"on service {service!r} it does not provide"
+            )
+        self.trace.record(
+            self.sim.now,
+            TraceKind.RESPONSE,
+            self.stack_id,
+            service=service,
+            module=provider.name,
+            protocol=provider.protocol,
+            event=event,
+        )
+        actual_cost = self.response_cost if cost is None else cost
+        self.machine.execute(
+            actual_cost, self._deliver_response, service, event, args,
+            provider.name, provider.protocol,
+        )
+
+    def _deliver_response(
+        self, service: str, event: str, args: tuple,
+        provider_name: str, provider_protocol: str,
+    ) -> None:
+        handlers = [
+            m.response_handler(service, event)
+            for m in self.modules.values()
+            if service in m.requires
+        ]
+        handlers = [h for h in handlers if h is not None]
+        claimed = False
+        for handler in handlers:
+            if handler(*args) is not NOT_MINE:
+                claimed = True
+        if not claimed:
+            # Nobody in the stack owns this response (no subscriber at
+            # all, or every subscriber disclaimed the frame): keep it
+            # until a matching module is added (paper, Section 2).
+            queue = self._buffered_responses.setdefault(service, deque())
+            if (
+                self.max_buffered_responses is not None
+                and len(queue) >= self.max_buffered_responses
+            ):
+                queue.popleft()
+                self.buffered_responses_dropped += 1
+            queue.append((event, args, provider_name, provider_protocol))
+            self.trace.record(
+                self.sim.now,
+                TraceKind.RESPONSE_BUFFERED,
+                self.stack_id,
+                service=service,
+                module=provider_name,
+                protocol=provider_protocol,
+                event=event,
+            )
+
+    def _flush_buffered_responses(self, new_module: Module) -> None:
+        """Deliver responses that were waiting for a subscriber like *new_module*."""
+        for service in new_module.requires:
+            buffered = self._buffered_responses.get(service)
+            if not buffered:
+                continue
+            deliverable: List[_BufferedResponse] = []
+            remaining: Deque[_BufferedResponse] = deque()
+            for item in buffered:
+                event = item[0]
+                if new_module.response_handler(service, event) is not None:
+                    deliverable.append(item)
+                else:
+                    remaining.append(item)
+            self._buffered_responses[service] = remaining
+            for event, args, provider_name, provider_protocol in deliverable:
+                self.machine.execute(
+                    0.0, self._deliver_response, service, event, args,
+                    provider_name, provider_protocol,
+                )
+
+    def buffered_response_count(self, service: Optional[str] = None) -> int:
+        """Number of responses buffered awaiting a subscriber."""
+        if service is not None:
+            return len(self._buffered_responses.get(service, ()))
+        return sum(len(q) for q in self._buffered_responses.values())
+
+    # ------------------------------------------------------------------ #
+    # Failure
+    # ------------------------------------------------------------------ #
+    def _on_machine_crash(self, time: float) -> None:
+        self.trace.record(time, TraceKind.CRASH, self.stack_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Stack {self.stack_id} modules={list(self.modules)} "
+            f"bound={self.bindings.as_dict()}>"
+        )

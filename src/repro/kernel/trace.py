@@ -1,0 +1,122 @@
+"""The trace recorder shared by all stacks of a system.
+
+One :class:`TraceRecorder` collects the :class:`~repro.kernel.events.TraceEvent`
+stream of an entire distributed execution (all stacks interleaved in
+global simulated-time order).  Property checkers and debugging tools then
+query it; recording can be disabled wholesale for pure benchmarking runs,
+or filtered by kind to bound memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set
+
+from ..sim.clock import Time
+from .events import TraceEvent, TraceKind
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Collects, filters, and queries kernel trace events.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` the recorder drops everything (zero memory cost).
+    keep:
+        When given, only these :class:`TraceKind` values are retained.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        keep: Optional[Iterable[TraceKind]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.keep: Optional[Set[TraceKind]] = set(keep) if keep is not None else None
+        self._events: List[TraceEvent] = []
+        #: Live subscribers called on each recorded event (e.g. online checkers).
+        self.subscribers: List[Callable[[TraceEvent], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        time: Time,
+        kind: TraceKind,
+        stack_id: int,
+        service: Optional[str] = None,
+        module: Optional[str] = None,
+        protocol: Optional[str] = None,
+        **detail: Any,
+    ) -> None:
+        """Record one event (a no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self.keep is not None and kind not in self.keep:
+            return
+        event = TraceEvent(
+            time=time,
+            kind=kind,
+            stack_id=stack_id,
+            service=service,
+            module=module,
+            protocol=protocol,
+            detail=detail,
+        )
+        self._events.append(event)
+        for sub in self.subscribers:
+            sub(event)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The raw event list (do not mutate)."""
+        return self._events
+
+    def of_kind(self, *kinds: TraceKind) -> List[TraceEvent]:
+        """Events whose kind is one of *kinds*, in time order."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def for_stack(self, stack_id: int) -> List[TraceEvent]:
+        """Events of a single stack, in time order."""
+        return [e for e in self._events if e.stack_id == stack_id]
+
+    def for_service(self, service: str) -> List[TraceEvent]:
+        """Events mentioning *service*, in time order."""
+        return [e for e in self._events if e.service == service]
+
+    def crashes(self) -> Dict[int, Time]:
+        """Map of ``stack_id -> crash time`` for stacks that crashed."""
+        out: Dict[int, Time] = {}
+        for e in self._events:
+            if e.kind is TraceKind.CRASH and e.stack_id not in out:
+                out[e.stack_id] = e.time
+        return out
+
+    def crashed_before(self, stack_id: int, time: Time) -> bool:
+        """Whether *stack_id* had crashed at or before *time*."""
+        t = self.crashes().get(stack_id)
+        return t is not None and t <= time
+
+    def counts(self) -> Mapping[str, int]:
+        """Histogram of event kinds (for quick diagnostics)."""
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e.kind.value] = out.get(e.kind.value, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()

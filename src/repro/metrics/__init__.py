@@ -1,0 +1,29 @@
+"""Measurement: the paper's latency definition, series tools, summaries."""
+
+from .latency import (
+    LatencyPoint,
+    latency_series,
+    mean_latency,
+    message_latency,
+    windowed_mean_latency,
+)
+from .series import PerturbationWindow, bin_series, find_perturbation, moving_average
+from .stats import Summary, relative_overhead, summarize
+from .throughput import delivery_throughput, throughput_series
+
+__all__ = [
+    "message_latency",
+    "LatencyPoint",
+    "latency_series",
+    "mean_latency",
+    "windowed_mean_latency",
+    "bin_series",
+    "moving_average",
+    "PerturbationWindow",
+    "find_perturbation",
+    "Summary",
+    "summarize",
+    "relative_overhead",
+    "delivery_throughput",
+    "throughput_series",
+]

@@ -1,0 +1,39 @@
+"""Throughput measurement over delivery logs."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..dpu.probes import DeliveryLog
+from ..sim.clock import Time
+
+__all__ = ["delivery_throughput", "throughput_series"]
+
+
+def delivery_throughput(
+    log: DeliveryLog, stack_id: int, start: Time, end: Time
+) -> float:
+    """Adeliveries per second at *stack_id* over ``[start, end)``."""
+    if end <= start:
+        raise ValueError("need end > start")
+    count = sum(
+        1 for _k, t in log.deliveries.get(stack_id, []) if start <= t < end
+    )
+    return count / (end - start)
+
+
+def throughput_series(
+    log: DeliveryLog, stack_id: int, bin_width: float = 0.5
+) -> List[Tuple[Time, float]]:
+    """(bin centre, deliveries/s) series for one stack."""
+    deliveries = log.deliveries.get(stack_id, [])
+    if not deliveries:
+        return []
+    t0 = deliveries[0][1]
+    bins: dict = {}
+    for _k, t in deliveries:
+        bins[int((t - t0) // bin_width)] = bins.get(int((t - t0) // bin_width), 0) + 1
+    return [
+        (t0 + (idx + 0.5) * bin_width, count / bin_width)
+        for idx, count in sorted(bins.items())
+    ]

@@ -1,0 +1,30 @@
+"""Network substrate: the simulated switched LAN and its kernel doorways.
+
+``SimNetwork`` + ``SwitchedLan`` model the paper's 100Base-TX testbed
+(per-NIC transmit serialisation, propagation jitter, loss/duplication and
+partitions for fault injection).  ``UdpModule`` exposes the network as the
+kernel service ``udp``; ``Rp2pModule`` builds reliable FIFO point-to-point
+channels (service ``rp2p``) on top of it.
+"""
+
+from .message import (
+    RP2P_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    NetMessage,
+    estimate_payload_size,
+)
+from .network import SimNetwork
+from .rp2p import Rp2pModule
+from .topology import SwitchedLan
+from .udp import UdpModule
+
+__all__ = [
+    "NetMessage",
+    "UDP_HEADER_BYTES",
+    "RP2P_HEADER_BYTES",
+    "estimate_payload_size",
+    "SimNetwork",
+    "SwitchedLan",
+    "UdpModule",
+    "Rp2pModule",
+]

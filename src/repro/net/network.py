@@ -1,0 +1,165 @@
+"""The simulated network.
+
+:class:`SimNetwork` connects the machines of a system through a
+:class:`~repro.net.topology.SwitchedLan`:
+
+* **transmit serialisation** — each sender NIC transmits one frame at a
+  time (``size / bandwidth``), so bursts queue at the sender exactly as
+  on real Ethernet; this is one of the two queueing points (with the CPU)
+  that produce the latency-versus-load curves of the paper's Figure 6;
+* **propagation** — a latency-model draw per datagram;
+* **impairments** — independent loss and duplication draws, plus explicit
+  **partitions** for fault-injection tests;
+* **crash semantics** — datagrams from crashed senders are never sent;
+  datagrams to crashed receivers are silently dropped (the receiver hook
+  double-checks at delivery time, covering crashes that happen while the
+  datagram is in flight).
+
+The network is deliberately below the kernel: it moves payloads between
+*machines*; the :class:`~repro.net.udp.UdpModule` is the kernel-facing
+doorway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import NetworkError, UnknownDestinationError
+from ..sim.clock import Duration, Time
+from ..sim.engine import Simulator
+from ..sim.monitors import Counter
+from ..sim.process import Machine
+from .message import NetMessage
+from .topology import SwitchedLan
+
+__all__ = ["SimNetwork"]
+
+#: Receiver hook: called as ``hook(message, arrival_time)``.
+DeliveryHook = Callable[[NetMessage, Time], None]
+
+
+class SimNetwork:
+    """A switched LAN connecting the machines of one system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machines: List[Machine],
+        lan: Optional[SwitchedLan] = None,
+    ) -> None:
+        self.sim = sim
+        self.lan = lan if lan is not None else SwitchedLan()
+        self._machines: Dict[int, Machine] = {m.machine_id: m for m in machines}
+        self._hooks: Dict[int, DeliveryHook] = {}
+        self._nic_busy_until: Dict[int, Time] = {mid: 0.0 for mid in self._machines}
+        self._partitions: Set[FrozenSet[int]] = set()
+        self.counters = Counter()
+        self._latency_rng: np.random.Generator = sim.rng.stream("net.latency")
+        self._impair_rng: np.random.Generator = sim.rng.stream("net.impairments")
+
+    # ------------------------------------------------------------------ #
+    # Attachment
+    # ------------------------------------------------------------------ #
+    def attach(self, machine_id: int, hook: DeliveryHook) -> None:
+        """Register the delivery hook for *machine_id* (one per machine)."""
+        if machine_id not in self._machines:
+            raise UnknownDestinationError(f"no machine with id {machine_id}")
+        if machine_id in self._hooks:
+            raise NetworkError(f"machine {machine_id} already attached")
+        self._hooks[machine_id] = hook
+
+    def detach(self, machine_id: int) -> None:
+        """Remove the delivery hook for *machine_id*."""
+        self._hooks.pop(machine_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Partitions (fault injection)
+    # ------------------------------------------------------------------ #
+    def partition(self, group_a: Set[int], group_b: Set[int]) -> None:
+        """Drop all traffic between *group_a* and *group_b* until healed."""
+        for a in group_a:
+            for b in group_b:
+                if a != b:
+                    self._partitions.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        """Remove every partition."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: int, b: int) -> bool:
+        """Whether traffic between *a* and *b* is currently blocked."""
+        return frozenset((a, b)) in self._partitions
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def send(self, message: NetMessage) -> None:
+        """Inject *message*; it arrives (or not) after NIC + LAN delays."""
+        src, dst = message.src, message.dst
+        if dst not in self._machines:
+            raise UnknownDestinationError(f"no machine with id {dst}")
+        sender = self._machines.get(src)
+        if sender is None:
+            raise UnknownDestinationError(f"no machine with id {src}")
+        if sender.crashed:
+            return  # a crashed machine sends nothing
+        self.counters.incr("sent")
+        self.counters.incr("bytes_sent", message.size_bytes)
+
+        # NIC transmit serialisation (per-sender queue).
+        tx = self.lan.transmission_time(message.size_bytes)
+        start = max(self.sim.now, self._nic_busy_until[src])
+        done = start + tx
+        self._nic_busy_until[src] = done
+
+        if self.is_partitioned(src, dst):
+            self.counters.incr("dropped_partition")
+            return
+        if self.lan.loss_rate > 0.0 and self._impair_rng.random() < self.lan.loss_rate:
+            self.counters.incr("dropped_loss")
+            return
+
+        arrival = done + self.lan.latency.sample(self._latency_rng)
+        self.sim.schedule_at(arrival, self._deliver, message)
+        if (
+            self.lan.duplicate_rate > 0.0
+            and self._impair_rng.random() < self.lan.duplicate_rate
+        ):
+            dup_arrival = done + self.lan.latency.sample(self._latency_rng)
+            self.sim.schedule_at(dup_arrival, self._deliver, message)
+            self.counters.incr("duplicated")
+
+    def send_local(self, message: NetMessage, loopback_delay: Duration = 0.0) -> None:
+        """Self-addressed delivery (loopback): no NIC, no LAN, no loss."""
+        if message.src != message.dst:
+            raise NetworkError("send_local requires src == dst")
+        self.counters.incr("loopback")
+        self.sim.schedule(loopback_delay, self._deliver, message)
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
+    def _deliver(self, message: NetMessage) -> None:
+        receiver = self._machines[message.dst]
+        if receiver.crashed:
+            self.counters.incr("dropped_crashed_receiver")
+            return
+        hook = self._hooks.get(message.dst)
+        if hook is None:
+            self.counters.incr("dropped_unattached")
+            return
+        self.counters.incr("delivered")
+        hook(message, self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def nic_backlog(self, machine_id: int) -> Duration:
+        """Seconds of queued transmit work at *machine_id*'s NIC."""
+        return max(0.0, self._nic_busy_until[machine_id] - self.sim.now)
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the network counters."""
+        return self.counters.as_dict()

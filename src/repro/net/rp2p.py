@@ -1,0 +1,223 @@
+"""RP2P: reliable FIFO point-to-point channels over UDP.
+
+The paper's Figure 4 lists RP2P ("reliable point-to-point communication
+between distributed processes") directly above UDP.  This implementation
+is a classic positive-ack protocol:
+
+* per-destination sequence numbers; the receiver delivers strictly in
+  order (FIFO per channel) and buffers out-of-order arrivals;
+* cumulative acknowledgements; duplicates (from the LAN or from
+  retransmissions) are detected by sequence number and re-acked;
+* a per-destination retransmission timer with exponential backoff resends
+  everything unacknowledged — so the channel is reliable as long as the
+  destination has not crashed (crash-stop: messages to crashed machines
+  are eventually abandoned when the failure detector is used by upper
+  layers; RP2P itself keeps trying, which is harmless in simulation and
+  matches a TCP-like substrate).
+
+Service vocabulary:
+
+* call ``send(dst, payload, size_bytes)``
+* response ``deliver(src, payload, size_bytes)``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..kernel.module import Module, NOT_MINE
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.clock import Duration, ms
+from ..sim.monitors import Counter
+from .message import RP2P_HEADER_BYTES
+
+__all__ = ["Rp2pModule"]
+
+#: Initial retransmission timeout: generous for a LAN, so in loss-free
+#: runs the timer never fires and costs nothing.
+DEFAULT_RTO: Duration = ms(20.0)
+#: Backoff cap.
+MAX_RTO: Duration = ms(500.0)
+
+_DATA = "rp2p.data"
+_ACK = "rp2p.ack"
+
+
+class Rp2pModule(Module):
+    """Reliable FIFO point-to-point channels (one per destination)."""
+
+    PROVIDES = (WellKnown.RP2P,)
+    REQUIRES = (WellKnown.UDP,)
+    PROTOCOL = "rp2p"
+
+    def __init__(
+        self,
+        stack: Stack,
+        rto: Duration = DEFAULT_RTO,
+        ack_delay: Duration = ms(1.0),
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, name=name)
+        self.rto = rto
+        #: Cumulative-ACK aggregation delay.  0 = ack every datagram
+        #: immediately; the default batches the acks of a 1 ms window
+        #: into one frame per peer (safe: well below the 20 ms RTO).
+        self.ack_delay = ack_delay
+        self.counters = Counter()
+        self._ack_pending: set = set()
+        self._ack_timer_armed = False
+        # Sender state, per destination.
+        self._next_out: Dict[int, int] = {}
+        self._unacked: Dict[int, Dict[int, Tuple[Any, int]]] = {}
+        self._retx_timer: Dict[int, object] = {}
+        self._cur_rto: Dict[int, Duration] = {}
+        # Receiver state, per source.
+        self._next_in: Dict[int, int] = {}
+        self._ooo: Dict[int, Dict[int, Tuple[Any, int]]] = {}
+
+        self.export_call(WellKnown.RP2P, "send", self._send)
+        self.subscribe(WellKnown.UDP, "deliver", self._on_udp)
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def _send(self, dst: int, payload: Any, size_bytes: int) -> None:
+        if dst == self.stack_id:
+            # Local shortcut: a process always reliably reaches itself.
+            self.counters.incr("self_delivered")
+            self.respond(WellKnown.RP2P, "deliver", self.stack_id, payload, size_bytes)
+            return
+        seq = self._next_out.get(dst, 0)
+        self._next_out[dst] = seq + 1
+        self._unacked.setdefault(dst, {})[seq] = (payload, size_bytes)
+        self.counters.incr("data_sent")
+        self._transmit(dst, seq, payload, size_bytes)
+        self._arm_timer(dst)
+
+    def _transmit(self, dst: int, seq: int, payload: Any, size_bytes: int) -> None:
+        self.call(
+            WellKnown.UDP,
+            "send",
+            dst,
+            (_DATA, self.stack_id, seq, payload, size_bytes),
+            size_bytes + RP2P_HEADER_BYTES,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Retransmission
+    # ------------------------------------------------------------------ #
+    def _arm_timer(self, dst: int) -> None:
+        if dst in self._retx_timer:
+            return
+        self._cur_rto.setdefault(dst, self.rto)
+        handle = self.set_timer(self._cur_rto[dst], self._on_timeout, dst)
+        if handle is not None:
+            self._retx_timer[dst] = handle
+
+    def _disarm_timer(self, dst: int) -> None:
+        handle = self._retx_timer.pop(dst, None)
+        if handle is not None:
+            self.sim.cancel(handle)
+        self._cur_rto[dst] = self.rto
+
+    def _on_timeout(self, dst: int) -> None:
+        self._retx_timer.pop(dst, None)
+        pending = self._unacked.get(dst)
+        if not pending:
+            self._cur_rto[dst] = self.rto
+            return
+        for seq in sorted(pending):
+            payload, size_bytes = pending[seq]
+            self.counters.incr("retransmissions")
+            self._transmit(dst, seq, payload, size_bytes)
+        self._cur_rto[dst] = min(self._cur_rto.get(dst, self.rto) * 2.0, MAX_RTO)
+        self._arm_timer(dst)
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+    def _on_udp(self, src: int, payload: Any, size_bytes: int):
+        if not isinstance(payload, tuple) or not payload:
+            return NOT_MINE  # other udp users share the doorway
+        tag = payload[0]
+        if tag == _DATA:
+            _, sender, seq, inner, inner_size = payload
+            self._on_data(sender, seq, inner, inner_size)
+        elif tag == _ACK:
+            _, sender, cum_ack = payload
+            self._on_ack(sender, cum_ack)
+        else:
+            return NOT_MINE
+        return None
+
+    def _on_data(self, src: int, seq: int, payload: Any, size_bytes: int) -> None:
+        expected = self._next_in.get(src, 0)
+        if seq < expected:
+            # Duplicate of something already delivered: re-ack, drop.
+            self.counters.incr("duplicates_dropped")
+            self._send_ack(src)
+            return
+        if seq > expected:
+            self.counters.incr("out_of_order_buffered")
+            self._ooo.setdefault(src, {})[seq] = (payload, size_bytes)
+            self._send_ack(src)
+            return
+        # In-order: deliver it and drain the out-of-order buffer.
+        self._deliver(src, payload, size_bytes)
+        expected += 1
+        buffered = self._ooo.get(src, {})
+        while expected in buffered:
+            inner, inner_size = buffered.pop(expected)
+            self._deliver(src, inner, inner_size)
+            expected += 1
+        self._next_in[src] = expected
+        self._send_ack(src)
+
+    def _deliver(self, src: int, payload: Any, size_bytes: int) -> None:
+        self.counters.incr("delivered")
+        self.respond(WellKnown.RP2P, "deliver", src, payload, size_bytes)
+
+    def _send_ack(self, src: int) -> None:
+        if self.ack_delay <= 0:
+            self._emit_ack(src)
+            return
+        self._ack_pending.add(src)
+        if not self._ack_timer_armed:
+            self._ack_timer_armed = True
+            self.set_timer(self.ack_delay, self._flush_acks)
+
+    def _flush_acks(self) -> None:
+        self._ack_timer_armed = False
+        pending, self._ack_pending = self._ack_pending, set()
+        for src in sorted(pending):
+            self._emit_ack(src)
+
+    def _emit_ack(self, src: int) -> None:
+        cum_ack = self._next_in.get(src, 0) - 1
+        self.counters.incr("acks_sent")
+        self.call(
+            WellKnown.UDP,
+            "send",
+            src,
+            (_ACK, self.stack_id, cum_ack),
+            RP2P_HEADER_BYTES,
+        )
+
+    def _on_ack(self, src: int, cum_ack: int) -> None:
+        pending = self._unacked.get(src)
+        if not pending:
+            return
+        for seq in [s for s in pending if s <= cum_ack]:
+            del pending[seq]
+        if not pending:
+            self._disarm_timer(src)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def unacked_count(self, dst: Optional[int] = None) -> int:
+        """Messages sent but not yet acknowledged (per peer or total)."""
+        if dst is not None:
+            return len(self._unacked.get(dst, ()))
+        return sum(len(p) for p in self._unacked.values())

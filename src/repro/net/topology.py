@@ -1,0 +1,55 @@
+"""Network topology parameters.
+
+The paper's testbed is seven PCs on a duplex 100Base-TX switched
+Ethernet.  :class:`SwitchedLan` captures that shape: full-duplex
+point-to-point connectivity through one switch, per-NIC transmit
+serialisation at a configurable bandwidth, a one-way propagation latency
+model, and optional random loss (exercised by the RP2P retransmission
+tests — the real LAN loses close to nothing, but the reliable layer must
+be *shown* to tolerate it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.latency import LatencyModel, lan_latency
+
+__all__ = ["SwitchedLan"]
+
+
+@dataclass
+class SwitchedLan:
+    """Parameters of a switched full-duplex LAN.
+
+    Attributes
+    ----------
+    bandwidth_bps:
+        Per-NIC transmit bandwidth in bits/second (default: 100 Mb/s,
+        the paper's 100Base-TX).
+    latency:
+        One-way propagation + switching latency model (excluding
+        transmission time, which is ``size / bandwidth``).
+    loss_rate:
+        Independent probability that a datagram is silently dropped.
+    duplicate_rate:
+        Independent probability that a datagram is delivered twice
+        (stress knob for the dedup logic in RP2P).
+    """
+
+    bandwidth_bps: float = 100e6
+    latency: LatencyModel = field(default_factory=lan_latency)
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1)")
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Seconds the sender NIC is occupied transmitting *size_bytes*."""
+        return (size_bytes * 8.0) / self.bandwidth_bps

@@ -1,0 +1,90 @@
+"""The UDP module: kernel-facing doorway to the simulated network.
+
+Provides the ``udp`` service (paper, Figure 4: "an interface to the UDP
+(unreliable) protocol"):
+
+* call ``send(dst, payload, size_bytes)`` — datagram out (unreliable,
+  unordered, possibly duplicated: whatever the LAN does);
+* response ``deliver(src, payload, size_bytes)`` — datagram in.
+
+Receive processing charges the host CPU (`recv_cost`) before the response
+is emitted, so floods of datagrams contend with protocol work exactly as
+interrupts + kernel processing do on a real host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..kernel.module import Module
+from ..kernel.service import WellKnown
+from ..kernel.stack import Stack
+from ..sim.clock import Duration, Time, us
+from .message import UDP_HEADER_BYTES, NetMessage
+from .network import SimNetwork
+
+__all__ = ["UdpModule"]
+
+#: Default CPU cost to hand one received datagram to the stack.
+DEFAULT_RECV_COST: Duration = us(15.0)
+#: Default CPU cost to push one datagram out.
+DEFAULT_SEND_COST: Duration = us(10.0)
+
+
+class UdpModule(Module):
+    """Kernel module providing the ``udp`` service over a :class:`SimNetwork`."""
+
+    PROVIDES = (WellKnown.UDP,)
+    REQUIRES = ()
+    PROTOCOL = "udp"
+
+    def __init__(
+        self,
+        stack: Stack,
+        network: SimNetwork,
+        recv_cost: Duration = DEFAULT_RECV_COST,
+        send_cost: Duration = DEFAULT_SEND_COST,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(stack, name=name)
+        self.network = network
+        self.recv_cost = recv_cost
+        self.send_cost = send_cost
+        self.export_call(WellKnown.UDP, "send", self._send)
+        network.attach(stack.stack_id, self._on_datagram)
+
+    def on_stop(self) -> None:
+        self.network.detach(self.stack_id)
+
+    # ------------------------------------------------------------------ #
+    # Outbound
+    # ------------------------------------------------------------------ #
+    def _send(self, dst: int, payload: Any, size_bytes: int) -> None:
+        message = NetMessage(
+            src=self.stack_id,
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes + UDP_HEADER_BYTES,
+        )
+        if dst == self.stack_id:
+            # Loopback: skip NIC and LAN, but still cost a receive.
+            self.network.send_local(message)
+            return
+        # The send-side CPU cost was already charged by the kernel call
+        # dispatch; the explicit extra below models the syscall + copy.
+        self.stack.machine.execute(self.send_cost, self.network.send, message)
+
+    # ------------------------------------------------------------------ #
+    # Inbound
+    # ------------------------------------------------------------------ #
+    def _on_datagram(self, message: NetMessage, arrival: Time) -> None:
+        # Charge receive processing on this host's CPU, then hand the
+        # payload to whoever requires the udp service.
+        self.respond(
+            WellKnown.UDP,
+            "deliver",
+            message.src,
+            message.payload,
+            message.size_bytes - UDP_HEADER_BYTES,
+            cost=self.recv_cost,
+        )

@@ -1,0 +1,5 @@
+"""Uniform reliable broadcast (the R-broadcast primitive inside CT)."""
+
+from .reliable import RBCAST_SERVICE, RbcastModule
+
+__all__ = ["RbcastModule", "RBCAST_SERVICE"]

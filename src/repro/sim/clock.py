@@ -1,0 +1,84 @@
+"""Simulated time.
+
+Simulated time is a ``float`` number of **seconds** since the start of the
+run.  This module centralises the conventions (units, formatting, epsilon
+comparisons) so the rest of the library never hard-codes unit conversions.
+
+The paper reports latencies in milliseconds; :func:`ms` / :func:`to_ms`
+convert between the two conventions at API boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Time",
+    "Duration",
+    "TIME_EPSILON",
+    "ms",
+    "us",
+    "to_ms",
+    "to_us",
+    "format_time",
+    "time_eq",
+    "time_le",
+]
+
+#: Simulated instants, seconds since simulation start.
+Time = float
+
+#: Simulated durations, seconds.
+Duration = float
+
+#: Two instants closer than this are considered simultaneous when comparing
+#: measured values (the event queue itself uses exact floats plus sequence
+#: numbers for determinism, never the epsilon).
+TIME_EPSILON: float = 1e-12
+
+
+def ms(value: float) -> Duration:
+    """Convert *value* milliseconds into a simulated duration (seconds)."""
+    return value * 1e-3
+
+
+def us(value: float) -> Duration:
+    """Convert *value* microseconds into a simulated duration (seconds)."""
+    return value * 1e-6
+
+
+def to_ms(duration: Duration) -> float:
+    """Convert a simulated duration (seconds) into milliseconds."""
+    return duration * 1e3
+
+
+def to_us(duration: Duration) -> float:
+    """Convert a simulated duration (seconds) into microseconds."""
+    return duration * 1e6
+
+
+def format_time(t: Time) -> str:
+    """Render *t* with an adaptive unit (for logs and plots).
+
+    >>> format_time(0.0341)
+    '34.100ms'
+    >>> format_time(12.5)
+    '12.500s'
+    """
+    if not math.isfinite(t):
+        return str(t)
+    if abs(t) >= 1.0:
+        return f"{t:.3f}s"
+    if abs(t) >= 1e-3:
+        return f"{t * 1e3:.3f}ms"
+    return f"{t * 1e6:.3f}us"
+
+
+def time_eq(a: Time, b: Time, eps: float = TIME_EPSILON) -> bool:
+    """``True`` when instants *a* and *b* are within *eps* of each other."""
+    return abs(a - b) <= eps
+
+
+def time_le(a: Time, b: Time, eps: float = TIME_EPSILON) -> bool:
+    """``True`` when *a* precedes *b*, tolerating *eps* of float noise."""
+    return a <= b + eps

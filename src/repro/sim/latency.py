@@ -1,0 +1,186 @@
+"""Latency models: random variables for network and CPU delays.
+
+A :class:`LatencyModel` is a distribution over non-negative durations.
+Models are cheap value objects; sampling takes the generator explicitly so
+that each component draws from its own named stream (see
+:mod:`repro.sim.random`).
+
+The default model used by the experiments, :func:`lan_latency`, imitates a
+switched 100Base-TX Ethernet as in the paper's testbed: a fixed
+propagation/switching floor plus a small lognormal jitter tail.  The
+*transmission* component (bytes / bandwidth) is handled separately by the
+network layer because it depends on the message size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .clock import Duration, us
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "LogNormalLatency",
+    "EmpiricalLatency",
+    "ShiftedLatency",
+    "lan_latency",
+]
+
+
+class LatencyModel:
+    """Base class: a distribution over non-negative durations (seconds)."""
+
+    def sample(self, rng: np.random.Generator) -> Duration:
+        """Draw one duration."""
+        raise NotImplementedError
+
+    def mean(self) -> Duration:
+        """The distribution's mean, used for calibration and documentation."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Always exactly *value* seconds (useful for deterministic tests)."""
+
+    value: Duration
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"latency must be non-negative, got {self.value}")
+
+    def sample(self, rng: np.random.Generator) -> Duration:
+        return self.value
+
+    def mean(self) -> Duration:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform on ``[low, high]`` seconds."""
+
+    low: Duration
+    high: Duration
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError(f"need 0 <= low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> Duration:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> Duration:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialLatency(LatencyModel):
+    """``floor`` plus an exponential tail with the given *mean_tail*."""
+
+    mean_tail: Duration
+    floor: Duration = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_tail < 0 or self.floor < 0:
+            raise ValueError("mean_tail and floor must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> Duration:
+        return self.floor + float(rng.exponential(self.mean_tail))
+
+    def mean(self) -> Duration:
+        return self.floor + self.mean_tail
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """``floor`` plus a lognormal tail parameterised by its own mean/sigma.
+
+    ``tail_mean`` is the desired *mean of the tail* (not of the underlying
+    normal); ``sigma`` is the shape parameter of the underlying normal.
+    Lognormal jitter matches measured LAN round-trip residuals well and is
+    the default in :func:`lan_latency`.
+    """
+
+    tail_mean: Duration
+    sigma: float = 0.5
+    floor: Duration = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tail_mean <= 0:
+            raise ValueError("tail_mean must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if self.floor < 0:
+            raise ValueError("floor must be non-negative")
+
+    def _mu(self) -> float:
+        # mean of lognormal = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+        return math.log(self.tail_mean) - 0.5 * self.sigma * self.sigma
+
+    def sample(self, rng: np.random.Generator) -> Duration:
+        return self.floor + float(rng.lognormal(self._mu(), self.sigma))
+
+    def mean(self) -> Duration:
+        return self.floor + self.tail_mean
+
+
+@dataclass(frozen=True)
+class EmpiricalLatency(LatencyModel):
+    """Resample (with replacement) from a recorded set of durations."""
+
+    samples: tuple
+
+    def __init__(self, samples: Sequence[Duration]) -> None:
+        values = tuple(float(s) for s in samples)
+        if not values:
+            raise ValueError("EmpiricalLatency needs at least one sample")
+        if any(v < 0 for v in values):
+            raise ValueError("EmpiricalLatency samples must be non-negative")
+        object.__setattr__(self, "samples", values)
+
+    def sample(self, rng: np.random.Generator) -> Duration:
+        return self.samples[int(rng.integers(len(self.samples)))]
+
+    def mean(self) -> Duration:
+        return float(np.mean(self.samples))
+
+
+@dataclass(frozen=True)
+class ShiftedLatency(LatencyModel):
+    """Another model plus a constant shift (e.g. a per-hop floor)."""
+
+    base: LatencyModel
+    shift: Duration
+
+    def __post_init__(self) -> None:
+        if self.shift < 0:
+            raise ValueError("shift must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> Duration:
+        return self.shift + self.base.sample(rng)
+
+    def mean(self) -> Duration:
+        return self.shift + self.base.mean()
+
+
+def lan_latency(
+    floor: Duration = us(60.0),
+    jitter_mean: Duration = us(25.0),
+    sigma: float = 0.6,
+) -> LatencyModel:
+    """The default switched-LAN one-way latency model.
+
+    Defaults imitate the paper's 100Base-TX switched Ethernet: ≈60 µs
+    store-and-forward floor with a small lognormal jitter tail — the
+    *propagation* part only; transmission time (size/bandwidth) is added
+    by :class:`repro.net.network.SimNetwork`.
+    """
+    return LogNormalLatency(tail_mean=jitter_mean, sigma=sigma, floor=floor)

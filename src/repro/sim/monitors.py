@@ -1,0 +1,121 @@
+"""Simulation probes: periodic sampling and counters.
+
+Probes observe a running simulation without perturbing it (they fire at
+:data:`~repro.sim.events.PRIORITY_LATE`, i.e. after all protocol events at
+the same instant).  Experiments use them to sample CPU backlog, queue
+lengths, and in-flight message counts for the time-series plots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .clock import Duration, Time
+from .engine import Simulator
+from .events import PRIORITY_LATE
+
+__all__ = ["PeriodicProbe", "Counter", "EventLog"]
+
+
+class PeriodicProbe:
+    """Sample ``fn()`` every *interval* seconds, recording ``(time, value)``.
+
+    The probe re-arms itself until :meth:`stop` is called or the
+    simulation ends.  Samples are kept in :attr:`samples`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: Duration,
+        fn: Callable[[], Any],
+        start_at: Time = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.samples: List[Tuple[Time, Any]] = []
+        self._stopped = False
+        self._handle = sim.schedule_at(
+            max(start_at, sim.now), self._tick, priority=PRIORITY_LATE
+        )
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.samples.append((self.sim.now, self.fn()))
+        self._handle = self.sim.schedule(
+            self.interval, self._tick, priority=PRIORITY_LATE
+        )
+
+    def stop(self) -> None:
+        """Stop sampling (keeps the samples collected so far)."""
+        self._stopped = True
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
+
+    def values(self) -> List[Any]:
+        """Just the sampled values, without timestamps."""
+        return [v for _, v in self.samples]
+
+
+class Counter:
+    """A named bag of monotonic counters (messages sent, retransmits, ...)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        """Add *amount* to counter *key* (creating it at zero)."""
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def get(self, key: str) -> int:
+        """Current value of *key* (0 if never incremented)."""
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """A snapshot copy of all counters."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._counts!r})"
+
+
+class EventLog:
+    """An append-only log of timestamped records, filterable by kind.
+
+    A lightweight alternative to the kernel's full trace recorder for
+    experiment-level annotations ("replacement started", "crash injected").
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
+        self.sim = sim
+        self.capacity = capacity
+        self.records: List[Tuple[Time, str, Any]] = []
+
+    def record(self, kind: str, payload: Any = None) -> None:
+        """Append a ``(now, kind, payload)`` record."""
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            return
+        self.records.append((self.sim.now, kind, payload))
+
+    def of_kind(self, kind: str) -> List[Tuple[Time, Any]]:
+        """All ``(time, payload)`` records of the given *kind*, in order."""
+        return [(t, p) for t, k, p in self.records if k == kind]
+
+    def first(self, kind: str) -> Optional[Tuple[Time, Any]]:
+        """The earliest record of *kind*, or ``None``."""
+        for t, k, p in self.records:
+            if k == kind:
+                return (t, p)
+        return None
+
+    def last(self, kind: str) -> Optional[Tuple[Time, Any]]:
+        """The latest record of *kind*, or ``None``."""
+        for t, k, p in reversed(self.records):
+            if k == kind:
+                return (t, p)
+        return None

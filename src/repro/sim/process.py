@@ -1,0 +1,158 @@
+"""Machines: the simulated hosts that run protocol stacks.
+
+A :class:`Machine` models one node of the paper's cluster.  It has
+
+* a **serial CPU**: work submitted via :meth:`execute` runs one item at a
+  time, each item occupying the CPU for its declared cost.  Under load the
+  completion times form an M/G/1-style queue, which is what produces the
+  latency-versus-load curves of the paper's Figure 6 — protocol code never
+  sleeps, it *costs*;
+* **timers** (:meth:`set_timer`) that silently die when the machine
+  crashes;
+* **crash-stop failures** (:meth:`crash`): once crashed, no queued work,
+  timer, or delivery on this machine ever fires again.  The paper's system
+  model is crash-stop (no recovery), and so is ours.
+
+The machine deliberately knows nothing about protocol stacks; the kernel
+layer attaches a stack to a machine, not the other way round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from .clock import Duration, Time
+from .engine import Simulator
+from .events import PRIORITY_CONTROL, EventHandle
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One simulated host with a serial CPU and crash-stop semantics.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this machine lives in.
+    machine_id:
+        Rank of the machine, ``0 .. n-1``; doubles as the network address.
+    name:
+        Human-readable name (defaults to ``"m<id>"``).
+    """
+
+    def __init__(self, sim: Simulator, machine_id: int, name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.machine_id = int(machine_id)
+        self.name = name if name is not None else f"m{machine_id}"
+        self._crashed_at: Optional[Time] = None
+        self._busy_until: Time = 0.0
+        self._cpu_busy_total: Duration = 0.0
+        self._tasks_executed = 0
+        #: Hooks invoked with the crash time when :meth:`crash` fires.
+        self.on_crash: List[Callable[[Time], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Failure model
+    # ------------------------------------------------------------------ #
+    @property
+    def crashed(self) -> bool:
+        """``True`` once the machine has crashed (crash-stop: forever)."""
+        return self._crashed_at is not None
+
+    @property
+    def crashed_at(self) -> Optional[Time]:
+        """The crash instant, or ``None`` while the machine is alive."""
+        return self._crashed_at
+
+    def crash(self) -> None:
+        """Crash the machine now.  Idempotent.
+
+        Work already queued on the CPU, pending timers and in-flight
+        deliveries targeting this machine are suppressed: their wrappers
+        check :attr:`crashed` when they fire.
+        """
+        if self._crashed_at is not None:
+            return
+        self._crashed_at = self.sim.now
+        for hook in list(self.on_crash):
+            hook(self.sim.now)
+
+    def crash_at(self, time: Time) -> EventHandle:
+        """Schedule a crash at absolute instant *time* (for fault injection)."""
+        return self.sim.schedule_at(time, self.crash, priority=PRIORITY_CONTROL)
+
+    # ------------------------------------------------------------------ #
+    # CPU
+    # ------------------------------------------------------------------ #
+    @property
+    def busy_until(self) -> Time:
+        """Instant at which the CPU drains everything currently queued."""
+        return max(self._busy_until, self.sim.now)
+
+    @property
+    def cpu_backlog(self) -> Duration:
+        """Seconds of queued-but-unfinished CPU work (0 when idle)."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    @property
+    def cpu_busy_total(self) -> Duration:
+        """Total CPU seconds consumed since the start of the run."""
+        return self._cpu_busy_total
+
+    @property
+    def tasks_executed(self) -> int:
+        """Number of CPU tasks completed so far."""
+        return self._tasks_executed
+
+    def execute(
+        self, cost: Duration, fn: Callable[..., Any], *args: Any
+    ) -> Optional[EventHandle]:
+        """Run ``fn(*args)`` after the CPU has spent *cost* seconds on it.
+
+        The task starts when the CPU becomes free, so its completion time
+        is ``max(now, busy_until) + cost``.  Returns the completion event
+        handle, or ``None`` when the machine is already crashed (the work
+        is silently dropped — a crashed machine does nothing).
+        """
+        if cost < 0:
+            raise SimulationError(f"negative CPU cost {cost!r}")
+        if self.crashed:
+            return None
+        start = max(self.sim.now, self._busy_until)
+        completion = start + cost
+        self._busy_until = completion
+        self._cpu_busy_total += cost
+        return self.sim.schedule_at(completion, self._run_task, fn, args)
+
+    def _run_task(self, fn: Callable[..., Any], args: tuple) -> None:
+        if self.crashed:
+            return
+        self._tasks_executed += 1
+        fn(*args)
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+    def set_timer(
+        self, delay: Duration, fn: Callable[..., Any], *args: Any
+    ) -> Optional[EventHandle]:
+        """Fire ``fn(*args)`` after *delay* seconds unless the machine crashes.
+
+        Unlike :meth:`execute`, a timer does not occupy the CPU — the
+        callback itself should :meth:`execute` any non-trivial work.
+        Returns ``None`` when the machine is already crashed.
+        """
+        if self.crashed:
+            return None
+        return self.sim.schedule(delay, self._run_timer, fn, args)
+
+    def _run_timer(self, fn: Callable[..., Any], args: tuple) -> None:
+        if self.crashed:
+            return
+        fn(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"crashed@{self._crashed_at:.6f}" if self.crashed else "up"
+        return f"<Machine {self.name} id={self.machine_id} {state}>"

@@ -1,0 +1,6 @@
+"""Terminal rendering of figures and tables (offline-friendly)."""
+
+from .ascii_plot import ascii_plot
+from .tables import render_table
+
+__all__ = ["ascii_plot", "render_table"]

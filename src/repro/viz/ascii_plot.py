@@ -1,0 +1,96 @@
+"""ASCII plotting (no matplotlib in the offline environment).
+
+Renders scatter/line series into a character grid with axes and legend —
+enough to eyeball the Figure 5 latency spike and the Figure 6 load curves
+directly in a terminal or a benchmark log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "+x*o#@%&"
+
+
+def _nice_num(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series gets a distinct marker; later series overwrite earlier
+    ones on collisions.  Returns the chart as a multi-line string.
+    """
+    if width < 20 or height < 5:
+        raise ValueError("plot area too small")
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return f"{title}\n(empty plot: no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = y_min if y_min is not None else min(ys)
+    y_hi = y_max if y_max is not None else max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, marker: str) -> None:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        if 0 <= col < width and 0 <= row < height:
+            grid[height - 1 - row][col] = marker
+
+    legend = []
+    for idx, (label, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        for x, y in pts:
+            put(x, y, marker)
+
+    y_axis_width = max(len(_nice_num(y_hi)), len(_nice_num(y_lo)))
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + y_axis_width + 3))
+    if legend:
+        lines.append("   ".join(legend))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = _nice_num(y_hi).rjust(y_axis_width)
+        elif row_idx == height - 1:
+            label = _nice_num(y_lo).rjust(y_axis_width)
+        else:
+            label = " " * y_axis_width
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(" " * y_axis_width + " +" + "-" * width + "+")
+    x_left = _nice_num(x_lo)
+    x_right = _nice_num(x_hi)
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (y_axis_width + 2) + x_left + " " * max(1, padding) + x_right
+    )
+    if xlabel or ylabel:
+        caption = f"x: {xlabel}" + (f"    y: {ylabel}" if ylabel else "")
+        lines.append(caption.center(width + y_axis_width + 3))
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Workload generation (the paper's constant aggregate load)."""
+
+from .generator import LoadGeneratorModule
+from .payload import FixedPayload, PayloadModel
+
+__all__ = ["LoadGeneratorModule", "PayloadModel", "FixedPayload"]

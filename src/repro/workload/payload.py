@@ -1,0 +1,37 @@
+"""Workload payloads.
+
+Every generated payload is a tuple ``(key, body)`` whose first element is
+a globally unique key ``("wl", stack, seq)`` — the identity used by the
+delivery log and the ABcast property checkers (see
+:func:`repro.dpu.probes.payload_key`).  The body is a placeholder; only
+the *declared* size travels through the size-accounting network model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = ["PayloadModel", "FixedPayload"]
+
+
+class PayloadModel:
+    """Produces (payload, size_bytes) pairs for a generator."""
+
+    def make(self, stack_id: int, seq: int) -> Tuple[Any, int]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedPayload(PayloadModel):
+    """Fixed-size payloads (the paper uses a constant message size)."""
+
+    size_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+
+    def make(self, stack_id: int, seq: int) -> Tuple[Any, int]:
+        key = ("wl", stack_id, seq)
+        return (key, self.size_bytes), self.size_bytes

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Module, System, WellKnown
+from repro.net import SimNetwork, SwitchedLan
+from repro.sim import ConstantLatency, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def system() -> System:
+    """A three-stack system without a network."""
+    return System(n=3, seed=1234)
+
+
+@pytest.fixture
+def networked_system():
+    """A three-stack system on a deterministic (constant-latency) LAN."""
+    sys_ = System(n=3, seed=1234)
+    lan = SwitchedLan(latency=ConstantLatency(100e-6))
+    sys_.network = SimNetwork(sys_.sim, sys_.machines, lan)
+    return sys_
+
+
+class RecordingModule(Module):
+    """A minimal consumer module that records every response it sees."""
+
+    PROTOCOL = "recorder"
+
+    def __init__(self, stack, service: str, events: tuple = ("deliver",)):
+        super().__init__(stack, provides=(), requires=(service,))
+        self.records: list = []
+        for event in events:
+            self.subscribe(
+                service,
+                event,
+                (lambda ev: lambda *args: self.records.append((ev, args)))(event),
+            )
+
+
+@pytest.fixture
+def recording_module_cls():
+    return RecordingModule

@@ -1,0 +1,164 @@
+"""Integration tests: the three ABcast implementations against the spec."""
+
+import pytest
+
+from repro.dpu import assert_abcast_properties
+from repro.dpu.probes import DeliveryLog
+from repro.abcast import CtAbcastModule, SequencerAbcastModule, TokenAbcastModule
+from repro.consensus import CtConsensusModule
+from repro.fd import HeartbeatFd
+from repro.kernel import Module, System, WellKnown
+from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
+from repro.rbcast import RbcastModule
+from repro.sim import ConstantLatency, ms
+
+
+def build(proto, n=4, seed=0, loss=0.0):
+    sys_ = System(n=n, seed=seed)
+    net = SimNetwork(
+        sys_.sim, sys_.machines,
+        SwitchedLan(latency=ConstantLatency(0.0002), loss_rate=loss),
+    )
+    group = list(range(n))
+    log = DeliveryLog()
+
+    class Sender(Module):
+        REQUIRES = (WellKnown.ABCAST,)
+        PROTOCOL = "sender"
+
+        def __init__(self, stack):
+            super().__init__(stack)
+            self.seq = 0
+            self.subscribe(
+                WellKnown.ABCAST,
+                "adeliver",
+                lambda o, p, s: log.note_delivery(p[0], self.stack_id, self.now),
+            )
+
+        def send(self):
+            key = ("wl", self.stack_id, self.seq)
+            self.seq += 1
+            log.note_send(key, self.stack_id, self.now)
+            self.call(WellKnown.ABCAST, "abcast", (key, None), 256)
+
+    senders, modules = [], []
+    for st in sys_.stacks:
+        st.add_module(UdpModule(st, net))
+        st.add_module(Rp2pModule(st))
+        st.add_module(HeartbeatFd(st, group, period=ms(20), timeout=ms(100)))
+        st.add_module(RbcastModule(st, group))
+        if proto == "ct":
+            st.add_module(CtConsensusModule(st, group))
+            mod = CtAbcastModule(st, group)
+        elif proto == "seq":
+            mod = SequencerAbcastModule(st, group)
+        else:
+            mod = TokenAbcastModule(st, group)
+        st.add_module(mod)
+        modules.append(mod)
+        snd = Sender(st)
+        st.add_module(snd)
+        senders.append(snd)
+    return sys_, senders, modules, log
+
+
+PROTOS = ("ct", "seq", "token")
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+class TestSpecCompliance:
+    def test_all_four_properties_under_interleaved_load(self, proto):
+        sys_, senders, modules, log = build(proto, seed=3)
+        for k in range(15):
+            for i, s in enumerate(senders):
+                sys_.sim.schedule(0.005 * k + 0.0007 * i, s.send)
+        sys_.run(until=5.0)
+        assert_abcast_properties(log, {}, [0, 1, 2, 3])
+        assert all(len(log.delivery_sequence(i)) == 60 for i in range(4))
+
+    def test_burst_from_single_sender(self, proto):
+        sys_, senders, modules, log = build(proto, seed=4)
+        for _ in range(30):
+            senders[2].send()
+        sys_.run(until=5.0)
+        assert_abcast_properties(log, {}, [0, 1, 2, 3])
+        # FIFO-ish: a single sender's messages keep their relative order
+        # in the total order (all three protocols preserve per-sender
+        # submission order on the happy path).
+        seq0 = [k for k in log.delivery_sequence(0) if k[1] == 2]
+        assert seq0 == sorted(seq0, key=lambda k: k[2])
+
+    def test_reliable_under_loss(self, proto):
+        sys_, senders, modules, log = build(proto, seed=5, loss=0.1)
+        for k in range(10):
+            for s in senders:
+                sys_.sim.schedule(0.01 * k, s.send)
+        sys_.run(until=15.0)
+        assert_abcast_properties(log, {}, [0, 1, 2, 3])
+
+
+class TestCtSpecific:
+    def test_tolerates_minority_crash(self):
+        sys_, senders, modules, log = build("ct", n=5, seed=6)
+        for k in range(10):
+            for s in senders:
+                sys_.sim.schedule(0.01 * k, s.send)
+        sys_.machines[0].crash_at(0.035)
+        sys_.run(until=10.0)
+        crashed = {0: 0.035}
+        in_flight = {
+            key for key, (sender, _t) in log.sends.items() if sender == 0
+        }
+        assert_abcast_properties(
+            log, crashed, [0, 1, 2, 3, 4], in_flight_ok=in_flight
+        )
+        # survivors deliver identical sequences
+        seqs = {tuple(log.delivery_sequence(i)) for i in (1, 2, 3, 4)}
+        assert len(seqs) == 1
+
+    def test_batching_under_load(self):
+        sys_, senders, modules, log = build("ct", seed=7)
+        for _ in range(20):
+            for s in senders:
+                s.send()
+        sys_.run(until=5.0)
+        # 80 messages needed far fewer consensus instances than messages.
+        ct = modules[0]
+        assert ct.counters.get("batches_applied") < 40
+        assert len(log.delivery_sequence(0)) == 80
+
+
+class TestSequencerSpecific:
+    def test_sequencer_orders_everything(self):
+        sys_, senders, modules, log = build("seq", seed=8)
+        for s in senders:
+            s.send()
+        sys_.run(until=2.0)
+        sequencer_module = modules[0]
+        assert sequencer_module.is_sequencer
+        assert sequencer_module.counters.get("orders_assigned") == 4
+
+    def test_non_sequencer_never_orders(self):
+        sys_, senders, modules, log = build("seq", seed=9)
+        for s in senders:
+            s.send()
+        sys_.run(until=2.0)
+        assert modules[1].counters.get("orders_assigned") == 0
+
+
+class TestTokenSpecific:
+    def test_token_circulates_while_idle(self):
+        sys_, senders, modules, log = build("token", seed=10)
+        sys_.run(until=0.5)
+        receipts = [m.counters.get("token_receipts") for m in modules]
+        assert all(r > 5 for r in receipts)
+
+    def test_ordering_work_shared(self):
+        sys_, senders, modules, log = build("token", seed=11)
+        for k in range(10):
+            for s in senders:
+                sys_.sim.schedule(0.01 * k, s.send)
+        sys_.run(until=5.0)
+        orders = [m.counters.get("orders_assigned") for m in modules]
+        assert sum(orders) == 40
+        assert sum(1 for o in orders if o > 0) >= 3  # spread over the ring

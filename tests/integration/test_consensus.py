@@ -1,0 +1,155 @@
+"""Integration tests: Chandra–Toueg consensus over the full substrate."""
+
+import pytest
+
+from repro.consensus import CtConsensusModule
+from repro.fd import HeartbeatFd, OracleFd
+from repro.kernel import Module, System, WellKnown
+from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
+from repro.rbcast import RbcastModule
+from repro.sim import ConstantLatency, ms
+
+
+class ConsensusApp(Module):
+    REQUIRES = (WellKnown.CONSENSUS,)
+    PROTOCOL = "consensus-app"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.decisions = {}
+        self.subscribe(
+            WellKnown.CONSENSUS,
+            "decide",
+            lambda iid, v, s: self.decisions.setdefault(iid, v),
+        )
+
+
+def build(n=5, seed=0, fd="heartbeat", oracle_scripts=None, loss=0.0):
+    sys_ = System(n=n, seed=seed)
+    net = SimNetwork(
+        sys_.sim, sys_.machines,
+        SwitchedLan(latency=ConstantLatency(0.0002), loss_rate=loss),
+    )
+    group = list(range(n))
+    apps, cts = [], []
+    for st in sys_.stacks:
+        st.add_module(UdpModule(st, net))
+        st.add_module(Rp2pModule(st))
+        if fd == "heartbeat":
+            st.add_module(HeartbeatFd(st, group, period=ms(20), timeout=ms(80)))
+        else:
+            script = (oracle_scripts or {}).get(st.stack_id, [])
+            st.add_module(OracleFd(st, group, script=script))
+        st.add_module(RbcastModule(st, group))
+        ct = CtConsensusModule(st, group)
+        st.add_module(ct)
+        cts.append(ct)
+        a = ConsensusApp(st)
+        st.add_module(a)
+        apps.append(a)
+    return sys_, apps, cts
+
+
+def propose_all(sys_, apps, iid, prefix="v"):
+    for i, a in enumerate(apps):
+        a.call(WellKnown.CONSENSUS, "propose", iid, f"{prefix}{i}", 100)
+
+
+class TestFailureFree:
+    def test_agreement_validity_termination(self):
+        sys_, apps, cts = build()
+        propose_all(sys_, apps, 0)
+        sys_.run(until=2.0)
+        decisions = {a.decisions.get(0) for a in apps}
+        assert len(decisions) == 1
+        decided = decisions.pop()
+        assert decided in {f"v{i}" for i in range(5)}  # validity
+
+    def test_many_concurrent_instances(self):
+        sys_, apps, cts = build()
+        for iid in range(10):
+            propose_all(sys_, apps, iid, prefix=f"i{iid}-")
+        sys_.run(until=5.0)
+        for iid in range(10):
+            vals = {a.decisions.get(iid) for a in apps}
+            assert len(vals) == 1 and None not in vals
+
+    def test_one_decision_per_instance(self):
+        sys_, apps, cts = build()
+        propose_all(sys_, apps, 0)
+        sys_.run(until=2.0)
+        assert all(ct.counters.get("decisions") == 1 for ct in cts)
+
+    def test_late_proposer_still_decides(self):
+        sys_, apps, cts = build()
+        for i, a in enumerate(apps[:-1]):
+            a.call(WellKnown.CONSENSUS, "propose", 0, f"v{i}", 100)
+        # the last process proposes a full second later
+        sys_.sim.schedule(1.0, apps[-1].call, WellKnown.CONSENSUS, "propose", 0, "late", 100)
+        sys_.run(until=3.0)
+        vals = {a.decisions.get(0) for a in apps}
+        assert len(vals) == 1 and None not in vals
+
+
+class TestWithCrashes:
+    def test_coordinator_crash_before_propose(self):
+        sys_, apps, cts = build(seed=1)
+        sys_.machines[0].crash()  # round-0 coordinator dead from the start
+        for a in apps[1:]:
+            a.call(WellKnown.CONSENSUS, "propose", 0, f"v{a.stack_id}", 100)
+        sys_.run(until=5.0)
+        vals = {a.decisions.get(0) for a in apps[1:]}
+        assert len(vals) == 1 and None not in vals
+
+    def test_coordinator_crash_mid_round(self):
+        sys_, apps, cts = build(seed=2)
+        propose_all(sys_, apps, 0)
+        sys_.machines[0].crash_at(0.0015)  # likely mid-phase
+        sys_.run(until=5.0)
+        vals = {a.decisions.get(0) for a in apps[1:]}
+        assert len(vals) == 1 and None not in vals
+
+    def test_minority_crashes_tolerated(self):
+        sys_, apps, cts = build(n=5, seed=3)
+        propose_all(sys_, apps, 0)
+        sys_.machines[0].crash_at(0.001)
+        sys_.machines[1].crash_at(0.002)
+        sys_.run(until=5.0)
+        vals = {a.decisions.get(0) for a in apps[2:]}
+        assert len(vals) == 1 and None not in vals
+
+
+class TestWithFalseSuspicions:
+    def test_wrong_suspicion_of_coordinator_is_safe(self):
+        """◊S allows arbitrary false suspicions; agreement must survive
+        them (only liveness may suffer, and the oracle later repents)."""
+        scripts = {
+            1: [(0.0005, "suspect", 0), (0.5, "restore", 0)],
+            2: [(0.0008, "suspect", 0), (0.5, "restore", 0)],
+        }
+        sys_, apps, cts = build(fd="oracle", oracle_scripts=scripts, seed=4)
+        propose_all(sys_, apps, 0)
+        sys_.run(until=5.0)
+        vals = {a.decisions.get(0) for a in apps}
+        assert len(vals) == 1 and None not in vals
+
+    def test_flapping_suspicions_safe(self):
+        scripts = {
+            i: [(0.001 * k, "suspect" if k % 2 == 0 else "restore", (i + 1) % 5)
+                for k in range(20)]
+            for i in range(5)
+        }
+        sys_, apps, cts = build(fd="oracle", oracle_scripts=scripts, seed=5)
+        propose_all(sys_, apps, 0)
+        sys_.run(until=5.0)
+        vals = {a.decisions.get(0) for a in apps}
+        assert len(vals) == 1 and None not in vals
+
+
+class TestUnderLoss:
+    def test_decides_despite_message_loss(self):
+        sys_, apps, cts = build(loss=0.15, seed=6)
+        propose_all(sys_, apps, 0)
+        sys_.run(until=10.0)
+        vals = {a.decisions.get(0) for a in apps}
+        assert len(vals) == 1 and None not in vals

@@ -1,0 +1,137 @@
+"""Integration tests: experiment X4 — replacing the consensus protocol.
+
+The paper's future-work extension (Section 7 / their TR [16]): the
+``r-consensus`` indirection replaces the consensus module under live
+atomic-broadcast load, with the switch point agreed through consensus
+itself.
+"""
+
+import pytest
+
+from repro.abcast import CtAbcastModule
+from repro.consensus import CtConsensusModule
+from repro.dpu import ReplConsensusModule, assert_abcast_properties
+from repro.dpu.probes import DeliveryLog
+from repro.fd import HeartbeatFd
+from repro.kernel import Module, System, WellKnown
+from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
+from repro.rbcast import RBCAST_SERVICE, RbcastModule
+from repro.sim import ConstantLatency, ms
+
+
+def build(n=5, seed=41):
+    sys_ = System(n=n, seed=seed)
+    net = SimNetwork(
+        sys_.sim, sys_.machines, SwitchedLan(latency=ConstantLatency(0.0002))
+    )
+    group = list(range(n))
+    sys_.registry.register(
+        "consensus-ct",
+        lambda st, **kw: CtConsensusModule(st, group, **kw),
+        provides=(WellKnown.CONSENSUS,),
+        requires=(WellKnown.RP2P, WellKnown.FD, RBCAST_SERVICE),
+        default_for=(WellKnown.CONSENSUS,),
+    )
+    log = DeliveryLog()
+
+    class Sender(Module):
+        REQUIRES = (WellKnown.ABCAST,)
+        PROTOCOL = "sender"
+
+        def __init__(self, stack):
+            super().__init__(stack)
+            self.seq = 0
+            self.subscribe(
+                WellKnown.ABCAST,
+                "adeliver",
+                lambda o, p, s: log.note_delivery(p[0], self.stack_id, self.now),
+            )
+
+        def send(self):
+            key = ("wl", self.stack_id, self.seq)
+            self.seq += 1
+            log.note_send(key, self.stack_id, self.now)
+            self.call(WellKnown.ABCAST, "abcast", (key, None), 256)
+
+    senders, repls = [], []
+    for st in sys_.stacks:
+        st.add_module(UdpModule(st, net))
+        st.add_module(Rp2pModule(st))
+        st.add_module(HeartbeatFd(st, group, period=ms(20), timeout=ms(100)))
+        st.add_module(RbcastModule(st, group))
+        st.add_module(CtConsensusModule(st, group))
+        repl = ReplConsensusModule(st, sys_.registry, "consensus-ct")
+        st.add_module(repl)
+        repls.append(repl)
+        # The ABcast consumes consensus *through the indirection*.
+        st.add_module(
+            CtAbcastModule(st, group, consensus_service=WellKnown.R_CONSENSUS)
+        )
+        snd = Sender(st)
+        st.add_module(snd)
+        senders.append(snd)
+    return sys_, senders, repls, log
+
+
+class TestConsensusReplacement:
+    def test_abcast_unaffected_by_consensus_swap(self):
+        sys_, senders, repls, log = build()
+        for k in range(30):
+            for i, s in enumerate(senders):
+                sys_.sim.schedule(0.01 * k + 0.001 * i, s.send)
+        # Swap the consensus implementation mid-load (CT -> CT).
+        sys_.sim.schedule(
+            0.15, repls[2].call, WellKnown.R_CONSENSUS, "change_protocol", "consensus-ct"
+        )
+        sys_.run(until=5.0)
+        assert_abcast_properties(log, {}, list(range(5)))
+        assert all(len(log.delivery_sequence(i)) == 150 for i in range(5))
+
+    def test_every_stack_switches_consensus(self):
+        sys_, senders, repls, log = build(seed=42)
+        for k in range(20):
+            for s in senders:
+                sys_.sim.schedule(0.01 * k, s.send)
+        sys_.sim.schedule(
+            0.1, repls[0].call, WellKnown.R_CONSENSUS, "change_protocol", "consensus-ct"
+        )
+        sys_.run(until=5.0)
+        assert all(r.counters.get("switches") == 1 for r in repls)
+        # All stacks landed on the *same* wire channel (agreed switch pt).
+        channels = {
+            st.bound_module(WellKnown.CONSENSUS).channel for st in sys_.stacks
+        }
+        assert len(channels) == 1
+
+    def test_old_instances_finish_on_old_module(self):
+        sys_, senders, repls, log = build(seed=43)
+        for k in range(20):
+            for s in senders:
+                sys_.sim.schedule(0.01 * k, s.send)
+        sys_.sim.schedule(
+            0.1, repls[0].call, WellKnown.R_CONSENSUS, "change_protocol", "consensus-ct"
+        )
+        sys_.run(until=5.0)
+        # Both consensus incarnations decided instances on stack 0.
+        stack0 = sys_.stacks[0]
+        consensus_modules = [
+            m for m in stack0.modules.values() if isinstance(m, CtConsensusModule)
+        ]
+        assert len(consensus_modules) == 2
+        decided_counts = [m.counters.get("decisions") for m in consensus_modules]
+        assert all(c > 0 for c in decided_counts)
+
+    def test_status_reflects_switch(self):
+        sys_, senders, repls, log = build(seed=44)
+        for s in senders:
+            s.send()
+        sys_.sim.schedule(
+            0.05, repls[0].call, WellKnown.R_CONSENSUS, "change_protocol", "consensus-ct"
+        )
+        for k in range(10):
+            for s in senders:
+                sys_.sim.schedule(0.1 + 0.01 * k, s.send)
+        sys_.run(until=5.0)
+        status = sys_.stacks[0].query(WellKnown.R_CONSENSUS, "status")
+        assert status["version"] == 1
+        assert status["pending_changes"] == 0

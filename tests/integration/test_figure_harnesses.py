@@ -1,0 +1,99 @@
+"""Integration tests: the experiment harnesses themselves (reduced scale).
+
+The benchmarks regenerate the figures at full scale; these tests keep the
+harness code itself correct and fast to check (n small, short runs).
+"""
+
+import pytest
+
+from repro.experiments import (
+    GroupCommConfig,
+    PROTOCOL_CT,
+    run_comparison,
+    run_concurrent_change_ablation,
+    run_creation_cost_ablation,
+    run_figure5,
+    run_one_config,
+)
+from repro.sim import ms
+
+
+SMALL = GroupCommConfig(n=3, seed=71, load_msgs_per_sec=40.0)
+
+
+class TestFigure5Harness:
+    def test_produces_series_window_and_phases(self):
+        res = run_figure5(SMALL, duration=6.0)
+        assert len(res.points) > 100
+        assert res.replacement_window is not None
+        assert res.replacement_window.duration > 0
+        assert res.pre_mean is not None and res.pre_mean > 0
+        assert res.during_mean is not None
+        assert res.post_mean is not None
+
+    def test_post_returns_to_pre_level(self):
+        """The paper's 'quickly stabilizes' claim at harness level."""
+        res = run_figure5(SMALL, duration=6.0)
+        assert res.post_mean == pytest.approx(res.pre_mean, rel=0.5)
+
+    def test_render_contains_measurements(self):
+        res = run_figure5(SMALL, duration=6.0)
+        text = res.render()
+        assert "Figure 5" in text
+        assert "replacement" in text
+
+    def test_series_in_ms(self):
+        res = run_figure5(SMALL, duration=6.0)
+        (t0, ms0) = res.series_ms()[0]
+        (t0b, s0) = res.points[0]
+        assert ms0 == pytest.approx(s0 * 1e3)
+
+
+class TestFigure6Harness:
+    @pytest.mark.parametrize(
+        "configuration",
+        ["normal_without_layer", "normal_with_layer", "during_replacement"],
+    )
+    def test_each_configuration_measures(self, configuration):
+        point = run_one_config(
+            n=3, configuration=configuration, load=40.0, duration=4.0, seed=72
+        )
+        assert point.mean_latency is not None
+        assert point.mean_latency > 0
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            run_one_config(n=3, configuration="bogus", load=40.0)
+
+
+class TestComparisonHarness:
+    def test_rows_for_all_solutions(self):
+        res = run_comparison(n=3, load=40.0, duration=6.0, seed=73)
+        assert {r.solution for r in res.rows} == {
+            "algorithm1",
+            "maestro",
+            "graceful",
+        }
+        ours = res.row("algorithm1")
+        maestro = res.row("maestro")
+        # The paper's headline comparison claim, measured:
+        assert ours.app_blocked_total == 0.0
+        assert maestro.app_blocked_total > 0.0
+        assert "app blocked" in res.render()
+
+
+class TestAblationHarnesses:
+    def test_concurrent_change_variants(self):
+        outcomes = run_concurrent_change_ablation(
+            n=3, seed=74, duration=5.0, variants=("guarded+drop", "guarded+reissue")
+        )
+        assert all(o.correct for o in outcomes)
+        drop, reissue = outcomes
+        assert drop.variant == "guarded+drop"
+
+    def test_creation_cost_monotone_blocking(self):
+        points = run_creation_cost_ablation(
+            costs=(0.0, ms(50.0)), n=3, load=40.0, duration=5.0, seed=75
+        )
+        assert points[0].blocked_time_total <= points[1].blocked_time_total
+        assert points[1].blocked_time_total > 0

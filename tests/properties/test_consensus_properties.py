@@ -1,0 +1,89 @@
+"""Property tests: consensus safety under adversarial ◊S suspicion patterns.
+
+The oracle failure detector lets hypothesis script arbitrary suspicion /
+restore sequences (◊S permits any finite amount of wrong suspicion).
+Safety (agreement, validity, integrity) must hold on *every* schedule;
+termination is checked for schedules that eventually quiesce — which the
+generated scripts do, since every suspicion of a live process is
+eventually restored.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.consensus import CtConsensusModule
+from repro.fd import OracleFd
+from repro.kernel import Module, System, WellKnown
+from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
+from repro.rbcast import RbcastModule
+from repro.sim import ConstantLatency
+
+
+class App(Module):
+    REQUIRES = (WellKnown.CONSENSUS,)
+    PROTOCOL = "app"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.decisions = {}
+        self.subscribe(
+            WellKnown.CONSENSUS,
+            "decide",
+            lambda iid, v, s: self.decisions.setdefault(iid, v),
+        )
+
+
+@st.composite
+def suspicion_scripts(draw):
+    """Per-stack ◊S-compatible scripts: every suspicion gets restored."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n = draw(st.sampled_from([3, 5]))
+    scripts = {}
+    for stack_id in range(n):
+        events = []
+        n_suspicions = draw(st.integers(min_value=0, max_value=4))
+        for _ in range(n_suspicions):
+            target = draw(st.integers(min_value=0, max_value=n - 1))
+            t_suspect = draw(
+                st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+            )
+            hold = draw(st.floats(min_value=0.01, max_value=0.4, allow_nan=False))
+            events.append((t_suspect, "suspect", target))
+            events.append((t_suspect + hold, "restore", target))
+        scripts[stack_id] = sorted(events)
+    return seed, n, scripts
+
+
+@given(suspicion_scripts())
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_consensus_safe_and_live_under_wrong_suspicions(case):
+    seed, n, scripts = case
+    sys_ = System(n=n, seed=seed)
+    net = SimNetwork(
+        sys_.sim, sys_.machines, SwitchedLan(latency=ConstantLatency(0.0002))
+    )
+    group = list(range(n))
+    apps = []
+    for stck in sys_.stacks:
+        stck.add_module(UdpModule(stck, net))
+        stck.add_module(Rp2pModule(stck))
+        stck.add_module(OracleFd(stck, group, script=scripts[stck.stack_id]))
+        stck.add_module(RbcastModule(stck, group))
+        stck.add_module(CtConsensusModule(stck, group))
+        a = App(stck)
+        stck.add_module(a)
+        apps.append(a)
+
+    for iid in range(3):
+        for i, a in enumerate(apps):
+            a.call(WellKnown.CONSENSUS, "propose", iid, f"i{iid}-p{i}", 64)
+    sys_.run(until=15.0)
+
+    for iid in range(3):
+        values = {a.decisions.get(iid) for a in apps}
+        # Termination: everyone decided (suspicions were all transient).
+        assert None not in values, f"instance {iid} did not terminate"
+        # Agreement: a single decided value...
+        assert len(values) == 1
+        # Validity: ...that was actually proposed.
+        assert values.pop() in {f"i{iid}-p{i}" for i in range(n)}

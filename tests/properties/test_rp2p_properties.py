@@ -1,0 +1,66 @@
+"""Property tests: RP2P gives FIFO exactly-once delivery under any loss."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Module, System, WellKnown
+from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
+from repro.sim import ConstantLatency
+
+
+class Collector(Module):
+    REQUIRES = (WellKnown.RP2P,)
+    PROTOCOL = "collector"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.got = {}
+        self.subscribe(
+            WellKnown.RP2P,
+            "deliver",
+            lambda s, p, z: self.got.setdefault(s, []).append(p),
+        )
+
+
+@st.composite
+def traffic(draw):
+    """Random per-sender message counts and a loss rate."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    counts = [draw(st.integers(min_value=0, max_value=12)) for _ in range(n)]
+    loss = draw(st.sampled_from([0.0, 0.1, 0.3, 0.5]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return n, counts, loss, seed
+
+
+class TestRp2pProperties:
+    @given(traffic())
+    @settings(max_examples=25, deadline=None)
+    def test_fifo_exactly_once_to_every_peer(self, spec):
+        n, counts, loss, seed = spec
+        sys_ = System(n=n, seed=seed)
+        net = SimNetwork(
+            sys_.sim,
+            sys_.machines,
+            SwitchedLan(latency=ConstantLatency(0.0002), loss_rate=loss),
+        )
+        collectors = []
+        for stck in sys_.stacks:
+            stck.add_module(UdpModule(stck, net))
+            stck.add_module(Rp2pModule(stck))
+            c = Collector(stck)
+            stck.add_module(c)
+            collectors.append(c)
+        for sender in range(n):
+            for k in range(counts[sender]):
+                for dst in range(n):
+                    if dst != sender:
+                        collectors[sender].call(
+                            WellKnown.RP2P, "send", dst, (sender, k), 64
+                        )
+        sys_.run(until=60.0)
+        for receiver in range(n):
+            for sender in range(n):
+                if sender == receiver:
+                    continue
+                expected = [(sender, k) for k in range(counts[sender])]
+                assert collectors[receiver].got.get(sender, []) == expected

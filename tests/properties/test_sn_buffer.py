@@ -1,0 +1,59 @@
+"""Property tests: the contiguous sequence-number delivery buffer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abcast.base import AbcastRecord, SnDeliveryBuffer
+
+
+@st.composite
+def permuted_prefix(draw):
+    """A permutation of 0..n-1 (arrival order of sequence numbers)."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    return draw(st.permutations(range(n)))
+
+
+class TestSnBuffer:
+    @given(permuted_prefix())
+    @settings(max_examples=100, deadline=None)
+    def test_releases_exactly_in_sn_order(self, arrival_order):
+        buf = SnDeliveryBuffer()
+        released = []
+        for sn in arrival_order:
+            released.extend(
+                r.payload for r in buf.offer(sn, AbcastRecord((0, sn), sn, 1))
+            )
+        assert released == sorted(arrival_order)
+        assert buf.pending_count == 0
+        assert buf.next_sn == len(arrival_order)
+
+    @given(permuted_prefix(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_duplicates_never_change_output(self, arrival_order, data):
+        """Re-offering an *already offered* sn (a wire duplicate) never
+        changes what is released."""
+        buf = SnDeliveryBuffer()
+        released = []
+        offered = []
+        for sn in arrival_order:
+            offered.append(sn)
+            released.extend(
+                r.payload for r in buf.offer(sn, AbcastRecord((0, sn), sn, 1))
+            )
+            if data.draw(st.booleans()):
+                dup = data.draw(st.sampled_from(offered))
+                released.extend(
+                    r.payload for r in buf.offer(dup, AbcastRecord((9, dup), f"dup{dup}", 1))
+                )
+        assert released == sorted(arrival_order)
+
+    @given(permuted_prefix())
+    @settings(max_examples=100, deadline=None)
+    def test_gap_blocks_everything_behind_it(self, arrival_order):
+        """Withhold sn=0: nothing may ever be released."""
+        buf = SnDeliveryBuffer()
+        for sn in arrival_order:
+            if sn == 0:
+                continue
+            assert buf.offer(sn, AbcastRecord((0, sn), sn, 1)) == []
+        assert buf.next_sn == 0

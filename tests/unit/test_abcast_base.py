@@ -1,0 +1,76 @@
+"""Unit tests: shared atomic-broadcast machinery."""
+
+import pytest
+
+from repro.abcast.base import AbcastRecord, SnDeliveryBuffer
+from repro.abcast import CtAbcastModule
+from repro.kernel import System
+
+
+class TestSnDeliveryBuffer:
+    def test_in_order_release(self):
+        buf = SnDeliveryBuffer()
+        records = [AbcastRecord((0, i), f"m{i}", 10) for i in range(3)]
+        out = []
+        for i, r in enumerate(records):
+            out.extend(buf.offer(i, r))
+        assert [r.payload for r in out] == ["m0", "m1", "m2"]
+
+    def test_gap_buffers_until_filled(self):
+        buf = SnDeliveryBuffer()
+        r0, r1, r2 = (AbcastRecord((0, i), f"m{i}", 10) for i in range(3))
+        assert buf.offer(1, r1) == []
+        assert buf.offer(2, r2) == []
+        assert buf.pending_count == 2
+        released = buf.offer(0, r0)
+        assert [r.payload for r in released] == ["m0", "m1", "m2"]
+        assert buf.pending_count == 0
+        assert buf.next_sn == 3
+
+    def test_stale_duplicate_ignored(self):
+        buf = SnDeliveryBuffer()
+        r = AbcastRecord((0, 0), "m", 10)
+        buf.offer(0, r)
+        assert buf.offer(0, r) == []
+
+    def test_duplicate_pending_first_wins(self):
+        buf = SnDeliveryBuffer()
+        a = AbcastRecord((0, 0), "first", 10)
+        b = AbcastRecord((0, 1), "second", 10)
+        buf.offer(1, a)
+        buf.offer(1, b)
+        released = buf.offer(0, AbcastRecord((9, 9), "zero", 10))
+        assert [r.payload for r in released] == ["zero", "first"]
+
+
+class TestRecord:
+    def test_origin_from_uid(self):
+        assert AbcastRecord((3, 7), "x", 10).origin == 3
+
+
+class TestModuleBaseGuards:
+    def test_member_must_be_in_group(self):
+        sys_ = System(n=2, seed=0)
+        with pytest.raises(ValueError):
+            CtAbcastModule(sys_.stack(0), group=[1])
+
+    def test_default_instance_tag(self):
+        sys_ = System(n=2, seed=0)
+        m = CtAbcastModule(sys_.stack(0), group=[0, 1])
+        assert m.instance_tag == "abcast-ct/v0"
+
+    def test_explicit_instance_tag(self):
+        sys_ = System(n=2, seed=0)
+        m = CtAbcastModule(sys_.stack(0), group=[0, 1], instance_tag="x/v3")
+        assert m.instance_tag == "x/v3"
+
+    def test_uid_dedup_in_adeliver_record(self):
+        sys_ = System(n=2, seed=0)
+        st = sys_.stack(0)
+        m = CtAbcastModule(st, group=[0, 1])
+        st.add_module(m)
+        rec = AbcastRecord((0, 0), "m", 10)
+        assert m._adeliver_record(rec) is True
+        assert m._adeliver_record(rec) is False
+        assert m.counters.get("duplicate_deliveries_suppressed") == 1
+        assert m.delivered_uids == [(0, 0)]

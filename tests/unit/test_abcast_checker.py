@@ -1,0 +1,138 @@
+"""Unit tests: ABcast property checkers on synthetic delivery logs."""
+
+import pytest
+
+from repro.dpu.abcast_checker import (
+    assert_abcast_properties,
+    check_uniform_agreement,
+    check_uniform_integrity,
+    check_uniform_total_order,
+    check_validity,
+)
+from repro.dpu.probes import DeliveryLog
+from repro.errors import PropertyViolation
+
+
+def log_with(sends, deliveries):
+    """sends: {key: (sender, t)}; deliveries: {stack: [keys in order]}."""
+    log = DeliveryLog()
+    for key, (sender, t) in sends.items():
+        log.note_send(key, sender, t)
+    for stack, keys in deliveries.items():
+        for i, key in enumerate(keys):
+            log.note_delivery(key, stack, 10.0 + i)
+    return log
+
+
+GOOD = dict(
+    sends={"a": (0, 1.0), "b": (1, 2.0)},
+    deliveries={0: ["a", "b"], 1: ["a", "b"], 2: ["a", "b"]},
+)
+
+
+class TestValidity:
+    def test_holds(self):
+        log = log_with(**GOOD)
+        assert check_validity(log, crashed={}) == []
+
+    def test_sender_missing_own_message(self):
+        log = log_with(
+            sends={"a": (0, 1.0)}, deliveries={1: ["a"], 2: ["a"], 0: []}
+        )
+        violations = check_validity(log, crashed={})
+        assert len(violations) == 1 and "'a'" in violations[0]
+
+    def test_crashed_sender_exempt(self):
+        log = log_with(sends={"a": (0, 1.0)}, deliveries={1: [], 2: []})
+        assert check_validity(log, crashed={0: 1.5}) == []
+
+    def test_in_flight_exemption(self):
+        log = log_with(sends={"a": (0, 1.0)}, deliveries={})
+        assert check_validity(log, crashed={}, in_flight_ok={"a"}) == []
+
+
+class TestUniformAgreement:
+    def test_holds(self):
+        log = log_with(**GOOD)
+        assert check_uniform_agreement(log, {}, [0, 1, 2]) == []
+
+    def test_missing_at_one_correct_stack(self):
+        log = log_with(
+            sends={"a": (0, 1.0)}, deliveries={0: ["a"], 1: ["a"], 2: []}
+        )
+        violations = check_uniform_agreement(log, {}, [0, 1, 2])
+        assert len(violations) == 1 and "stack 2" in violations[0]
+
+    def test_uniformity_binds_even_deliveries_by_crashed(self):
+        """The *uniform* flavour: a message delivered only by a stack
+        that later crashed must still reach every correct stack."""
+        log = log_with(
+            sends={"a": (0, 1.0)}, deliveries={0: ["a"], 1: [], 2: []}
+        )
+        violations = check_uniform_agreement(log, {0: 99.0}, [0, 1, 2])
+        assert len(violations) == 2  # stacks 1 and 2 both missing it
+
+    def test_crashed_stack_not_obligated(self):
+        log = log_with(
+            sends={"a": (0, 1.0)}, deliveries={0: ["a"], 1: ["a"], 2: []}
+        )
+        assert check_uniform_agreement(log, {2: 5.0}, [0, 1, 2]) == []
+
+
+class TestUniformIntegrity:
+    def test_holds(self):
+        assert check_uniform_integrity(log_with(**GOOD), [0, 1, 2]) == []
+
+    def test_double_delivery_caught(self):
+        log = log_with(
+            sends={"a": (0, 1.0)}, deliveries={0: ["a", "a"], 1: ["a"]}
+        )
+        violations = check_uniform_integrity(log, [0, 1])
+        assert len(violations) == 1 and "more than once" in violations[0]
+
+    def test_creation_from_nothing_caught(self):
+        log = log_with(sends={}, deliveries={0: ["phantom"]})
+        violations = check_uniform_integrity(log, [0])
+        assert len(violations) == 1 and "never ABcast" in violations[0]
+
+
+class TestUniformTotalOrder:
+    def test_holds(self):
+        assert check_uniform_total_order(log_with(**GOOD), [0, 1, 2]) == []
+
+    def test_swap_caught(self):
+        log = log_with(
+            sends={"a": (0, 1.0), "b": (1, 2.0)},
+            deliveries={0: ["a", "b"], 1: ["b", "a"]},
+        )
+        violations = check_uniform_total_order(log, [0, 1])
+        assert len(violations) == 1 and "diverge" in violations[0]
+
+    def test_restriction_to_common_set(self):
+        """A stack that missed a message (e.g. crashed early) does not
+        create an order violation as long as the common prefix agrees."""
+        log = log_with(
+            sends={"a": (0, 1.0), "b": (1, 2.0), "c": (2, 3.0)},
+            deliveries={0: ["a", "b", "c"], 1: ["a", "c"]},
+        )
+        assert check_uniform_total_order(log, [0, 1]) == []
+
+    def test_disjoint_sets_trivially_ordered(self):
+        log = log_with(
+            sends={"a": (0, 1.0), "b": (1, 2.0)},
+            deliveries={0: ["a"], 1: ["b"]},
+        )
+        assert check_uniform_total_order(log, [0, 1]) == []
+
+
+class TestAssertAll:
+    def test_good_log_passes(self):
+        assert_abcast_properties(log_with(**GOOD), {}, [0, 1, 2])
+
+    def test_first_failure_raises_with_property_name(self):
+        log = log_with(
+            sends={"a": (0, 1.0), "b": (1, 2.0)},
+            deliveries={0: ["a", "b"], 1: ["b", "a"], 2: ["a", "b"]},
+        )
+        with pytest.raises(PropertyViolation, match="total order"):
+            assert_abcast_properties(log, {}, [0, 1, 2])

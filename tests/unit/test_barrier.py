@@ -1,0 +1,73 @@
+"""Unit tests: the distributed barrier (Graceful Adaptation substrate)."""
+
+import pytest
+
+from repro.baselines import BARRIER_SERVICE, BarrierModule
+from repro.kernel import Module, System
+from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
+from repro.sim import ConstantLatency
+
+
+class Waiter(Module):
+    REQUIRES = (BARRIER_SERVICE,)
+    PROTOCOL = "waiter"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.passed = []
+        self.subscribe(
+            BARRIER_SERVICE, "passed", lambda bid: self.passed.append((bid, self.now))
+        )
+
+
+def build(n=3):
+    sys_ = System(n=n, seed=2)
+    net = SimNetwork(
+        sys_.sim, sys_.machines, SwitchedLan(latency=ConstantLatency(0.0002))
+    )
+    group = list(range(n))
+    waiters = []
+    for st in sys_.stacks:
+        st.add_module(UdpModule(st, net))
+        st.add_module(Rp2pModule(st))
+        st.add_module(BarrierModule(st, group))
+        w = Waiter(st)
+        st.add_module(w)
+        waiters.append(w)
+    return sys_, waiters
+
+
+class TestBarrier:
+    def test_nobody_passes_until_all_enter(self):
+        sys_, waiters = build()
+        waiters[0].call(BARRIER_SERVICE, "enter", "b1")
+        waiters[1].call(BARRIER_SERVICE, "enter", "b1")
+        sys_.run(until=1.0)
+        assert all(w.passed == [] for w in waiters)
+
+    def test_all_pass_after_last_arrival(self):
+        sys_, waiters = build()
+        for i, w in enumerate(waiters):
+            sys_.sim.schedule(0.1 * i, w.call, BARRIER_SERVICE, "enter", "b1")
+        sys_.run(until=2.0)
+        assert all([bid for bid, _t in w.passed] == ["b1"] for w in waiters)
+        # nobody passes before the last (t=0.2) arrival:
+        assert all(t >= 0.2 for w in waiters for _b, t in w.passed)
+
+    def test_independent_barriers(self):
+        sys_, waiters = build()
+        for w in waiters:
+            w.call(BARRIER_SERVICE, "enter", "b1")
+            w.call(BARRIER_SERVICE, "enter", "b2")
+        sys_.run(until=2.0)
+        for w in waiters:
+            assert {bid for bid, _t in w.passed} == {"b1", "b2"}
+
+    def test_reentry_of_released_barrier_is_ignored(self):
+        sys_, waiters = build()
+        for w in waiters:
+            w.call(BARRIER_SERVICE, "enter", "b1")
+        sys_.run(until=1.0)
+        waiters[0].call(BARRIER_SERVICE, "enter", "b1")
+        sys_.run(until=2.0)
+        assert [bid for bid, _t in waiters[0].passed] == ["b1"]

@@ -1,0 +1,83 @@
+"""Unit tests: the binding table (at most one provider per service)."""
+
+import pytest
+
+from repro.errors import KernelError, ServiceAlreadyBoundError
+from repro.kernel import Module, System
+from repro.kernel.binding import BindingTable
+
+
+class Provider(Module):
+    PROVIDES = ("svc",)
+    PROTOCOL = "prov"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.export_call("svc", "go", lambda: None)
+
+
+@pytest.fixture
+def stack(system):
+    return system.stack(0)
+
+
+class TestBindingTable:
+    def test_bind_and_lookup(self, stack):
+        table = BindingTable()
+        m = Provider(stack)
+        table.bind("svc", m)
+        assert table.bound("svc") is m
+        assert table.is_bound("svc")
+        assert "svc" in table
+
+    def test_double_bind_rejected(self, stack):
+        table = BindingTable()
+        m1, m2 = Provider(stack), Provider(stack)
+        table.bind("svc", m1)
+        with pytest.raises(ServiceAlreadyBoundError):
+            table.bind("svc", m2)
+
+    def test_rebinding_same_module_is_idempotent(self, stack):
+        table = BindingTable()
+        m = Provider(stack)
+        table.bind("svc", m)
+        table.bind("svc", m)  # no error
+        assert table.bound("svc") is m
+
+    def test_bind_requires_provides(self, stack):
+        table = BindingTable()
+        m = Provider(stack)
+        with pytest.raises(KernelError):
+            table.bind("other", m)
+
+    def test_unbind_returns_module(self, stack):
+        table = BindingTable()
+        m = Provider(stack)
+        table.bind("svc", m)
+        assert table.unbind("svc") is m
+        assert not table.is_bound("svc")
+
+    def test_unbind_unbound_raises(self):
+        with pytest.raises(KernelError):
+            BindingTable().unbind("svc")
+
+    def test_rebind_after_unbind(self, stack):
+        table = BindingTable()
+        m1, m2 = Provider(stack), Provider(stack)
+        table.bind("svc", m1)
+        table.unbind("svc")
+        table.bind("svc", m2)
+        assert table.bound("svc") is m2
+
+    def test_services_of(self, stack):
+        table = BindingTable()
+        m = Provider(stack)
+        table.bind("svc", m)
+        assert table.services_of(m) == ["svc"]
+
+    def test_as_dict(self, stack):
+        table = BindingTable()
+        m = Provider(stack)
+        table.bind("svc", m)
+        assert table.as_dict() == {"svc": m.name}
+        assert len(table) == 1

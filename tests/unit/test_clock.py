@@ -1,0 +1,64 @@
+"""Unit tests: simulated-time conventions."""
+
+import math
+
+import pytest
+
+from repro.sim.clock import (
+    TIME_EPSILON,
+    format_time,
+    ms,
+    time_eq,
+    time_le,
+    to_ms,
+    to_us,
+    us,
+)
+
+
+class TestConversions:
+    def test_ms_roundtrip(self):
+        assert to_ms(ms(12.5)) == pytest.approx(12.5)
+
+    def test_us_roundtrip(self):
+        assert to_us(us(37.0)) == pytest.approx(37.0)
+
+    def test_ms_is_seconds(self):
+        assert ms(1000.0) == pytest.approx(1.0)
+
+    def test_us_is_seconds(self):
+        assert us(1_000_000.0) == pytest.approx(1.0)
+
+    def test_zero(self):
+        assert ms(0.0) == 0.0
+        assert us(0.0) == 0.0
+
+
+class TestFormatTime:
+    def test_seconds_range(self):
+        assert format_time(12.5) == "12.500s"
+
+    def test_millis_range(self):
+        assert format_time(0.0341) == "34.100ms"
+
+    def test_micros_range(self):
+        assert format_time(0.000045) == "45.000us"
+
+    def test_non_finite(self):
+        assert format_time(float("inf")) == "inf"
+        assert format_time(float("nan")) == "nan"
+
+
+class TestComparisons:
+    def test_time_eq_within_epsilon(self):
+        assert time_eq(1.0, 1.0 + TIME_EPSILON / 2)
+
+    def test_time_eq_beyond_epsilon(self):
+        assert not time_eq(1.0, 1.0 + 1e-6)
+
+    def test_time_le_strict(self):
+        assert time_le(1.0, 2.0)
+        assert not time_le(2.0, 1.0)
+
+    def test_time_le_tolerates_noise(self):
+        assert time_le(1.0 + TIME_EPSILON / 2, 1.0)

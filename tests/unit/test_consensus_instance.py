@@ -1,0 +1,171 @@
+"""Unit tests: the Chandra–Toueg per-instance state machine, driven directly.
+
+These tests exercise the CT phases without any network: the test plays
+coordinator/participant roles by injecting messages and inspecting the
+frames the instance emits.
+"""
+
+import pytest
+
+from repro.consensus.base import coordinator_of_round, majority
+from repro.consensus.instance import ACK, ABORT, EST, NACK, PROP, CtInstance
+
+
+class Harness:
+    """Captures an instance's outgoing frames and decisions."""
+
+    def __init__(self, n=3, my_rank=0, suspected=None):
+        self.sent = []          # (dst, kind, round, value, ts)
+        self.decided = []       # (value, size)
+        self.suspected = set(suspected or ())
+        self.instance = CtInstance(
+            instance_id=0,
+            group=tuple(range(n)),
+            my_rank=my_rank,
+            send_fn=lambda dst, kind, r, v, ts, size: self.sent.append(
+                (dst, kind, r, v, ts)
+            ),
+            decide_fn=lambda v, size: self.decided.append(v),
+            is_suspected=lambda rank: rank in self.suspected,
+        )
+
+    def frames(self, kind):
+        return [f for f in self.sent if f[1] == kind]
+
+
+class TestQuorumHelpers:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (7, 4)])
+    def test_majority(self, n, expected):
+        assert majority(n) == expected
+
+    def test_majority_invalid(self):
+        with pytest.raises(ValueError):
+            majority(0)
+
+    def test_rotating_coordinator(self):
+        group = (0, 1, 2)
+        assert [coordinator_of_round(group, r) for r in range(5)] == [0, 1, 2, 0, 1]
+
+
+class TestHappyPath:
+    def test_propose_sends_estimate_to_round0_coordinator(self):
+        h = Harness(n=3, my_rank=1)
+        h.instance.propose("v1", 10)
+        assert h.frames(EST) == [(0, EST, 0, "v1", 0)]
+
+    def test_coordinator_proposes_highest_ts(self):
+        h = Harness(n=3, my_rank=0)
+        h.instance.propose("mine", 10)       # est (mine, ts=0) to self
+        h.instance.on_message(0, EST, 0, "mine", 0, 10)
+        # second estimate with a higher timestamp must win
+        h.instance.on_message(1, EST, 0, "fresh", 1, 10)
+        props = h.frames(PROP)
+        assert len(props) == 3  # to every group member
+        assert all(v == "fresh" for (_d, _k, _r, v, _ts) in props)
+
+    def test_coordinator_waits_for_quorum(self):
+        h = Harness(n=5, my_rank=0)
+        h.instance.propose("mine", 10)
+        h.instance.on_message(0, EST, 0, "mine", 0, 10)
+        h.instance.on_message(1, EST, 0, "other", 0, 10)
+        assert h.frames(PROP) == []  # 2 < majority(5)=3
+        h.instance.on_message(2, EST, 0, "third", 0, 10)
+        assert len(h.frames(PROP)) == 5
+
+    def test_participant_acks_proposal_and_adopts(self):
+        h = Harness(n=3, my_rank=1)
+        h.instance.propose("mine", 10)
+        h.instance.on_message(0, PROP, 0, "coord-pick", 0, 10)
+        assert h.frames(ACK) == [(0, ACK, 0, None, 0)]
+        assert h.instance.estimate == "coord-pick"
+        assert h.instance.ts == 0
+
+    def test_coordinator_decides_on_all_ack_quorum(self):
+        h = Harness(n=3, my_rank=0)
+        h.instance.propose("v", 10)
+        h.instance.on_message(0, EST, 0, "v", 0, 10)
+        h.instance.on_message(1, EST, 0, "v", 0, 10)
+        h.instance.on_message(0, ACK, 0, None, 0, 0)
+        h.instance.on_message(1, ACK, 0, None, 0, 0)
+        assert h.decided == ["v"]
+
+    def test_duplicate_acks_ignored(self):
+        h = Harness(n=5, my_rank=0)
+        h.instance.propose("v", 10)
+        for r in range(3):
+            h.instance.on_message(r, EST, 0, "v", 0, 10)
+        h.instance.on_message(1, ACK, 0, None, 0, 0)
+        h.instance.on_message(1, ACK, 0, None, 0, 0)
+        h.instance.on_message(1, ACK, 0, None, 0, 0)
+        assert h.decided == []  # one sender cannot fill the quorum
+
+
+class TestFailurePath:
+    def test_suspected_coordinator_gets_instant_nack(self):
+        h = Harness(n=3, my_rank=1, suspected={0})
+        h.instance.propose("v", 10)
+        assert h.frames(NACK) == [(0, NACK, 0, None, 0)]
+        # advanced to round 1 and sent the estimate to coordinator 1 (self)
+        assert (1, EST, 1, "v", 0) in h.frames(EST)
+
+    def test_suspicion_after_ack_advances_round(self):
+        h = Harness(n=3, my_rank=1)
+        h.instance.propose("v", 10)
+        h.instance.on_message(0, PROP, 0, "pick", 0, 10)
+        assert h.instance.round == 0
+        h.instance.on_suspect(0)
+        assert h.instance.round == 1
+        # no NACK: we already replied ack in round 0
+        assert h.frames(NACK) == []
+
+    def test_nack_in_quorum_triggers_abort(self):
+        h = Harness(n=3, my_rank=0)
+        h.instance.propose("v", 10)
+        h.instance.on_message(0, EST, 0, "v", 0, 10)
+        h.instance.on_message(1, EST, 0, "v", 0, 10)
+        h.instance.on_message(0, ACK, 0, None, 0, 0)
+        h.instance.on_message(1, NACK, 0, None, 0, 0)
+        assert h.decided == []
+        aborts = h.frames(ABORT)
+        assert {d for (d, _k, _r, _v, _t) in aborts} == {1, 2}
+
+    def test_abort_advances_round(self):
+        h = Harness(n=3, my_rank=2)
+        h.instance.propose("v", 10)
+        assert h.instance.round == 0
+        h.instance.on_message(0, ABORT, 0, None, 0, 0)
+        assert h.instance.round == 1
+
+    def test_higher_round_proposal_catches_up(self):
+        h = Harness(n=3, my_rank=2)
+        h.instance.propose("v", 10)
+        h.instance.on_message(1, PROP, 1, "late-pick", 1, 10)
+        assert h.instance.round == 1
+        assert h.instance.estimate == "late-pick"
+        assert (1, ACK, 1, None, 0) in h.frames(ACK)
+
+    def test_locked_value_carried_to_next_round(self):
+        """CT safety: after a majority acks value v in round r, every
+        later coordinator quorum contains a ts=r estimate of v."""
+        h = Harness(n=3, my_rank=1)
+        h.instance.propose("initial", 10)
+        h.instance.on_message(0, PROP, 0, "locked", 0, 10)  # adopt, ts=0
+        h.instance.on_suspect(0)  # advance to round 1; I coordinate it
+        h.instance.on_message(1, EST, 1, "locked", 0, 10)
+        h.instance.on_message(2, EST, 1, "stale", 0, 10)
+        props = h.frames(PROP)
+        # tie on ts: lowest rank wins; rank1 carries "locked"
+        assert all(v == "locked" for (_d, _k, r, v, _t) in props if r == 1)
+
+
+class TestDecidedTermination:
+    def test_no_activity_after_decide(self):
+        h = Harness(n=3, my_rank=1)
+        h.instance.propose("v", 10)
+        h.instance.on_decided("winner")
+        before = len(h.sent)
+        h.instance.on_message(0, PROP, 0, "pick", 0, 10)
+        h.instance.on_suspect(0)
+        assert len(h.sent) == before
+        assert h.instance.decided
+        assert h.instance.decision == "winner"

@@ -1,0 +1,96 @@
+"""Unit tests: the deterministic event queue."""
+
+import pytest
+
+from repro.sim.events import (
+    PRIORITY_CONTROL,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    EventQueue,
+)
+
+
+def drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        assert [h.time for h in drain(q)] == [1.0, 2.0, 3.0]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None, priority=PRIORITY_LATE)
+        b = q.push(1.0, lambda: None, priority=PRIORITY_CONTROL)
+        c = q.push(1.0, lambda: None, priority=PRIORITY_NORMAL)
+        assert drain(q) == [b, c, a]
+
+    def test_fifo_among_equal_time_and_priority(self):
+        q = EventQueue()
+        handles = [q.push(1.0, lambda: None) for _ in range(10)]
+        assert drain(q) == handles
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.peek_time() == 2.0
+
+
+class TestCancellation:
+    def test_cancel_removes_from_len(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        assert len(q) == 1
+        q.cancel(h)
+        assert len(q) == 0
+        assert not q
+
+    def test_cancelled_event_not_popped(self):
+        q = EventQueue()
+        h1 = q.push(1.0, lambda: None)
+        h2 = q.push(2.0, lambda: None)
+        q.cancel(h1)
+        assert drain(q) == [h2]
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.cancel(h)
+        q.cancel(h)
+        assert len(q) == 0
+
+    def test_cancel_releases_references(self):
+        q = EventQueue()
+        h = q.push(1.0, print, ("payload",))
+        q.cancel(h)
+        assert h.callback is None
+        assert h.args == ()
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        h1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(h1)
+        assert q.peek_time() == 2.0
+
+    def test_clear(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(5)]
+        q.clear()
+        assert len(q) == 0
+        assert all(h.cancelled for h in handles)
+
+
+class TestErrors:
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()

@@ -1,0 +1,159 @@
+"""Unit tests: failure detectors."""
+
+import pytest
+
+from repro.kernel import Module, System, WellKnown
+from repro.net import SimNetwork, SwitchedLan, UdpModule
+from repro.fd import HeartbeatFd, OracleFd, PerfectFd
+from repro.sim import ConstantLatency, ms
+
+
+class FdWatcher(Module):
+    REQUIRES = (WellKnown.FD,)
+    PROTOCOL = "fd-watcher"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.events = []
+        self.subscribe(WellKnown.FD, "suspect", lambda r: self.events.append(("suspect", r, self.now)))
+        self.subscribe(WellKnown.FD, "restore", lambda r: self.events.append(("restore", r, self.now)))
+
+
+def build_hb(n=3, seed=9, **fd_kwargs):
+    sys_ = System(n=n, seed=seed)
+    net = SimNetwork(sys_.sim, sys_.machines, SwitchedLan(latency=ConstantLatency(0.0002)))
+    fds, watchers = [], []
+    group = list(range(n))
+    for st in sys_.stacks:
+        st.add_module(UdpModule(st, net))
+        fd = HeartbeatFd(st, group, **fd_kwargs)
+        st.add_module(fd)
+        w = FdWatcher(st)
+        st.add_module(w)
+        fds.append(fd)
+        watchers.append(w)
+    return sys_, fds, watchers
+
+
+class TestHeartbeatFd:
+    def test_no_suspicions_in_calm_run(self):
+        sys_, fds, watchers = build_hb()
+        sys_.run(until=3.0)
+        assert all(not fd.suspects() for fd in fds)
+        assert all(w.events == [] for w in watchers)
+
+    def test_crashed_peer_eventually_suspected_by_all(self):
+        sys_, fds, watchers = build_hb()
+        sys_.machines[2].crash_at(1.0)
+        sys_.run(until=3.0)
+        for i in (0, 1):
+            assert 2 in fds[i].suspects()
+            assert ("suspect", 2) in [(k, r) for k, r, _t in watchers[i].events]
+
+    def test_suspicion_latency_bounded_by_timeout_plus_period(self):
+        sys_, fds, watchers = build_hb(timeout=ms(200), period=ms(50))
+        sys_.machines[2].crash_at(1.0)
+        sys_.run(until=3.0)
+        t_suspect = [t for k, r, t in watchers[0].events if k == "suspect" and r == 2][0]
+        assert 1.0 < t_suspect < 1.0 + 0.200 + 2 * 0.050 + 0.01
+
+    def test_suspicion_is_permanent_for_crashed_peer(self):
+        sys_, fds, watchers = build_hb()
+        sys_.machines[2].crash_at(0.5)
+        sys_.run(until=5.0)
+        restores = [e for e in watchers[0].events if e[0] == "restore"]
+        assert restores == []
+
+    def test_queries(self):
+        sys_, fds, watchers = build_hb()
+        sys_.machines[1].crash_at(0.5)
+        sys_.run(until=2.0)
+        stack0 = sys_.stack(0)
+        assert stack0.query(WellKnown.FD, "is_suspected", 1)
+        assert 1 in stack0.query(WellKnown.FD, "suspects")
+
+    def test_adaptive_timeout_grows_after_false_suspicion(self):
+        # Partition briefly so heartbeats are lost, then heal: the FD
+        # wrongly suspects, repents, and raises that peer's timeout.
+        sys_, fds, watchers = build_hb(timeout=ms(150), period=ms(40))
+        net = None
+        for st in sys_.stacks:
+            pass
+        # grab the network from the udp module
+        udp = next(m for m in sys_.stack(0).modules.values() if m.protocol == "udp")
+        network = udp.network
+        sys_.sim.schedule(1.0, network.partition, {0}, {1, 2})
+        sys_.sim.schedule(1.5, network.heal)
+        sys_.run(until=4.0)
+        fd0 = fds[0]
+        assert fd0.false_suspicions > 0
+        assert fd0.current_timeout(1) > ms(150)
+        assert not fd0.suspects()  # repented after heal
+
+    def test_validation(self):
+        sys_ = System(n=2, seed=0)
+        with pytest.raises(ValueError):
+            HeartbeatFd(sys_.stack(0), [0, 1], period=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatFd(sys_.stack(0), [0, 1], backoff=0.5)
+
+
+class TestPerfectFd:
+    def test_suspects_exactly_crashed(self):
+        sys_ = System(n=3, seed=0)
+        fds = []
+        for st in sys_.stacks:
+            fd = PerfectFd(st, sys_.machines, detection_delay=ms(10))
+            st.add_module(fd)
+            fds.append(fd)
+        sys_.machines[1].crash_at(0.5)
+        sys_.run(until=1.0)
+        assert fds[0].suspects() == {1}
+        assert fds[2].suspects() == {1}
+
+    def test_never_suspects_live(self):
+        sys_ = System(n=3, seed=0)
+        fds = []
+        for st in sys_.stacks:
+            fd = PerfectFd(st, sys_.machines)
+            st.add_module(fd)
+            fds.append(fd)
+        sys_.run(until=2.0)
+        assert all(not fd.suspects() for fd in fds)
+
+
+class TestOracleFd:
+    def test_scripted_suspicions(self):
+        sys_ = System(n=2, seed=0)
+        st = sys_.stack(0)
+        fd = OracleFd(st, [0, 1], script=[(0.5, "suspect", 1), (1.0, "restore", 1)])
+        st.add_module(fd)
+        w = FdWatcher(st)
+        st.add_module(w)
+        sys_.run(until=2.0)
+        assert [(k, r) for k, r, _t in w.events] == [("suspect", 1), ("restore", 1)]
+
+    def test_manual_injection(self):
+        sys_ = System(n=2, seed=0)
+        st = sys_.stack(0)
+        fd = OracleFd(st, [0, 1])
+        st.add_module(fd)
+        fd.inject_suspicion(1)
+        assert fd.suspects() == {1}
+        fd.inject_restore(1)
+        assert fd.suspects() == frozenset()
+
+    def test_never_suspects_self(self):
+        sys_ = System(n=2, seed=0)
+        st = sys_.stack(0)
+        fd = OracleFd(st, [0, 1])
+        st.add_module(fd)
+        fd.inject_suspicion(0)
+        assert fd.suspects() == frozenset()
+
+    def test_bad_script_action(self):
+        sys_ = System(n=2, seed=0)
+        st = sys_.stack(0)
+        fd = OracleFd(st, [0, 1], script=[(0.5, "explode", 1)])
+        with pytest.raises(ValueError):
+            st.add_module(fd)

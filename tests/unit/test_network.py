@@ -1,0 +1,173 @@
+"""Unit tests: the simulated switched LAN."""
+
+import pytest
+
+from repro.errors import NetworkError, UnknownDestinationError
+from repro.net import NetMessage, SimNetwork, SwitchedLan, estimate_payload_size
+from repro.sim import ConstantLatency, Machine, Simulator
+
+
+def make_net(sim, n=3, **lan_kwargs):
+    lan_kwargs.setdefault("latency", ConstantLatency(0.001))
+    machines = [Machine(sim, i) for i in range(n)]
+    return machines, SimNetwork(sim, machines, SwitchedLan(**lan_kwargs))
+
+
+class TestMessage:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetMessage(0, 1, "p", -1)
+
+    def test_msg_ids_unique(self):
+        a = NetMessage(0, 1, "p", 10)
+        b = NetMessage(0, 1, "p", 10)
+        assert a.msg_id != b.msg_id
+
+
+class TestEstimateSize:
+    def test_scalars(self):
+        assert estimate_payload_size(None) == 1
+        assert estimate_payload_size(True) == 1
+        assert estimate_payload_size(7) == 8
+        assert estimate_payload_size(1.5) == 8
+
+    def test_strings_and_bytes(self):
+        assert estimate_payload_size("abc") == 7
+        assert estimate_payload_size(b"abcd") == 8
+
+    def test_containers_recursive(self):
+        assert estimate_payload_size([1, 2]) == 4 + 16
+        assert estimate_payload_size({"a": 1}) == 4 + 5 + 8
+
+    def test_unknown_object_default(self):
+        class X:
+            __slots__ = ()
+
+        assert estimate_payload_size(X(), default=99) == 99
+
+
+class TestLanValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            SwitchedLan(bandwidth_bps=0)
+
+    def test_bad_loss(self):
+        with pytest.raises(ValueError):
+            SwitchedLan(loss_rate=1.0)
+
+    def test_transmission_time(self):
+        lan = SwitchedLan(bandwidth_bps=100e6)
+        assert lan.transmission_time(1250) == pytest.approx(1e-4)
+
+
+class TestDelivery:
+    def test_basic_delivery(self, sim):
+        machines, net = make_net(sim)
+        got = []
+        net.attach(1, lambda m, t: got.append((m.payload, t)))
+        net.send(NetMessage(0, 1, "hello", 1250))
+        sim.run()
+        # 1250B at 100Mb/s = 0.1ms tx + 1ms latency
+        assert got == [("hello", pytest.approx(0.0011))]
+
+    def test_nic_serialisation(self, sim):
+        machines, net = make_net(sim)
+        got = []
+        net.attach(1, lambda m, t: got.append(t))
+        for _ in range(3):
+            net.send(NetMessage(0, 1, "x", 1250))
+        sim.run()
+        assert got == [pytest.approx(0.0011), pytest.approx(0.0012), pytest.approx(0.0013)]
+
+    def test_nic_backlog_visible(self, sim):
+        machines, net = make_net(sim)
+        net.attach(1, lambda m, t: None)
+        for _ in range(10):
+            net.send(NetMessage(0, 1, "x", 12500))
+        assert net.nic_backlog(0) == pytest.approx(0.01)
+
+    def test_unknown_destination(self, sim):
+        machines, net = make_net(sim)
+        with pytest.raises(UnknownDestinationError):
+            net.send(NetMessage(0, 99, "x", 10))
+
+    def test_double_attach_rejected(self, sim):
+        machines, net = make_net(sim)
+        net.attach(0, lambda m, t: None)
+        with pytest.raises(NetworkError):
+            net.attach(0, lambda m, t: None)
+
+    def test_unattached_drop_counted(self, sim):
+        machines, net = make_net(sim)
+        net.send(NetMessage(0, 1, "x", 10))
+        sim.run()
+        assert net.stats()["dropped_unattached"] == 1
+
+    def test_send_local_loopback(self, sim):
+        machines, net = make_net(sim)
+        got = []
+        net.attach(0, lambda m, t: got.append(t))
+        net.send_local(NetMessage(0, 0, "x", 10))
+        sim.run()
+        assert got == [0.0]
+
+    def test_send_local_requires_same_src_dst(self, sim):
+        machines, net = make_net(sim)
+        with pytest.raises(NetworkError):
+            net.send_local(NetMessage(0, 1, "x", 10))
+
+
+class TestImpairments:
+    def test_loss(self, sim):
+        machines, net = make_net(sim, loss_rate=0.5)
+        got = []
+        net.attach(1, lambda m, t: got.append(m))
+        for _ in range(400):
+            net.send(NetMessage(0, 1, "x", 10))
+        sim.run()
+        assert 120 < len(got) < 280  # ~200 expected
+        assert net.stats()["dropped_loss"] == 400 - len(got)
+
+    def test_duplication(self, sim):
+        machines, net = make_net(sim, duplicate_rate=0.5)
+        got = []
+        net.attach(1, lambda m, t: got.append(m))
+        for _ in range(200):
+            net.send(NetMessage(0, 1, "x", 10))
+        sim.run()
+        assert len(got) > 220  # some duplicates happened
+
+    def test_partition_blocks_and_heals(self, sim):
+        machines, net = make_net(sim)
+        got = []
+        net.attach(1, lambda m, t: got.append(m))
+        net.partition({0}, {1})
+        assert net.is_partitioned(0, 1) and net.is_partitioned(1, 0)
+        net.send(NetMessage(0, 1, "x", 10))
+        sim.run()
+        assert got == []
+        net.heal()
+        net.send(NetMessage(0, 1, "y", 10))
+        sim.run()
+        assert len(got) == 1
+
+
+class TestCrashSemantics:
+    def test_crashed_sender_sends_nothing(self, sim):
+        machines, net = make_net(sim)
+        got = []
+        net.attach(1, lambda m, t: got.append(m))
+        machines[0].crash()
+        net.send(NetMessage(0, 1, "x", 10))
+        sim.run()
+        assert got == []
+
+    def test_crash_in_flight_drops_delivery(self, sim):
+        machines, net = make_net(sim)
+        got = []
+        net.attach(1, lambda m, t: got.append(m))
+        net.send(NetMessage(0, 1, "x", 10))  # arrives ~1ms
+        machines[1].crash_at(0.0005)
+        sim.run()
+        assert got == []
+        assert net.stats()["dropped_crashed_receiver"] == 1

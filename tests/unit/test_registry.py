@@ -1,0 +1,161 @@
+"""Unit tests: protocol registry and the create_module recursion (Alg. 1, 22-28)."""
+
+import pytest
+
+from repro.errors import RequirementError, UnknownProtocolError
+from repro.kernel import Module, System
+
+
+def make_protocol(name, provides, requires=()):
+    class P(Module):
+        PROVIDES = tuple(provides)
+        REQUIRES = tuple(requires)
+        PROTOCOL = name
+
+        def __init__(self, stack, **kwargs):
+            super().__init__(stack)
+            self.extra = kwargs
+            for svc in self.PROVIDES:
+                self.export_call(svc, "noop", lambda: None)
+
+    P.__name__ = f"P_{name}"
+    return P
+
+
+@pytest.fixture
+def stack(system):
+    return system.stack(0)
+
+
+class TestRegistration:
+    def test_register_and_info(self, system):
+        cls = make_protocol("p1", ["a"])
+        info = system.registry.register("p1", cls, provides=("a",))
+        assert system.registry.info("p1") is info
+        assert system.registry.known() == ["p1"]
+
+    def test_duplicate_registration_rejected(self, system):
+        cls = make_protocol("p1", ["a"])
+        system.registry.register("p1", cls, provides=("a",))
+        with pytest.raises(UnknownProtocolError):
+            system.registry.register("p1", cls, provides=("a",))
+
+    def test_unknown_protocol(self, system):
+        with pytest.raises(UnknownProtocolError):
+            system.registry.info("ghost")
+
+    def test_providers_of_and_default(self, system):
+        a1 = make_protocol("a1", ["a"])
+        a2 = make_protocol("a2", ["a"])
+        system.registry.register("a1", a1, provides=("a",))
+        system.registry.register("a2", a2, provides=("a",), default_for=("a",))
+        assert [p.name for p in system.registry.providers_of("a")] == ["a1", "a2"]
+        assert system.registry.default_provider("a").name == "a2"
+
+    def test_default_without_explicit_is_first_registered(self, system):
+        a1 = make_protocol("a1", ["a"])
+        a2 = make_protocol("a2", ["a"])
+        system.registry.register("a1", a1, provides=("a",))
+        system.registry.register("a2", a2, provides=("a",))
+        assert system.registry.default_provider("a").name == "a1"
+
+    def test_default_must_provide_service(self, system):
+        cls = make_protocol("p", ["a"])
+        with pytest.raises(RequirementError):
+            system.registry.register("p", cls, provides=("a",), default_for=("b",))
+
+
+class TestCreateModuleRecursion:
+    def test_simple_create_binds(self, system, stack):
+        cls = make_protocol("p", ["a"])
+        system.registry.register("p", cls, provides=("a",))
+        module = system.registry.create_module(stack, "p")
+        assert stack.bound_module("a") is module
+
+    def test_recursion_satisfies_requirements(self, system, stack):
+        """The paper's key flexibility: a new protocol may need services
+        no module in the stack provides yet — they are created too."""
+        top = make_protocol("top", ["a"], requires=["b"])
+        mid = make_protocol("mid", ["b"], requires=["c"])
+        bot = make_protocol("bot", ["c"])
+        system.registry.register("top", top, provides=("a",), requires=("b",))
+        system.registry.register("mid", mid, provides=("b",), requires=("c",))
+        system.registry.register("bot", bot, provides=("c",))
+        system.registry.create_module(stack, "top")
+        assert stack.bound_module("a") is not None
+        assert stack.bound_module("b") is not None
+        assert stack.bound_module("c") is not None
+
+    def test_bound_requirement_not_duplicated(self, system, stack):
+        dep = make_protocol("dep", ["b"])
+        top = make_protocol("top", ["a"], requires=["b"])
+        system.registry.register("dep", dep, provides=("b",))
+        system.registry.register("top", top, provides=("a",), requires=("b",))
+        existing = system.registry.create_module(stack, "dep")
+        system.registry.create_module(stack, "top")
+        assert stack.bound_module("b") is existing
+        assert len(stack.modules_providing("b")) == 1
+
+    def test_existing_unbound_provider_rebound_not_recreated(self, system, stack):
+        dep = make_protocol("dep", ["b"])
+        top = make_protocol("top", ["a"], requires=["b"])
+        system.registry.register("dep", dep, provides=("b",))
+        system.registry.register("top", top, provides=("a",), requires=("b",))
+        existing = system.registry.create_module(stack, "dep")
+        stack.unbind("b")
+        system.registry.create_module(stack, "top")
+        assert stack.bound_module("b") is existing
+        assert len(stack.modules_providing("b")) == 1
+
+    def test_missing_provider_raises(self, system, stack):
+        top = make_protocol("top", ["a"], requires=["ghost-svc"])
+        system.registry.register("top", top, provides=("a",), requires=("ghost-svc",))
+        with pytest.raises(RequirementError, match="ghost-svc"):
+            system.registry.create_module(stack, "top")
+
+    def test_cycle_detected(self, system, stack):
+        p1 = make_protocol("p1", ["a"], requires=["b"])
+        p2 = make_protocol("p2", ["b"], requires=["a"])
+        system.registry.register("p1", p1, provides=("a",), requires=("b",))
+        system.registry.register("p2", p2, provides=("b",), requires=("a",))
+        # p1 -> needs b -> creates p2 -> needs a... but a IS bound by then
+        # (p1 was bound before recursing), so this resolves cleanly.
+        system.registry.create_module(stack, "p1")
+        assert stack.bound_module("a") is not None
+        assert stack.bound_module("b") is not None
+
+    def test_true_cycle_raises(self, system, stack):
+        # A protocol that requires a service only itself provides, unbound:
+        p = make_protocol("p", ["a"], requires=["b"])
+
+        def factory(st, **kw):
+            return p(st)
+
+        system.registry.register("p", factory, provides=("a",), requires=("b",))
+        # force the recursion to try to create 'p' again for service b
+        system.registry._default_provider["b"] = "p"
+        with pytest.raises(RequirementError, match="cyclic"):
+            system.registry.create_module(stack, "p")
+
+    def test_factory_kwargs_reach_top_level_only(self, system, stack):
+        top = make_protocol("top", ["a"], requires=["b"])
+        dep = make_protocol("dep", ["b"])
+        system.registry.register(
+            "top", lambda st, **kw: top(st, **kw), provides=("a",), requires=("b",)
+        )
+        system.registry.register(
+            "dep", lambda st, **kw: dep(st, **kw), provides=("b",)
+        )
+        module = system.registry.create_module(
+            stack, "top", factory_kwargs={"instance_tag": "x/v1"}
+        )
+        assert module.extra == {"instance_tag": "x/v1"}
+        dep_module = stack.bound_module("b")
+        assert dep_module.extra == {}
+
+    def test_create_unbound(self, system, stack):
+        cls = make_protocol("p", ["a"])
+        system.registry.register("p", cls, provides=("a",))
+        module = system.registry.create_module(stack, "p", bind=False)
+        assert stack.bound_module("a") is None
+        assert module.name in stack.modules

@@ -1,0 +1,370 @@
+"""Unit tests: Algorithm 1, line by line, against a scripted ABcast.
+
+The fake ABcast module gives the tests total control over delivery
+content and order, so every branch of the replacement algorithm is
+exercised deterministically — including the concurrent-change anomaly of
+the paper-literal variant documented in DESIGN.md §4.
+"""
+
+import pytest
+
+from repro.dpu.repl import NEW_ABCAST, NIL, ReplAbcastModule
+from repro.errors import ReplacementError
+from repro.kernel import Module, System, WellKnown
+
+
+class FakeAbcast(Module):
+    """An ABcast provider the test drives by hand.
+
+    ``abcast`` calls are captured in :attr:`sent`; the test delivers
+    frames explicitly with :meth:`deliver` (to every instance of the
+    protocol that is currently in a stack, in stack order — mimicking a
+    totally ordered delivery)."""
+
+    PROVIDES = (WellKnown.ABCAST,)
+    PROTOCOL = "fake-abcast"
+
+    instances: list = []  # class-level: all live instances, all stacks
+
+    def __init__(self, stack, **kwargs):
+        super().__init__(stack)
+        self.sent = []
+        self.export_call(WellKnown.ABCAST, "abcast", self.sent_append)
+        FakeAbcast.instances.append(self)
+
+    def sent_append(self, frame, size):
+        self.sent.append(frame)
+
+    def deliver(self, origin, frame, size=64):
+        self.respond(WellKnown.ABCAST, "adeliver", origin, frame, size)
+
+
+class AppSink(Module):
+    REQUIRES = (WellKnown.R_ABCAST,)
+    PROTOCOL = "sink"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.delivered = []
+        self.subscribe(
+            WellKnown.R_ABCAST,
+            "adeliver",
+            lambda o, m, s: self.delivered.append(m),
+        )
+
+
+@pytest.fixture(autouse=True)
+def _clear_fake_instances():
+    FakeAbcast.instances = []
+    yield
+    FakeAbcast.instances = []
+
+
+def build(guard=True, policy="drop", creation_cost=0.0, dedup=False):
+    sys_ = System(n=1, seed=0)
+    st = sys_.stack(0)
+    sys_.registry.register(
+        "fake-abcast",
+        lambda stack, **kw: FakeAbcast(stack, **kw),
+        provides=(WellKnown.ABCAST,),
+        default_for=(WellKnown.ABCAST,),
+    )
+    fake = sys_.registry.create_module(st, "fake-abcast")
+    repl = ReplAbcastModule(
+        st,
+        sys_.registry,
+        initial_protocol="fake-abcast",
+        guard_change_sn=guard,
+        reissue_policy=policy,
+        creation_cost=creation_cost,
+        dedup_deliveries=dedup,
+    )
+    st.add_module(repl)
+    app = AppSink(st)
+    st.add_module(app)
+    return sys_, st, fake, repl, app
+
+
+class TestOrdinaryPath:
+    def test_rabcast_adds_to_undelivered_and_forwards(self):
+        """Lines 7-9."""
+        sys_, st, fake, repl, app = build()
+        app.call(WellKnown.R_ABCAST, "abcast", "m1", 64)
+        sys_.run()
+        assert repl.undelivered_count == 1
+        assert len(fake.sent) == 1
+        tag, sn, rid, m, size = fake.sent[0]
+        assert (tag, sn, m) == (NIL, 0, "m1")
+
+    def test_matching_sn_delivers_and_clears_undelivered(self):
+        """Lines 17-21, local message."""
+        sys_, st, fake, repl, app = build()
+        app.call(WellKnown.R_ABCAST, "abcast", "m1", 64)
+        sys_.run()
+        fake.deliver(0, fake.sent[0])
+        sys_.run()
+        assert app.delivered == ["m1"]
+        assert repl.undelivered_count == 0
+
+    def test_remote_message_delivered_without_undelivered_entry(self):
+        """Line 19's membership test only gates the removal, not rAdeliver."""
+        sys_, st, fake, repl, app = build()
+        fake.deliver(1, (NIL, 0, (1, 0), "remote", 64))
+        sys_.run()
+        assert app.delivered == ["remote"]
+
+    def test_stale_sn_discarded(self):
+        """Line 18."""
+        sys_, st, fake, repl, app = build()
+        repl.seq_number = 3
+        fake.deliver(1, (NIL, 2, (1, 0), "old", 64))
+        sys_.run()
+        assert app.delivered == []
+        assert repl.counters.get("stale_messages_discarded") == 1
+
+
+class TestChangePath:
+    def test_change_abcasts_request_through_current_protocol(self):
+        """Lines 5-6."""
+        sys_, st, fake, repl, app = build()
+        app.call(WellKnown.R_ABCAST, "change_protocol", "fake-abcast")
+        sys_.run()
+        tag, sn, rid, prot = fake.sent[0]
+        assert (tag, sn, prot) == (NEW_ABCAST, 0, "fake-abcast")
+
+    def test_unknown_protocol_fails_fast(self):
+        sys_, st, fake, repl, app = build()
+        app.call(WellKnown.R_ABCAST, "change_protocol", "ghost")
+        with pytest.raises(Exception):
+            sys_.run()
+
+    def test_switch_increments_rebinds_and_reissues(self):
+        """Lines 10-16."""
+        sys_, st, fake, repl, app = build()
+        app.call(WellKnown.R_ABCAST, "abcast", "m1", 64)
+        app.call(WellKnown.R_ABCAST, "abcast", "m2", 64)
+        sys_.run()
+        old = st.bound_module(WellKnown.ABCAST)
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run()
+        assert repl.seq_number == 1                            # line 11
+        new = st.bound_module(WellKnown.ABCAST)
+        assert new is not old                                  # lines 12-14
+        assert old.name in st.modules                          # unbind ≠ remove
+        # lines 15-16: both undelivered messages re-issued with new sn
+        reissues = [f for f in new.sent if f[0] == NIL]
+        assert [(f[1], f[3]) for f in reissues] == [(1, "m1"), (1, "m2")]
+        assert repl.counters.get("reissues") == 2
+
+    def test_reissued_message_delivered_once(self):
+        """Integrity across the switch: old-sn copy discarded, new-sn
+        copy delivered."""
+        sys_, st, fake, repl, app = build()
+        app.call(WellKnown.R_ABCAST, "abcast", "m1", 64)
+        sys_.run()
+        original = fake.sent[0]
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run()
+        new = st.bound_module(WellKnown.ABCAST)
+        # old protocol delivers the original late -> discarded
+        fake.deliver(0, original)
+        sys_.run()
+        assert app.delivered == []
+        # new protocol delivers the reissue -> delivered exactly once
+        new.deliver(0, new.sent[0])
+        sys_.run()
+        assert app.delivered == ["m1"]
+
+    def test_delivered_message_not_reissued(self):
+        """Line 19-20 removal prevents re-issue of delivered messages."""
+        sys_, st, fake, repl, app = build()
+        app.call(WellKnown.R_ABCAST, "abcast", "m1", 64)
+        sys_.run()
+        fake.deliver(0, fake.sent[0])
+        sys_.run()
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run()
+        new = st.bound_module(WellKnown.ABCAST)
+        assert [f for f in new.sent if f[0] == NIL] == []
+
+    def test_switch_with_creation_cost_blocks_calls_until_bind(self):
+        sys_, st, fake, repl, app = build(creation_cost=0.050)
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run(until=0.001)
+        assert st.bound_module(WellKnown.ABCAST) is None  # gap is real
+        app.call(WellKnown.R_ABCAST, "abcast", "during-gap", 64)
+        sys_.run(until=0.010)
+        assert st.blocked_call_count(WellKnown.ABCAST) == 1
+        sys_.run()  # creation completes, blocked call released
+        new = st.bound_module(WellKnown.ABCAST)
+        assert new is not None
+        assert any(f[0] == NIL and f[3] == "during-gap" for f in new.sent)
+
+    def test_message_sent_inside_creation_gap_not_reissued(self):
+        """Regression (found by hypothesis): a message ABcast during the
+        unbind→bind gap already carries the new sn and its blocked call
+        is released at bind; reissuing it too would deliver it twice."""
+        sys_, st, fake, repl, app = build(creation_cost=0.050)
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run(until=0.001)
+        app.call(WellKnown.R_ABCAST, "abcast", "gap-msg", 64)
+        sys_.run()  # switch completes, blocked call released
+        new = st.bound_module(WellKnown.ABCAST)
+        frames = [f for f in new.sent if f[0] == NIL and f[3] == "gap-msg"]
+        assert len(frames) == 1  # sent exactly once, not also reissued
+        assert repl.counters.get("reissues") == 0
+        # and it is delivered exactly once end-to-end:
+        new.deliver(0, frames[0])
+        sys_.run()
+        assert app.delivered == ["gap-msg"]
+
+    def test_status_query(self):
+        sys_, st, fake, repl, app = build()
+        status = st.query(WellKnown.R_ABCAST, "status")
+        assert status["seq_number"] == 0
+        assert status["current_protocol"] == "fake-abcast"
+
+
+class TestGuardedVariant:
+    def test_stale_change_discarded(self):
+        sys_, st, fake, repl, app = build(guard=True)
+        repl.seq_number = 2
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run()
+        assert repl.seq_number == 2  # no switch
+        assert repl.counters.get("stale_changes_discarded") == 1
+
+    def test_own_stale_change_dropped_under_drop_policy(self):
+        sys_, st, fake, repl, app = build(guard=True, policy="drop")
+        app.call(WellKnown.R_ABCAST, "change_protocol", "fake-abcast")
+        sys_.run()
+        my_change = fake.sent[0]
+        # another switch happens first (e.g. someone else's change)
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 99), "fake-abcast"))
+        sys_.run()
+        new = st.bound_module(WellKnown.ABCAST)
+        # now my own change arrives, stale
+        new.deliver(0, my_change)
+        sys_.run()
+        assert repl.counters.get("changes_dropped_superseded") == 1
+        assert len(repl._pending_changes) == 0
+
+    def test_own_stale_change_reissued_under_reissue_policy(self):
+        sys_, st, fake, repl, app = build(guard=True, policy="reissue")
+        app.call(WellKnown.R_ABCAST, "change_protocol", "fake-abcast")
+        sys_.run()
+        my_change = fake.sent[0]
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 99), "fake-abcast"))
+        sys_.run()
+        new = st.bound_module(WellKnown.ABCAST)
+        new.deliver(0, my_change)
+        sys_.run()
+        assert repl.counters.get("changes_reissued") == 1
+        reissued = [f for f in new.sent if f[0] == NEW_ABCAST]
+        assert reissued and reissued[0][1] == 1  # carries the current sn
+
+    def test_invalid_policy_rejected(self):
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        with pytest.raises(ReplacementError):
+            ReplAbcastModule(
+                st, sys_.registry, initial_protocol="x", reissue_policy="maybe"
+            )
+
+
+class TestPaperLiteralAnomaly:
+    """DESIGN.md §4: without the sn guard, a stale change message is
+    processed at an unsynchronised point; messages delivered by the new
+    protocol at one stack before the stale change can be discarded at
+    another stack after it — and never re-issued.
+
+    Driving two Repl instances (two 'stacks') by hand over fake abcasts,
+    we reproduce the divergence deterministically.
+    """
+
+    def _build_pair(self, guard):
+        systems = []
+        for _ in range(2):
+            systems.append(build(guard=guard))
+        return systems
+
+    def test_literal_variant_can_lose_a_message(self):
+        (sysA, stA, fakeA, replA, appA), (sysB, stB, fakeB, replB, appB) = (
+            self._build_pair(guard=False)
+        )
+        # Stack A sends m via protocol v0; both stacks request changes
+        # concurrently: c1 (applied first) and c2 (stale, applied late).
+        appA.call(WellKnown.R_ABCAST, "abcast", "m", 64)
+        sysA.run()
+        m_frame = fakeA.sent[0]
+
+        c1 = (NEW_ABCAST, 0, (1, 0), "fake-abcast")
+        c2 = (NEW_ABCAST, 0, (0, 99), "fake-abcast")
+
+        # Both stacks process c1: switch to v1; A re-issues m with sn=1.
+        for sys_, fake in ((sysA, fakeA), (sysB, fakeB)):
+            fake.deliver(1, c1)
+            sys_.run()
+        newA = stA.bound_module(WellKnown.ABCAST)
+        newB = stB.bound_module(WellKnown.ABCAST)
+        m_reissue = [f for f in newA.sent if f[0] == NIL][0]
+        assert m_reissue[1] == 1
+
+        # Interleaving divergence: A delivers the re-issued m (sn=1 ==
+        # seqNumber=1) BEFORE processing the stale c2...
+        newA.deliver(0, m_reissue)
+        sysA.run()
+        assert appA.delivered == ["m"]
+        newA.deliver(0, c2)       # literal: unguarded -> switches again
+        sysA.run()
+        assert replA.seq_number == 2
+
+        # ...while B processes the stale c2 FIRST (seq -> 2), then the
+        # re-issued m arrives with sn=1 and is discarded.
+        newB.deliver(0, c2)
+        sysB.run()
+        assert replB.seq_number == 2
+        newB.deliver(0, m_reissue)
+        sysB.run()
+        # m was removed from A's undelivered when A delivered it, so A's
+        # second switch re-issues nothing: B never gets m.
+        finalA = stA.bound_module(WellKnown.ABCAST)
+        assert [f for f in finalA.sent if f[0] == NIL] == []
+        assert appB.delivered == []  # uniform agreement violated
+
+    def test_guarded_variant_discards_stale_change_consistently(self):
+        (sysA, stA, fakeA, replA, appA), (sysB, stB, fakeB, replB, appB) = (
+            self._build_pair(guard=True)
+        )
+        appA.call(WellKnown.R_ABCAST, "abcast", "m", 64)
+        sysA.run()
+        c1 = (NEW_ABCAST, 0, (1, 0), "fake-abcast")
+        c2 = (NEW_ABCAST, 0, (0, 99), "fake-abcast")
+        for sys_, fake in ((sysA, fakeA), (sysB, fakeB)):
+            fake.deliver(1, c1)
+            sys_.run()
+        newA = stA.bound_module(WellKnown.ABCAST)
+        newB = stB.bound_module(WellKnown.ABCAST)
+        m_reissue = [f for f in newA.sent if f[0] == NIL][0]
+
+        # Same adversarial interleaving as above:
+        newA.deliver(0, m_reissue)
+        newA.deliver(0, c2)
+        sysA.run()
+        newB.deliver(0, c2)       # guarded: stale change discarded
+        newB.deliver(0, m_reissue)
+        sysB.run()
+        assert replA.seq_number == replB.seq_number == 1
+        assert appA.delivered == ["m"]
+        assert appB.delivered == ["m"]  # agreement preserved
+
+
+class TestDedupOption:
+    def test_dedup_suppresses_double_delivery(self):
+        sys_, st, fake, repl, app = build(dedup=True)
+        frame = (NIL, 0, (1, 0), "m", 64)
+        fake.deliver(1, frame)
+        fake.deliver(1, frame)
+        sys_.run()
+        assert app.delivered == ["m"]
+        assert repl.counters.get("dedup_suppressed") == 1

@@ -1,0 +1,253 @@
+"""Unit tests: stack dispatch semantics — calls, blocking, responses, buffering.
+
+These pin down the exact kernel behaviours the replacement algorithm
+relies on (paper, Sections 2-3): blocked calls released on bind, unbound
+modules still responding, unclaimed responses completed when the matching
+module is added.
+"""
+
+import pytest
+
+from repro.errors import KernelError, ModuleNotInStackError, UnknownServiceError
+from repro.kernel import Module, NOT_MINE, System, TraceKind, WellKnown
+
+
+class Echo(Module):
+    PROVIDES = ("echo",)
+    PROTOCOL = "echo"
+
+    def __init__(self, stack, reply=True):
+        super().__init__(stack)
+        self.reply = reply
+        self.calls = []
+        self.export_call("echo", "ping", self._ping)
+        self.export_query("echo", "count", lambda: len(self.calls))
+
+    def _ping(self, value):
+        self.calls.append(value)
+        if self.reply:
+            self.respond("echo", "pong", value)
+
+
+class Listener(Module):
+    REQUIRES = ("echo",)
+    PROTOCOL = "listener"
+
+    def __init__(self, stack, claim=True):
+        super().__init__(stack)
+        self.claim = claim
+        self.heard = []
+        self.subscribe("echo", "pong", self._on_pong)
+
+    def _on_pong(self, value):
+        if not self.claim:
+            return NOT_MINE
+        self.heard.append(value)
+
+
+@pytest.fixture
+def stack(system):
+    return system.stack(0)
+
+
+class TestCalls:
+    def test_call_dispatches_to_bound_module(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", 42)
+        system.run()
+        assert echo.calls == [42]
+        assert listener.heard == [42]
+
+    def test_call_costs_cpu_time(self, system, stack):
+        stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", 1)
+        system.run()
+        assert system.sim.now == pytest.approx(
+            stack.call_cost + stack.response_cost
+        )
+
+    def test_unknown_method_raises(self, system, stack):
+        stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "nosuch")
+        with pytest.raises(KernelError, match="no handler"):
+            system.run()
+
+    def test_calls_on_crashed_stack_dropped(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        stack.machine.crash()
+        listener.call("echo", "ping", 1)
+        system.run()
+        assert echo.calls == []
+
+
+class TestBlockedCalls:
+    def test_call_on_unbound_service_blocks(self, system, stack):
+        echo = stack.add_module(Echo(stack), bind=False)
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", 7)
+        system.run()
+        assert echo.calls == []
+        assert stack.blocked_call_count("echo") == 1
+        blocked = system.trace.of_kind(TraceKind.CALL_BLOCKED)
+        assert len(blocked) == 1
+
+    def test_bind_releases_blocked_calls_in_order(self, system, stack):
+        echo = stack.add_module(Echo(stack), bind=False)
+        listener = stack.add_module(Listener(stack))
+        for i in range(3):
+            listener.call("echo", "ping", i)
+        system.run()
+        stack.bind("echo", echo)
+        system.run()
+        assert echo.calls == [0, 1, 2]
+        assert stack.blocked_call_count("echo") == 0
+        unblocked = system.trace.of_kind(TraceKind.CALL_UNBLOCKED)
+        assert len(unblocked) == 3
+
+    def test_blocked_time_is_accounted(self, system, stack):
+        echo = stack.add_module(Echo(stack), bind=False)
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", 1)
+        system.run()
+        system.sim.schedule(0.5, stack.bind, "echo", echo)
+        system.run()
+        assert stack.blocked_time_total == pytest.approx(0.5, abs=1e-3)
+
+    def test_unbind_then_call_blocks_again(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        stack.unbind("echo")
+        listener.call("echo", "ping", 5)
+        system.run()
+        assert echo.calls == []
+        stack.bind("echo", echo)
+        system.run()
+        assert echo.calls == [5]
+
+
+class TestResponses:
+    def test_unbound_module_can_still_respond(self, system, stack):
+        """Paper, Section 2: a module can respond even after unbind."""
+        echo = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", 1)
+        system.run()
+        stack.unbind("echo")
+        echo.respond("echo", "pong", "late")
+        system.run()
+        assert "late" in listener.heard
+
+    def test_response_to_all_subscribers(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        l1 = stack.add_module(Listener(stack))
+        l2 = stack.add_module(Listener(stack))
+        l1.call("echo", "ping", 9)
+        system.run()
+        assert l1.heard == [9] and l2.heard == [9]
+
+    def test_respond_on_unprovided_service_rejected(self, system, stack):
+        listener = stack.add_module(Listener(stack))
+        with pytest.raises(KernelError):
+            listener.respond("echo", "pong", 1)
+
+
+class TestResponseBuffering:
+    def test_unclaimed_response_buffered_and_replayed(self, system, stack):
+        """Paper, Section 2: responses complete when the module is added."""
+        echo = stack.add_module(Echo(stack))
+        echo.respond("echo", "pong", "early")
+        system.run()
+        assert stack.buffered_response_count("echo") == 1
+        late_listener = stack.add_module(Listener(stack))
+        system.run()
+        assert late_listener.heard == ["early"]
+        assert stack.buffered_response_count("echo") == 0
+
+    def test_disclaimed_response_buffered(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        stack.add_module(Listener(stack, claim=False))
+        echo.respond("echo", "pong", "nobody-wants-me")
+        system.run()
+        assert stack.buffered_response_count("echo") == 1
+        claimer = stack.add_module(Listener(stack, claim=True))
+        system.run()
+        assert claimer.heard == ["nobody-wants-me"]
+
+    def test_buffered_replay_preserves_order(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        for i in range(3):
+            echo.respond("echo", "pong", i)
+        system.run()
+        listener = stack.add_module(Listener(stack))
+        system.run()
+        assert listener.heard == [0, 1, 2]
+
+
+class TestQueries:
+    def test_query_returns_synchronously(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", 1)
+        system.run()
+        assert stack.query("echo", "count") == 1
+
+    def test_query_unbound_raises(self, stack):
+        with pytest.raises(UnknownServiceError):
+            stack.query("echo", "count")
+
+    def test_query_unknown_name_raises(self, system, stack):
+        stack.add_module(Echo(stack))
+        with pytest.raises(KernelError):
+            stack.query("echo", "nosuch")
+
+
+class TestModuleLifecycle:
+    def test_duplicate_names_rejected(self, stack):
+        stack.add_module(Echo(stack, reply=True))
+        m2 = Echo(stack)
+        m2.name = list(stack.modules)[0]
+        with pytest.raises(KernelError):
+            stack.add_module(m2, bind=False)
+
+    def test_wrong_stack_rejected(self, system):
+        s0, s1 = system.stack(0), system.stack(1)
+        m = Echo(s0)
+        with pytest.raises(KernelError):
+            s1.add_module(m)
+
+    def test_remove_unbinds_and_stops(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        stack.remove_module(echo.name)
+        assert not stack.bindings.is_bound("echo")
+        assert echo.stopped
+        assert echo.name not in stack.modules
+
+    def test_remove_missing_raises(self, stack):
+        with pytest.raises(ModuleNotInStackError):
+            stack.remove_module("ghost")
+
+    def test_fresh_module_names_unique(self, stack):
+        names = {Echo(stack).name for _ in range(5)}
+        assert len(names) == 5
+
+    def test_multiple_providers_one_bound(self, system, stack):
+        e1 = stack.add_module(Echo(stack))
+        e2 = stack.add_module(Echo(stack), bind=False)
+        assert stack.bound_module("echo") is e1
+        assert set(stack.modules_providing("echo")) == {e1, e2}
+
+
+class TestHandlerRegistrationGuards:
+    def test_export_call_requires_provides(self, stack):
+        listener = Listener(stack)
+        with pytest.raises(KernelError):
+            listener.export_call("echo", "x", lambda: None)
+
+    def test_subscribe_requires_requires(self, stack):
+        echo = Echo(stack)
+        with pytest.raises(KernelError):
+            echo.subscribe("other", "ev", lambda: None)

@@ -1,0 +1,79 @@
+"""Unit tests: the trace recorder."""
+
+from repro.kernel import TraceKind, TraceRecorder
+
+
+class TestRecording:
+    def test_records_in_order(self):
+        tr = TraceRecorder()
+        tr.record(1.0, TraceKind.BIND, 0, service="s")
+        tr.record(2.0, TraceKind.UNBIND, 0, service="s")
+        assert [e.kind for e in tr] == [TraceKind.BIND, TraceKind.UNBIND]
+        assert len(tr) == 2
+
+    def test_disabled_records_nothing(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, TraceKind.BIND, 0)
+        assert len(tr) == 0
+
+    def test_keep_filter(self):
+        tr = TraceRecorder(keep=[TraceKind.CRASH])
+        tr.record(1.0, TraceKind.BIND, 0)
+        tr.record(2.0, TraceKind.CRASH, 1)
+        assert [e.kind for e in tr] == [TraceKind.CRASH]
+
+    def test_subscribers_called(self):
+        tr = TraceRecorder()
+        seen = []
+        tr.subscribers.append(seen.append)
+        tr.record(1.0, TraceKind.BIND, 0)
+        assert len(seen) == 1
+
+    def test_detail_access(self):
+        tr = TraceRecorder()
+        tr.record(1.0, TraceKind.CALL, 0, service="s", call_id="0:1", method="go")
+        e = tr.events[0]
+        assert e.get("call_id") == "0:1"
+        assert e.get("missing", "dflt") == "dflt"
+
+
+class TestQueries:
+    def _populate(self):
+        tr = TraceRecorder()
+        tr.record(1.0, TraceKind.BIND, 0, service="a")
+        tr.record(2.0, TraceKind.BIND, 1, service="b")
+        tr.record(3.0, TraceKind.CRASH, 1)
+        tr.record(4.0, TraceKind.CRASH, 1)  # duplicate crash record
+        return tr
+
+    def test_of_kind(self):
+        tr = self._populate()
+        assert len(tr.of_kind(TraceKind.BIND)) == 2
+        assert len(tr.of_kind(TraceKind.BIND, TraceKind.CRASH)) == 4
+
+    def test_for_stack(self):
+        tr = self._populate()
+        assert len(tr.for_stack(1)) == 3
+
+    def test_for_service(self):
+        tr = self._populate()
+        assert len(tr.for_service("a")) == 1
+
+    def test_crashes_first_occurrence_wins(self):
+        tr = self._populate()
+        assert tr.crashes() == {1: 3.0}
+
+    def test_crashed_before(self):
+        tr = self._populate()
+        assert tr.crashed_before(1, 3.0)
+        assert not tr.crashed_before(1, 2.9)
+        assert not tr.crashed_before(0, 10.0)
+
+    def test_counts(self):
+        tr = self._populate()
+        assert tr.counts() == {"bind": 2, "crash": 2}
+
+    def test_clear(self):
+        tr = self._populate()
+        tr.clear()
+        assert len(tr) == 0

@@ -1,0 +1,91 @@
+"""Unit tests: the UDP kernel module."""
+
+import pytest
+
+from repro.kernel import Module, System, WellKnown
+from repro.net import UDP_HEADER_BYTES, SimNetwork, SwitchedLan, UdpModule
+from repro.sim import ConstantLatency, us
+
+
+class UdpApp(Module):
+    REQUIRES = (WellKnown.UDP,)
+    PROTOCOL = "udp-app"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.got = []
+        self.subscribe(
+            WellKnown.UDP, "deliver", lambda s, p, z: self.got.append((s, p, z))
+        )
+
+
+def build(n=2, recv_cost=us(15.0)):
+    sys_ = System(n=n, seed=0)
+    net = SimNetwork(
+        sys_.sim, sys_.machines, SwitchedLan(latency=ConstantLatency(0.001))
+    )
+    apps = []
+    for st in sys_.stacks:
+        st.add_module(UdpModule(st, net, recv_cost=recv_cost))
+        a = UdpApp(st)
+        st.add_module(a)
+        apps.append(a)
+    return sys_, net, apps
+
+
+class TestUdpModule:
+    def test_send_and_deliver(self):
+        sys_, net, apps = build()
+        apps[0].call(WellKnown.UDP, "send", 1, "hi", 100)
+        sys_.run()
+        assert apps[1].got == [(0, "hi", 100)]
+
+    def test_header_bytes_added_on_wire(self):
+        sys_, net, apps = build()
+        apps[0].call(WellKnown.UDP, "send", 1, "hi", 100)
+        sys_.run()
+        assert net.stats()["bytes_sent"] == 100 + UDP_HEADER_BYTES
+
+    def test_loopback_skips_the_wire(self):
+        sys_, net, apps = build()
+        apps[0].call(WellKnown.UDP, "send", 0, "self", 50)
+        sys_.run()
+        assert apps[0].got == [(0, "self", 50)]
+        assert net.stats().get("sent", 0) == 0
+        assert net.stats().get("loopback") == 1
+
+    def test_receive_cost_charged_on_receiver_cpu(self):
+        sys_, net, apps = build(recv_cost=us(500.0))
+        apps[0].call(WellKnown.UDP, "send", 1, "x", 10)
+        sys_.run()
+        # receiver CPU consumed the recv cost (plus response dispatch)
+        assert sys_.machines[1].cpu_busy_total >= 500e-6
+
+    def test_detach_on_remove(self):
+        sys_, net, apps = build()
+        udp_name = next(
+            name for name, m in sys_.stack(1).modules.items() if m.protocol == "udp"
+        )
+        sys_.stack(1).remove_module(udp_name)
+        apps[0].call(WellKnown.UDP, "send", 1, "gone", 10)
+        sys_.run()
+        assert apps[1].got == []
+        assert net.stats().get("dropped_unattached") == 1
+
+    def test_unreliability_is_the_lans(self):
+        sys_ = System(n=2, seed=1)
+        net = SimNetwork(
+            sys_.sim,
+            sys_.machines,
+            SwitchedLan(latency=ConstantLatency(0.001), loss_rate=0.5),
+        )
+        apps = []
+        for st in sys_.stacks:
+            st.add_module(UdpModule(st, net))
+            a = UdpApp(st)
+            st.add_module(a)
+            apps.append(a)
+        for i in range(100):
+            apps[0].call(WellKnown.UDP, "send", 1, i, 10)
+        sys_.run()
+        assert 20 < len(apps[1].got) < 80  # lossy, as configured

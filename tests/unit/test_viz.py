@@ -1,0 +1,60 @@
+"""Unit tests: ASCII plotting and tables."""
+
+import pytest
+
+from repro.viz import ascii_plot, render_table
+
+
+class TestAsciiPlot:
+    def test_renders_axes_and_markers(self):
+        chart = ascii_plot(
+            {"s1": [(0.0, 0.0), (1.0, 1.0)]},
+            width=30,
+            height=8,
+            title="T",
+            xlabel="x",
+            ylabel="y",
+        )
+        assert "T" in chart
+        assert "+ s1" in chart
+        assert "x: x" in chart
+        lines = chart.splitlines()
+        assert any("+" in ln and "|" in ln for ln in lines)
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_plot(
+            {"a": [(0, 0)], "b": [(1, 1)]}, width=30, height=8
+        )
+        assert "+ a" in chart and "x b" in chart
+
+    def test_empty_series(self):
+        assert "empty plot" in ascii_plot({"a": []}, title="nothing")
+
+    def test_degenerate_single_point(self):
+        chart = ascii_plot({"a": [(1.0, 5.0)]}, width=25, height=6)
+        assert "|" in chart  # renders without dividing by zero
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 0)]}, width=5, height=2)
+
+    def test_y_bounds_override(self):
+        chart = ascii_plot(
+            {"a": [(0.0, 1.0)]}, width=30, height=8, y_min=0.0, y_max=10.0
+        )
+        assert "10" in chart and "0" in chart
+
+
+class TestRenderTable:
+    def test_alignment_and_floats(self):
+        table = render_table(
+            ["name", "value"], [("x", 1.23456), ("longer", 7)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in table
+        assert all("|" in ln for ln in lines[1:2])
+
+    def test_empty_rows(self):
+        table = render_table(["a", "b"], [])
+        assert "a" in table and "b" in table

@@ -1,0 +1,89 @@
+"""Unit tests: load generation."""
+
+import pytest
+
+from repro.dpu.probes import DeliveryLog, payload_key
+from repro.kernel import Module, System, WellKnown
+from repro.workload import FixedPayload, LoadGeneratorModule
+
+
+class SinkAbcast(Module):
+    PROVIDES = (WellKnown.ABCAST,)
+    PROTOCOL = "sink-abcast"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.received = []
+        self.export_call(
+            WellKnown.ABCAST, "abcast", lambda p, s: self.received.append((p, s, self.now))
+        )
+
+
+def build(rate=100.0, **kwargs):
+    sys_ = System(n=1, seed=4)
+    st = sys_.stack(0)
+    sink = SinkAbcast(st)
+    st.add_module(sink)
+    log = DeliveryLog()
+    gen = LoadGeneratorModule(
+        st, log, rate_per_sec=rate, service=WellKnown.ABCAST, **kwargs
+    )
+    st.add_module(gen)
+    return sys_, sink, gen, log
+
+
+class TestFixedPayload:
+    def test_unique_keys(self):
+        p = FixedPayload(100)
+        (pl1, s1) = p.make(0, 0)
+        (pl2, s2) = p.make(0, 1)
+        assert pl1[0] != pl2[0]
+        assert s1 == s2 == 100
+
+    def test_key_extraction(self):
+        payload, _ = FixedPayload(10).make(3, 7)
+        assert payload_key(payload) == ("wl", 3, 7)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPayload(-1)
+
+
+class TestGenerator:
+    def test_constant_rate(self):
+        sys_, sink, gen, log = build(rate=100.0, stop_at=1.0)
+        sys_.run(until=2.0)
+        assert gen.sent == 100
+        assert len(sink.received) == 100
+
+    def test_periodic_spacing(self):
+        sys_, sink, gen, log = build(rate=10.0, stop_at=0.5)
+        sys_.run(until=1.0)
+        times = [t for _p, _s, t in sink.received]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(0.1, abs=1e-3) for g in gaps)
+
+    def test_start_at_honoured(self):
+        sys_, sink, gen, log = build(rate=100.0, start_at=0.5, stop_at=0.6)
+        sys_.run(until=1.0)
+        assert sink.received[0][2] >= 0.5
+
+    def test_sends_registered_in_log(self):
+        sys_, sink, gen, log = build(rate=50.0, stop_at=0.2)
+        sys_.run(until=1.0)
+        assert len(log.sends) == gen.sent
+        senders = {s for s, _t in log.sends.values()}
+        assert senders == {0}
+
+    def test_jittered_rate_close_to_nominal(self):
+        sys_, sink, gen, log = build(rate=200.0, stop_at=2.0, jitter=0.5)
+        sys_.run(until=3.0)
+        assert gen.sent == pytest.approx(400, rel=0.15)
+
+    def test_validation(self):
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        with pytest.raises(ValueError):
+            LoadGeneratorModule(st, DeliveryLog(), rate_per_sec=0.0)
+        with pytest.raises(ValueError):
+            LoadGeneratorModule(st, DeliveryLog(), rate_per_sec=1.0, jitter=2.0)
