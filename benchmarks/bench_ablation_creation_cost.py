@@ -8,7 +8,7 @@ its Java prototype's end-to-end replacement cost.
 
 import pytest
 
-from conftest import report
+from conftest import q, report
 from repro.experiments import run_creation_cost_ablation
 from repro.sim import ms
 from repro.viz import render_table
@@ -16,10 +16,10 @@ from repro.viz import render_table
 
 @pytest.mark.benchmark(group="ablation-creation")
 def test_creation_cost_sweep(benchmark):
-    costs = (0.0, ms(5.0), ms(25.0), ms(100.0))
+    costs = q((0.0, ms(5.0), ms(25.0), ms(100.0)), (0.0, ms(25.0)))
     points = benchmark.pedantic(
         lambda: run_creation_cost_ablation(
-            costs=costs, n=5, load=150.0, duration=10.0, seed=16
+            costs=costs, n=5, load=150.0, duration=q(10.0, 4.0), seed=16
         ),
         rounds=1,
         iterations=1,

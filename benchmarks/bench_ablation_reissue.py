@@ -10,7 +10,7 @@ the race, which is exactly why the guard matters.)
 
 import pytest
 
-from conftest import report
+from conftest import q, report
 from repro.experiments import run_concurrent_change_ablation
 from repro.viz import render_table
 
@@ -18,7 +18,9 @@ from repro.viz import render_table
 @pytest.mark.benchmark(group="ablation-reissue")
 def test_concurrent_change_variants(benchmark):
     outcomes = benchmark.pedantic(
-        lambda: run_concurrent_change_ablation(n=5, seed=15, duration=8.0, gap=0.004),
+        lambda: run_concurrent_change_ablation(
+            n=5, seed=15, duration=q(8.0, 4.0), gap=0.004
+        ),
         rounds=1,
         iterations=1,
     )

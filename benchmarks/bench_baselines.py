@@ -6,14 +6,14 @@ and an identical CT→CT replacement.
 
 import pytest
 
-from conftest import report
+from conftest import q, report
 from repro.experiments import run_comparison
 
 
 @pytest.mark.benchmark(group="baselines")
 def test_dpu_solutions_compared(benchmark):
     result = benchmark.pedantic(
-        lambda: run_comparison(n=5, load=100.0, duration=10.0, seed=13),
+        lambda: run_comparison(n=5, load=100.0, duration=q(10.0, 4.0), seed=13),
         rounds=1,
         iterations=1,
     )

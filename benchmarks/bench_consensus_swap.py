@@ -8,7 +8,7 @@ service it sits beneath.
 
 import pytest
 
-from conftest import report
+from conftest import QUICK, q, report
 from repro.abcast import CtAbcastModule
 from repro.consensus import CtConsensusModule
 from repro.dpu import ReplConsensusModule
@@ -18,12 +18,14 @@ from repro.kernel import Module, System, WellKnown
 from repro.metrics import windowed_mean_latency
 from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
 from repro.rbcast import RBCAST_SERVICE, RbcastModule
-from repro.sim import ms
 from repro.viz import render_table
 from repro.workload import FixedPayload, LoadGeneratorModule
 
 
-def build_and_run(n=5, seed=14, duration=10.0, load=100.0, swap_at=5.0):
+DURATION = q(10.0, 4.0)
+
+
+def build_and_run(n=5, seed=14, duration=DURATION, load=100.0, swap_at=DURATION / 2):
     sys_ = System(n=n, seed=seed)
     net = SimNetwork(sys_.sim, sys_.machines, SwitchedLan())
     group = list(range(n))
@@ -84,8 +86,8 @@ def test_consensus_replacement_under_load(benchmark):
     sys_, repls, log = benchmark.pedantic(
         build_and_run, rounds=1, iterations=1
     )
-    before = windowed_mean_latency(log, 1.0, 5.0)
-    after = windowed_mean_latency(log, 6.0, 10.0)
+    before = windowed_mean_latency(log, 1.0, DURATION / 2)
+    after = windowed_mean_latency(log, DURATION / 2 + 1.0, DURATION)
     rows = [
         ("latency before swap [ms]", before * 1e3),
         ("latency after swap [ms]", after * 1e3),
@@ -97,4 +99,5 @@ def test_consensus_replacement_under_load(benchmark):
     )
     assert all(r.counters.get("switches") == 1 for r in repls)
     # The layer above (ABcast) keeps its latency profile across the swap.
-    assert after == pytest.approx(before, rel=0.5)
+    if not QUICK:
+        assert after == pytest.approx(before, rel=0.5)

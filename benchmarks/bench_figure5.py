@@ -10,7 +10,7 @@ second)"; there is no interruption in the service availability.
 
 import pytest
 
-from conftest import report
+from conftest import QUICK, q, report
 from repro.experiments import GroupCommConfig, PROTOCOL_CT, run_figure5
 
 
@@ -19,7 +19,7 @@ def test_figure5_n7_ct_to_ct(benchmark):
     cfg = GroupCommConfig(n=7, seed=5, load_msgs_per_sec=200.0)
 
     result = benchmark.pedantic(
-        lambda: run_figure5(cfg, duration=12.0, to_protocol=PROTOCOL_CT),
+        lambda: run_figure5(cfg, duration=q(12.0, 4.0), to_protocol=PROTOCOL_CT),
         rounds=1,
         iterations=1,
     )
@@ -31,6 +31,8 @@ def test_figure5_n7_ct_to_ct(benchmark):
     # Paper claims, as assertions on the regenerated figure:
     # 1. the replacement completes (all 7 stacks switch);
     assert len(window.completed) == 7
+    if QUICK:  # the short run has too little steady state for 2–4
+        return
     # 2. latency during the replacement is elevated ...
     assert result.during_mean > result.pre_mean
     # 3. ... but stabilises back to the pre-switch level;
@@ -45,9 +47,10 @@ def test_figure5_n3_variant(benchmark):
     """The same experiment at n = 3 (the paper's smaller group size)."""
     cfg = GroupCommConfig(n=3, seed=5, load_msgs_per_sec=200.0)
     result = benchmark.pedantic(
-        lambda: run_figure5(cfg, duration=12.0, to_protocol=PROTOCOL_CT),
+        lambda: run_figure5(cfg, duration=q(12.0, 4.0), to_protocol=PROTOCOL_CT),
         rounds=1,
         iterations=1,
     )
     report("figure5_n3", result.render())
-    assert result.post_mean == pytest.approx(result.pre_mean, rel=0.35)
+    if not QUICK:
+        assert result.post_mean == pytest.approx(result.pre_mean, rel=0.35)

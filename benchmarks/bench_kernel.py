@@ -9,21 +9,27 @@ large the figure benchmarks can afford to be.
 
 import pytest
 
+from conftest import q
 from repro.kernel import Module, System, WellKnown
 from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
 from repro.sim import ConstantLatency, Machine, Simulator
+
+N_EVENTS = q(10_000, 1_000)
+N_TASKS = q(5_000, 500)
+N_CALLS = q(2_000, 200)
+N_MSGS = q(500, 100)
 
 
 @pytest.mark.benchmark(group="kernel-micro")
 def test_event_loop_throughput(benchmark):
     def run():
         sim = Simulator(seed=0)
-        for i in range(10_000):
+        for i in range(N_EVENTS):
             sim.schedule(i * 1e-6, lambda: None)
         sim.run()
         return sim.events_processed
 
-    assert benchmark(run) == 10_000
+    assert benchmark(run) == N_EVENTS
 
 
 @pytest.mark.benchmark(group="kernel-micro")
@@ -31,12 +37,12 @@ def test_machine_execute_throughput(benchmark):
     def run():
         sim = Simulator(seed=0)
         machine = Machine(sim, 0)
-        for _ in range(5_000):
+        for _ in range(N_TASKS):
             machine.execute(1e-6, lambda: None)
         sim.run()
         return machine.tasks_executed
 
-    assert benchmark(run) == 5_000
+    assert benchmark(run) == N_TASKS
 
 
 @pytest.mark.benchmark(group="kernel-micro")
@@ -57,12 +63,12 @@ def test_call_dispatch_throughput(benchmark):
         sys_ = System(n=1, seed=0, trace_enabled=False)
         st = sys_.stack(0)
         ping = st.add_module(Ping(st))
-        for _ in range(2_000):
+        for _ in range(N_CALLS):
             st.issue_call(None, "p", "go", (), cost=0.0)
         sys_.run()
         return ping.count
 
-    assert benchmark(run) == 2_000
+    assert benchmark(run) == N_CALLS
 
 
 @pytest.mark.benchmark(group="kernel-micro")
@@ -90,9 +96,9 @@ def test_rp2p_message_path(benchmark):
             snk = Sink(st)
             st.add_module(snk)
             sinks.append(snk)
-        for i in range(500):
+        for i in range(N_MSGS):
             sinks[0].call(WellKnown.RP2P, "send", 1, i, 64)
         sys_.run(until=30.0)
         return sinks[1].count
 
-    assert benchmark(run) == 500
+    assert benchmark(run) == N_MSGS

@@ -8,7 +8,7 @@ workload calls ``r-abcast`` (through the Repl module) instead of
 
 import pytest
 
-from conftest import report
+from conftest import QUICK, q, report
 from repro.experiments import run_one_config
 from repro.metrics import relative_overhead
 from repro.viz import render_table
@@ -18,13 +18,13 @@ from repro.viz import render_table
 def test_replacement_layer_overhead(benchmark):
     def measure():
         rows = []
-        for n in (3, 7):
-            for load in (100.0, 200.0):
+        for n in q((3, 7), (3,)):
+            for load in q((100.0, 200.0), (100.0,)):
                 base = run_one_config(
-                    n, "normal_without_layer", load, duration=6.0, seed=11
+                    n, "normal_without_layer", load, duration=q(6.0, 2.0), seed=11
                 )
                 layered = run_one_config(
-                    n, "normal_with_layer", load, duration=6.0, seed=11
+                    n, "normal_with_layer", load, duration=q(6.0, 2.0), seed=11
                 )
                 rows.append(
                     (
@@ -49,6 +49,8 @@ def test_replacement_layer_overhead(benchmark):
     )
     overheads = [r[4] for r in rows]
     # The paper's ballpark: small single-digit percentage, never free,
-    # never an order of magnitude.
-    assert all(-2.0 < o < 25.0 for o in overheads)
-    assert sum(overheads) / len(overheads) > 0.0
+    # never an order of magnitude.  (Quick mode's short window is too
+    # noisy to bound.)
+    if not QUICK:
+        assert all(-2.0 < o < 25.0 for o in overheads)
+        assert sum(overheads) / len(overheads) > 0.0

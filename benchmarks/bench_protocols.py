@@ -8,7 +8,7 @@ each protocol at a light and a heavy load (n = 5).
 
 import pytest
 
-from conftest import report
+from conftest import QUICK, q, report
 from repro.experiments import (
     GroupCommConfig,
     PROTOCOL_CT,
@@ -20,6 +20,7 @@ from repro.metrics import windowed_mean_latency
 from repro.viz import render_table
 
 PROTOCOLS = (PROTOCOL_CT, PROTOCOL_SEQ, PROTOCOL_TOKEN)
+STOP = q(6.0, 2.0)
 
 
 def measure(protocol: str, load: float) -> float:
@@ -27,14 +28,14 @@ def measure(protocol: str, load: float) -> float:
         n=5,
         seed=17,
         load_msgs_per_sec=load,
-        load_stop=6.0,
+        load_stop=STOP,
         initial_protocol=protocol,
         with_repl_layer=False,
         trace_enabled=False,
     )
     gcs = build_group_comm_system(cfg)
-    gcs.run(until=8.0)
-    return windowed_mean_latency(gcs.log, 1.0, 6.0)
+    gcs.run(until=STOP + 2.0)
+    return windowed_mean_latency(gcs.log, 1.0, STOP)
 
 
 @pytest.mark.benchmark(group="protocols")
@@ -62,6 +63,7 @@ def test_protocol_comparison(benchmark):
     )
     # The motivating regime difference: the sequencer's short path beats
     # consensus at light load.
-    assert results[(PROTOCOL_SEQ, 60.0)] < results[(PROTOCOL_CT, 60.0)]
+    if not QUICK:
+        assert results[(PROTOCOL_SEQ, 60.0)] < results[(PROTOCOL_CT, 60.0)]
     # And every protocol actually measured something.
     assert all(v is not None and v > 0 for v in results.values())

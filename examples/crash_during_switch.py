@@ -15,7 +15,6 @@ from repro.experiments import (
     PROTOCOL_CT,
     build_group_comm_system,
 )
-from repro.kernel import WellKnown
 
 
 def main() -> None:

@@ -10,12 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.dpu import assert_abcast_properties
-from repro.experiments import (
-    GroupCommConfig,
-    PROTOCOL_CT,
-    PROTOCOL_SEQ,
-    build_group_comm_system,
-)
+from repro.experiments import GroupCommConfig, PROTOCOL_SEQ, build_group_comm_system
 from repro.metrics import mean_latency
 from repro.sim import to_ms
 

@@ -26,7 +26,7 @@ crash-stop failures.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence
 
 from ..kernel.module import NOT_MINE
 from ..kernel.service import WellKnown

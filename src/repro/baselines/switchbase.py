@@ -28,7 +28,7 @@ bottom.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 from ..kernel.module import Module, NOT_MINE
 from ..kernel.registry import ProtocolRegistry

@@ -27,7 +27,7 @@ its estimate, and the locked-value argument of CT carries over verbatim.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from .base import coordinator_of_round, majority
 

@@ -25,7 +25,7 @@ exempt (the property tests drain the system, so they check strictly).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Hashable, List, Optional, Sequence, Set
 
 from ..errors import PropertyViolation
 from ..sim.clock import Time

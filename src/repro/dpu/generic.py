@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
-from ..kernel.module import Module, NOT_MINE
+from ..kernel.module import Module
 from ..kernel.service import replacement_service_name
 from ..kernel.stack import Stack
 

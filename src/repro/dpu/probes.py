@@ -44,6 +44,11 @@ class DeliveryLog:
     sends: Dict[Hashable, Tuple[int, Time]] = field(default_factory=dict)
     #: stack -> [(key, deliver time), ...] in local delivery order
     deliveries: Dict[int, List[Tuple[Hashable, Time]]] = field(default_factory=dict)
+    #: Hooks invoked as ``hook(key, stack_id, time)`` on every delivery
+    #: (the scenario engine's switch-after-N-messages trigger feeds on this).
+    on_delivery: List[Callable[[Hashable, int, Time], None]] = field(
+        default_factory=list
+    )
 
     def note_send(self, key: Hashable, stack_id: int, time: Time) -> None:
         """Record that *stack_id* ABcast message *key* at *time*."""
@@ -54,6 +59,13 @@ class DeliveryLog:
     def note_delivery(self, key: Hashable, stack_id: int, time: Time) -> None:
         """Record that *stack_id* Adelivered message *key* at *time*."""
         self.deliveries.setdefault(stack_id, []).append((key, time))
+        if self.on_delivery:
+            for hook in list(self.on_delivery):
+                hook(key, stack_id, time)
+
+    def delivered_count(self, stack_id: int) -> int:
+        """Number of deliveries recorded at *stack_id* (incl. duplicates)."""
+        return len(self.deliveries.get(stack_id, []))
 
     # Convenience views ------------------------------------------------- #
     def delivery_sequence(self, stack_id: int) -> List[Hashable]:

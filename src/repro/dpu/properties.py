@@ -26,7 +26,7 @@ Definitions implemented (quoted from the paper):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PropertyViolation
 from ..kernel.events import TraceKind
@@ -54,9 +54,10 @@ def check_weak_stack_well_formedness(
 ) -> List[str]:
     """Every blocked call must eventually be released (unless the stack crashed).
 
-    A blocked call on a crashed stack is exempt: a crashed stack makes no
-    further calls and honours no obligations (the paper's properties
-    quantify over non-crashed stacks).
+    A blocked call on a stack that crashes at any point is exempt: a
+    crashed stack makes no further calls and honours no obligations — the
+    paper's properties quantify over non-crashed stacks, and an obligation
+    pending at the crash instant dies with the stack.
     """
     crashes = trace.crashes()
     blocked: Dict[Tuple[int, str], Time] = {}  # (stack, call_id) -> block time
@@ -67,7 +68,7 @@ def check_weak_stack_well_formedness(
             blocked.pop((event.stack_id, event.get("call_id")), None)
     violations = []
     for (stack_id, call_id), t in sorted(blocked.items(), key=lambda kv: kv[1]):
-        if stack_id in crashes and crashes[stack_id] <= t + 1e-12:
+        if stack_id in crashes:
             continue
         if ignore_after is not None and t > ignore_after:
             continue

@@ -21,6 +21,7 @@ __all__ = [
     "UnknownDestinationError",
     "ReplacementError",
     "PropertyViolation",
+    "ScenarioError",
 ]
 
 
@@ -105,3 +106,7 @@ class PropertyViolation(ReproError, AssertionError):
         super().__init__(f"{prop}: {detail}")
         self.prop = prop
         self.detail = detail
+
+
+class ScenarioError(ReproError):
+    """A fault-injection scenario or campaign is ill-formed or failed to run."""

@@ -13,8 +13,8 @@ calibrated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..abcast import CtAbcastModule, SequencerAbcastModule, TokenAbcastModule
 from ..baselines import (
@@ -74,6 +74,7 @@ class GroupCommConfig:
     load_start: float = 0.0
     load_stop: Optional[float] = None
     load_jitter: float = 0.0
+    load_burst: int = 1
     # Replacement layer ---------------------------------------------------
     with_repl_layer: bool = True
     initial_protocol: str = PROTOCOL_CT
@@ -95,6 +96,7 @@ class GroupCommConfig:
     udp_send_cost: Duration = us(60.0)
     bandwidth_bps: float = 100e6
     loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
     fd_period: Duration = ms(50.0)
     fd_timeout: Duration = ms(200.0)
     token_idle_hold: Duration = ms(1.0)
@@ -121,15 +123,36 @@ class GroupCommSystem:
     def run(self, until: float) -> None:
         self.system.run(until=until)
 
-    def run_to_quiescence(self, extra: float = 5.0, step: float = 0.5) -> None:
-        """Run until every sent message is delivered everywhere (or the
-        budget of *extra* seconds past the last attempt is exhausted)."""
-        alive = [s for s in range(self.config.n) if not self.system.machine(s).crashed]
+    def run_to_quiescence(
+        self,
+        extra: float = 5.0,
+        step: float = 0.5,
+        exempt: Sequence[int] = (),
+    ) -> None:
+        """Run until every correct stack has delivered everything outstanding
+        (or the budget of *extra* seconds is exhausted).
+
+        *exempt* stacks (known-faulty: crashed, churned, or isolated) are
+        held to no obligation; their sends only count once delivered
+        somewhere by a correct stack (mirroring uniform agreement).
+        """
+        exempt_set = set(exempt)
         deadline = self.system.sim.now + extra
         while self.system.sim.now < deadline:
-            self.system.run(until=self.system.sim.now + step)
-            sent = set(self.log.sends)
-            if all(sent <= self.log.delivered_set(s) for s in alive):
+            self.system.run(until=min(deadline, self.system.sim.now + step))
+            correct = [
+                s
+                for s in range(self.config.n)
+                if s not in exempt_set and not self.system.machine(s).ever_crashed
+            ]
+            targets = {
+                key
+                for key, (sender, _t) in self.log.sends.items()
+                if sender not in exempt_set
+            }
+            for s in correct:
+                targets |= self.log.delivered_set(s)
+            if all(targets <= self.log.delivered_set(s) for s in correct):
                 return
 
     def stacks(self) -> List:
@@ -193,6 +216,7 @@ def build_group_comm_system(config: GroupCommConfig) -> GroupCommSystem:
         bandwidth_bps=config.bandwidth_bps,
         latency=lan_latency(),
         loss_rate=config.loss_rate,
+        duplicate_rate=config.duplicate_rate,
     )
     network = SimNetwork(system.sim, system.machines, lan)
     system.network = network
@@ -282,6 +306,7 @@ def build_group_comm_system(config: GroupCommConfig) -> GroupCommSystem:
             service=app_service,
             payload=FixedPayload(config.payload_bytes),
             jitter=config.load_jitter,
+            burst=config.load_burst,
         )
         stack.add_module(generator)
         generators.append(generator)

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from ..baselines.switchbase import DrainingSwitchModule
 from ..kernel.service import WellKnown
-from ..metrics import latency_series, windowed_mean_latency
+from ..metrics import windowed_mean_latency
 from ..sim.clock import to_ms
 from ..viz import render_table
 from .common import GroupCommConfig, PROTOCOL_CT, build_group_comm_system

@@ -21,27 +21,20 @@ and ``examples/figure5_replay.py``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from ..dpu import assert_abcast_properties
 from ..dpu.manager import ReplacementWindow
 from ..metrics import (
-    LatencyPoint,
     PerturbationWindow,
-    bin_series,
     find_perturbation,
     latency_series,
     windowed_mean_latency,
 )
 from ..sim.clock import to_ms
 from ..viz import ascii_plot
-from .common import (
-    GroupCommConfig,
-    GroupCommSystem,
-    PROTOCOL_CT,
-    build_group_comm_system,
-)
+from .common import GroupCommConfig, PROTOCOL_CT, build_group_comm_system
 
 __all__ = ["Figure5Result", "run_figure5"]
 

@@ -18,7 +18,7 @@ latency during replacement is only paid during a short window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..metrics import mean_latency, windowed_mean_latency
 from ..sim.clock import to_ms

@@ -1,0 +1,43 @@
+"""The fault-injection scenario campaigns, as an experiments entry point.
+
+The scenario subsystem lives in :mod:`repro.scenarios`; this module
+registers it under the experiments namespace so harness code can treat
+campaigns like any other experiment::
+
+    from repro.experiments.scenarios import SCENARIOS, run_campaign, get_campaign
+    result = run_campaign(get_campaign("smoke"), seeds=(0, 1, 2))
+
+(Kept as a separate module — not imported from ``repro.experiments``'s
+``__init__`` — because :mod:`repro.scenarios` itself builds on
+:mod:`repro.experiments.common`, and a package-level import would cycle.)
+"""
+
+from ..scenarios import (  # noqa: F401  (re-exports)
+    CAMPAIGNS,
+    SCENARIOS,
+    Campaign,
+    CampaignResult,
+    ScenarioResult,
+    ScenarioSpec,
+    get_campaign,
+    get_scenario,
+    register_campaign,
+    register_scenario,
+    run_campaign,
+    run_scenario,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignResult",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "get_scenario",
+    "get_campaign",
+    "register_scenario",
+    "register_campaign",
+    "run_scenario",
+    "run_campaign",
+]

@@ -13,7 +13,7 @@ are simulated seconds (convert for display with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence
 
 import numpy as np
 

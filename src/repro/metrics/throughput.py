@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from ..dpu.probes import DeliveryLog
 from ..sim.clock import Time

@@ -13,7 +13,7 @@ from .message import (
     NetMessage,
     estimate_payload_size,
 )
-from .network import SimNetwork
+from .network import LinkImpairment, SimNetwork
 from .rp2p import Rp2pModule
 from .topology import SwitchedLan
 from .udp import UdpModule
@@ -24,6 +24,7 @@ __all__ = [
     "RP2P_HEADER_BYTES",
     "estimate_payload_size",
     "SimNetwork",
+    "LinkImpairment",
     "SwitchedLan",
     "UdpModule",
     "Rp2pModule",

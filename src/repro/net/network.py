@@ -9,7 +9,10 @@
   that produce the latency-versus-load curves of the paper's Figure 6;
 * **propagation** — a latency-model draw per datagram;
 * **impairments** — independent loss and duplication draws, plus explicit
-  **partitions** for fault-injection tests;
+  **partitions** for fault-injection tests, **per-link impairments**
+  (loss/duplication/reorder bursts and added latency on selected links,
+  see :class:`LinkImpairment`) and a global :attr:`SimNetwork.extra_latency`
+  knob for injected latency spikes;
 * **crash semantics** — datagrams from crashed senders are never sent;
   datagrams to crashed receivers are silently dropped (the receiver hook
   double-checks at delivery time, covering crashes that happen while the
@@ -22,6 +25,7 @@ doorway.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
@@ -34,7 +38,42 @@ from ..sim.process import Machine
 from .message import NetMessage
 from .topology import SwitchedLan
 
-__all__ = ["SimNetwork"]
+__all__ = ["SimNetwork", "LinkImpairment"]
+
+
+@dataclass(frozen=True)
+class LinkImpairment:
+    """Extra misbehaviour on one directed link (on top of the LAN's own).
+
+    Attributes
+    ----------
+    loss_rate / duplicate_rate:
+        Added to the LAN-wide rates for datagrams on this link (the sum
+        is clamped to 1).
+    reorder_rate:
+        Probability that a datagram on this link is held back by an extra
+        uniform ``[0, reorder_delay)`` seconds — later traffic overtakes
+        it, producing genuine reordering bursts.
+    reorder_delay:
+        Upper bound of the reorder hold-back, in seconds.
+    extra_latency:
+        Deterministic extra one-way delay on this link, in seconds
+        (a per-link latency spike).
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay: Duration = 0.0
+    extra_latency: Duration = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("loss_rate", "duplicate_rate", "reorder_rate"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise NetworkError(f"{attr} must be in [0, 1], got {value!r}")
+        if self.reorder_delay < 0.0 or self.extra_latency < 0.0:
+            raise NetworkError("reorder_delay and extra_latency must be >= 0")
 
 #: Receiver hook: called as ``hook(message, arrival_time)``.
 DeliveryHook = Callable[[NetMessage, Time], None]
@@ -55,6 +94,10 @@ class SimNetwork:
         self._hooks: Dict[int, DeliveryHook] = {}
         self._nic_busy_until: Dict[int, Time] = {mid: 0.0 for mid in self._machines}
         self._partitions: Set[FrozenSet[int]] = set()
+        self._links: Dict[Tuple[int, int], LinkImpairment] = {}
+        #: Extra one-way delay added to every delivery (latency-spike knob;
+        #: deterministic, so toggling it never perturbs the RNG streams).
+        self.extra_latency: Duration = 0.0
         self.counters = Counter()
         self._latency_rng: np.random.Generator = sim.rng.stream("net.latency")
         self._impair_rng: np.random.Generator = sim.rng.stream("net.impairments")
@@ -93,6 +136,50 @@ class SimNetwork:
         return frozenset((a, b)) in self._partitions
 
     # ------------------------------------------------------------------ #
+    # Per-link impairments (fault injection)
+    # ------------------------------------------------------------------ #
+    def impair_link(
+        self,
+        src: int,
+        dst: int,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_delay: Duration = 0.0,
+        extra_latency: Duration = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Attach a :class:`LinkImpairment` to *src→dst* (and the reverse
+        direction when *symmetric*), replacing any previous one."""
+        for machine_id in (src, dst):
+            if machine_id not in self._machines:
+                raise UnknownDestinationError(f"no machine with id {machine_id}")
+        impairment = LinkImpairment(
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            reorder_rate=reorder_rate,
+            reorder_delay=reorder_delay,
+            extra_latency=extra_latency,
+        )
+        self._links[(src, dst)] = impairment
+        if symmetric:
+            self._links[(dst, src)] = impairment
+
+    def clear_link(self, src: int, dst: int, symmetric: bool = True) -> None:
+        """Remove the impairment on *src→dst* (and reverse if *symmetric*)."""
+        self._links.pop((src, dst), None)
+        if symmetric:
+            self._links.pop((dst, src), None)
+
+    def clear_links(self) -> None:
+        """Remove every per-link impairment."""
+        self._links.clear()
+
+    def link_impairment(self, src: int, dst: int) -> Optional[LinkImpairment]:
+        """The impairment currently on *src→dst*, if any."""
+        return self._links.get((src, dst))
+
+    # ------------------------------------------------------------------ #
     # Sending
     # ------------------------------------------------------------------ #
     def send(self, message: NetMessage) -> None:
@@ -117,19 +204,37 @@ class SimNetwork:
         if self.is_partitioned(src, dst):
             self.counters.incr("dropped_partition")
             return
-        if self.lan.loss_rate > 0.0 and self._impair_rng.random() < self.lan.loss_rate:
+        link = self._links.get((src, dst)) if self._links else None
+        loss = self.lan.loss_rate
+        duplicate = self.lan.duplicate_rate
+        if link is not None:
+            loss = min(1.0, loss + link.loss_rate)
+            duplicate = min(1.0, duplicate + link.duplicate_rate)
+        if loss > 0.0 and self._impair_rng.random() < loss:
             self.counters.incr("dropped_loss")
             return
 
-        arrival = done + self.lan.latency.sample(self._latency_rng)
+        arrival = done + self._one_way_delay(link)
         self.sim.schedule_at(arrival, self._deliver, message)
-        if (
-            self.lan.duplicate_rate > 0.0
-            and self._impair_rng.random() < self.lan.duplicate_rate
-        ):
-            dup_arrival = done + self.lan.latency.sample(self._latency_rng)
+        if duplicate > 0.0 and self._impair_rng.random() < duplicate:
+            # The duplicate crosses the same impaired link, so it pays the
+            # same extra latency / reorder hold as the original copy.
+            dup_arrival = done + self._one_way_delay(link)
             self.sim.schedule_at(dup_arrival, self._deliver, message)
             self.counters.incr("duplicated")
+
+    def _one_way_delay(self, link: Optional[LinkImpairment]) -> Duration:
+        """One propagation delay draw, including impairments."""
+        delay = self.lan.latency.sample(self._latency_rng) + self.extra_latency
+        if link is not None:
+            delay += link.extra_latency
+            if (
+                link.reorder_rate > 0.0
+                and self._impair_rng.random() < link.reorder_rate
+            ):
+                delay += float(self._impair_rng.random()) * link.reorder_delay
+                self.counters.incr("reordered")
+        return delay
 
     def send_local(self, message: NetMessage, loopback_delay: Duration = 0.0) -> None:
         """Self-addressed delivery (loopback): no NIC, no LAN, no loss."""

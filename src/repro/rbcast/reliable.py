@@ -30,7 +30,7 @@ the module into best-effort broadcast for ablations).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Set, Tuple
+from typing import Any, Optional, Sequence, Set, Tuple
 
 from ..kernel.module import Module, NOT_MINE
 from ..kernel.service import WellKnown

@@ -1,0 +1,80 @@
+"""Fault-injection scenarios and campaigns.
+
+This package is the repo's *adversarial schedule space* made first-class:
+
+* :mod:`~repro.scenarios.spec` — declarative :class:`ScenarioSpec` values
+  composing a protocol stack, a workload, a switch plan, and a fault
+  schedule (crashes/recoveries, partitions, link impairments, latency
+  spikes, churn);
+* :mod:`~repro.scenarios.switchplan` — when to replace the protocol:
+  at a time, after N deliveries, or on fault detection;
+* :mod:`~repro.scenarios.engine` — ``run_scenario`` / ``run_campaign``
+  with every property checker applied and deterministic JSON reports;
+* :mod:`~repro.scenarios.library` — ~10 predefined scenarios and the
+  named campaigns (``smoke`` is the CI gate);
+* ``python -m repro.scenarios`` — the CLI (see ``--help``).
+"""
+
+from .engine import (
+    Campaign,
+    CampaignResult,
+    ScenarioResult,
+    run_campaign,
+    run_scenario,
+)
+from .library import (
+    CAMPAIGNS,
+    SCENARIOS,
+    get_campaign,
+    get_scenario,
+    register_campaign,
+    register_scenario,
+)
+from .spec import (
+    Churn,
+    Crash,
+    FaultAction,
+    Heal,
+    ImpairLink,
+    LatencySpike,
+    Partition,
+    RandomCrashes,
+    Recover,
+    ScenarioSpec,
+)
+from .switchplan import (
+    SwitchAfterDeliveries,
+    SwitchAt,
+    SwitchOnFault,
+    SwitchPlan,
+    SwitchStep,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "FaultAction",
+    "Crash",
+    "Recover",
+    "Partition",
+    "Heal",
+    "ImpairLink",
+    "LatencySpike",
+    "Churn",
+    "RandomCrashes",
+    "SwitchAt",
+    "SwitchAfterDeliveries",
+    "SwitchOnFault",
+    "SwitchStep",
+    "SwitchPlan",
+    "ScenarioResult",
+    "Campaign",
+    "CampaignResult",
+    "run_scenario",
+    "run_campaign",
+    "SCENARIOS",
+    "CAMPAIGNS",
+    "register_scenario",
+    "register_campaign",
+    "get_scenario",
+    "get_campaign",
+]

@@ -1,0 +1,126 @@
+"""CLI: run fault-injection scenarios and campaigns.
+
+Examples
+--------
+List everything::
+
+    python -m repro.scenarios --list
+
+Run the CI smoke campaign over 3 seeds and write the JSON report::
+
+    python -m repro.scenarios --campaign smoke --seeds 3 --out smoke.json
+
+Run one scenario at one seed::
+
+    python -m repro.scenarios --scenario churn-storm --seed 7
+
+Exit status is 0 iff no property checker reported a violation, so the
+command doubles as a CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ScenarioError
+from ..viz import render_table
+from .engine import Campaign, CampaignResult, run_campaign
+from .library import CAMPAIGNS, SCENARIOS, get_campaign, get_scenario
+
+
+def _parse_seeds(args: argparse.Namespace) -> List[int]:
+    if args.seed is not None:
+        return [args.seed]
+    return list(range(args.seeds))
+
+
+def _list() -> None:
+    rows = [
+        (spec.name, spec.n, spec.duration, len(spec.faults), len(spec.switches),
+         spec.description)
+        for _name, spec in sorted(SCENARIOS.items())
+    ]
+    print(render_table(
+        ["scenario", "n", "dur [s]", "faults", "switches", "description"],
+        rows,
+        title="Registered scenarios",
+    ))
+    rows = [
+        (c.name, len(c.scenarios), ", ".join(s.name for s in c.scenarios))
+        for _name, c in sorted(CAMPAIGNS.items())
+    ]
+    print(render_table(
+        ["campaign", "runs", "scenarios"],
+        rows,
+        title="Registered campaigns",
+    ))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run fault-injection scenario campaigns with property gates.",
+    )
+    target = parser.add_mutually_exclusive_group()
+    target.add_argument("--campaign", help="campaign name (see --list)")
+    target.add_argument("--scenario", help="single scenario name (see --list)")
+    target.add_argument("--list", action="store_true", dest="list_all",
+                        help="list registered scenarios and campaigns")
+    parser.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="run seeds 0..N-1 (default: 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run exactly this one seed (overrides --seeds)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here (default: stdout only "
+                             "prints the summary table)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON report to stdout")
+    args = parser.parse_args(argv)
+
+    if args.list_all:
+        _list()
+        return 0
+
+    seeds = _parse_seeds(args)
+    if not seeds:
+        parser.error("--seeds must be >= 1")
+    try:
+        if args.scenario is not None:
+            spec = get_scenario(args.scenario)
+            campaign = Campaign(name=f"adhoc:{spec.name}", scenarios=(spec,))
+        else:
+            campaign = get_campaign(args.campaign or "smoke")
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result: CampaignResult = run_campaign(campaign, seeds=seeds)
+
+    print(render_table(
+        ["scenario", "seed", "verdict", "sent", "ordered", "violations"],
+        result.summary_rows(),
+        title=f"Campaign {result.campaign!r} over seeds {seeds}",
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json() + "\n")
+        print(f"report written to {args.out}")
+    if args.json:
+        print(result.to_json())
+
+    if not result.ok:
+        for run in result.results:
+            for prop, violations in sorted(run.violations.items()):
+                for violation in violations[:3]:
+                    print(
+                        f"VIOLATION [{run.name} seed={run.seed}] {prop}: {violation}",
+                        file=sys.stderr,
+                    )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""The campaign engine: run scenarios, check properties, emit JSON.
+
+:func:`run_scenario` is a pure function ``(spec, seed) → ScenarioResult``:
+it builds the paper's Figure 4 stack, arms the fault schedule on a
+:class:`~repro.sim.faults.FaultInjector` and the switch plan on a
+:class:`~repro.scenarios.switchplan.SwitchPlan`, runs the workload for
+``spec.duration`` simulated seconds, drains to quiescence, and then runs
+every property checker the repo has:
+
+* the four ABcast properties across replacements (Section 5.2.2), with
+  the usual exemptions for faulty machines and their in-flight sends;
+* weak stack-well-formedness (Section 3);
+* weak protocol-operationability for every protocol the scenario binds.
+
+:func:`run_campaign` maps a :class:`Campaign` (a named set of scenarios)
+across a seed matrix.  Everything serialises to **deterministic JSON**
+(sorted keys, no wall-clock timestamps): the same ``(campaign, seeds)``
+pair produces byte-identical output, which CI exploits as a regression
+gate — any diff in the report is a real behavioural change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..dpu.abcast_checker import check_all_abcast_properties
+from ..dpu.properties import (
+    check_weak_protocol_operationability,
+    check_weak_stack_well_formedness,
+)
+from ..errors import ScenarioError
+from ..experiments.common import GroupCommConfig, build_group_comm_system
+from ..metrics import mean_latency
+from ..sim.faults import FaultInjector
+from .spec import ScenarioSpec
+from .switchplan import SwitchPlan
+
+__all__ = [
+    "ScenarioResult",
+    "Campaign",
+    "CampaignResult",
+    "run_scenario",
+    "run_campaign",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced, JSON-ready."""
+
+    name: str
+    seed: int
+    n: int
+    sim_time_end: float
+    events_processed: int
+    sent_total: int
+    delivered_per_stack: Dict[int, int]
+    #: Distinct keys Adelivered by every correct stack (the totally
+    #: ordered common prefix the checkers certified).
+    ordered_common: int
+    mean_latency_s: Optional[float]
+    faults: List[Dict[str, Any]]
+    switches_fired: List[Dict[str, Any]]
+    switch_windows: List[Dict[str, Any]]
+    final_protocols: Dict[int, str]
+    crashed: Dict[int, float]
+    correct_stacks: List[int]
+    violations: Dict[str, List[str]]
+    network: Dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        """No property checker reported a violation."""
+        return all(not v for v in self.violations.values())
+
+    @property
+    def violations_total(self) -> int:
+        return sum(len(v) for v in self.violations.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain, deterministically-serialisable dict."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "n": self.n,
+            "ok": self.ok,
+            "sim_time_end": self.sim_time_end,
+            "events_processed": self.events_processed,
+            "sent_total": self.sent_total,
+            "delivered_per_stack": {
+                str(k): v for k, v in sorted(self.delivered_per_stack.items())
+            },
+            "ordered_common": self.ordered_common,
+            "mean_latency_s": self.mean_latency_s,
+            "faults": self.faults,
+            "switches_fired": self.switches_fired,
+            "switch_windows": self.switch_windows,
+            "final_protocols": {
+                str(k): v for k, v in sorted(self.final_protocols.items())
+            },
+            "crashed": {str(k): v for k, v in sorted(self.crashed.items())},
+            "correct_stacks": list(self.correct_stacks),
+            "violations": {k: list(v) for k, v in sorted(self.violations.items())},
+            "network": {k: v for k, v in sorted(self.network.items())},
+        }
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named set of scenarios run as one unit across a seed matrix."""
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ScenarioError(f"campaign {self.name!r} has no scenarios")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ScenarioError(f"campaign {self.name!r} has duplicate scenario names")
+
+
+@dataclass
+class CampaignResult:
+    """All results of one campaign run, with a deterministic JSON form."""
+
+    campaign: str
+    seeds: List[int]
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def violations_total(self) -> int:
+        return sum(r.violations_total for r in self.results)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "seeds": list(self.seeds),
+            "ok": self.ok,
+            "violations_total": self.violations_total,
+            "runs": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Byte-identical for identical (campaign, seeds) inputs."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary_rows(self) -> List[Tuple[Any, ...]]:
+        """``(scenario, seed, ok, sent, ordered, violations)`` per run."""
+        return [
+            (
+                r.name,
+                r.seed,
+                "ok" if r.ok else "FAIL",
+                r.sent_total,
+                r.ordered_common,
+                r.violations_total,
+            )
+            for r in self.results
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# Running one scenario
+# --------------------------------------------------------------------------- #
+def _config_for(spec: ScenarioSpec, seed: int) -> GroupCommConfig:
+    return GroupCommConfig(
+        n=spec.n,
+        seed=seed,
+        load_msgs_per_sec=spec.load_msgs_per_sec,
+        payload_bytes=spec.payload_bytes,
+        load_stop=spec.duration,
+        load_jitter=spec.load_jitter,
+        load_burst=spec.load_burst,
+        initial_protocol=spec.initial_protocol,
+        with_gm=spec.with_gm,
+        loss_rate=spec.loss_rate,
+        duplicate_rate=spec.duplicate_rate,
+    )
+
+
+def run_scenario(spec: ScenarioSpec, seed: int = 0) -> ScenarioResult:
+    """Run one scenario at one seed; never raises on property violations
+    (they are returned in the result, so a campaign always completes)."""
+    gcs = build_group_comm_system(_config_for(spec, seed))
+    system = gcs.system
+    injector = FaultInjector(
+        system.sim, system.machines, network=gcs.network, name=spec.name
+    )
+    for action in spec.faults:
+        action.schedule(injector)
+    plan = SwitchPlan(spec.switches)
+    plan.arm(gcs, injector)
+
+    system.run(until=spec.duration)
+    declared = set(spec.declared_faulty())
+    gcs.run_to_quiescence(
+        extra=spec.quiescence_extra,
+        step=spec.quiescence_step,
+        exempt=declared | set(injector.crashed_ever()),
+    )
+
+    # ----- fault/crash accounting ------------------------------------- #
+    crashed: Dict[int, float] = dict(injector.crashed_ever())
+    for machine_id in spec.expected_faulty:
+        crashed.setdefault(machine_id, spec.duration)
+    stacks = list(range(spec.n))
+    correct = [s for s in stacks if s not in crashed]
+    in_flight = {
+        key for key, (sender, _t) in gcs.log.sends.items() if sender in crashed
+    }
+
+    # ----- property checks -------------------------------------------- #
+    violations = check_all_abcast_properties(
+        gcs.log, crashed, stacks, in_flight_ok=in_flight
+    )
+    violations["weak stack-well-formedness"] = check_weak_stack_well_formedness(
+        system.trace
+    )
+    protocols_bound = {spec.initial_protocol}
+    protocols_bound.update(step.protocol for step in spec.switches)
+    for protocol in sorted(protocols_bound):
+        violations[f"weak operationability[{protocol}]"] = (
+            check_weak_protocol_operationability(system.trace, protocol, stacks)
+        )
+
+    # ----- metrics ----------------------------------------------------- #
+    common: Optional[set] = None
+    for stack_id in correct:
+        delivered = gcs.log.delivered_set(stack_id)
+        common = delivered if common is None else (common & delivered)
+    windows = []
+    if gcs.manager is not None:
+        for version in sorted(gcs.manager.windows):
+            window = gcs.manager.windows[version]
+            windows.append(
+                {
+                    "version": window.version,
+                    "protocol": window.protocol,
+                    "start": window.start,
+                    "end": window.end,
+                    "duration": window.duration,
+                    "stacks_completed": len(window.completed),
+                }
+            )
+    latency = mean_latency(gcs.log, stacks=correct) if correct else None
+
+    return ScenarioResult(
+        name=spec.name,
+        seed=seed,
+        n=spec.n,
+        sim_time_end=system.sim.now,
+        events_processed=system.sim.events_processed,
+        sent_total=len(gcs.log.sends),
+        delivered_per_stack={s: gcs.log.delivered_count(s) for s in stacks},
+        ordered_common=len(common or ()),
+        mean_latency_s=latency,
+        faults=[record.to_dict() for record in injector.records],
+        switches_fired=list(plan.fired),
+        switch_windows=windows,
+        final_protocols=(
+            gcs.manager.current_protocols() if gcs.manager is not None else {}
+        ),
+        crashed=crashed,
+        correct_stacks=correct,
+        violations=violations,
+        network=gcs.network.stats(),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Running a campaign
+# --------------------------------------------------------------------------- #
+def run_campaign(campaign: Campaign, seeds: Sequence[int] = (0,)) -> CampaignResult:
+    """Run every scenario of *campaign* at every seed, in a fixed order."""
+    result = CampaignResult(campaign=campaign.name, seeds=list(seeds))
+    for spec in campaign.scenarios:
+        for seed in seeds:
+            result.results.append(run_scenario(spec, seed=seed))
+    return result

@@ -1,0 +1,282 @@
+"""The predefined scenario library and campaigns.
+
+Each entry opens one corner of the adversarial schedule space the
+ROADMAP's north star asks for: switches while the network is partitioned,
+cascading crashes during a consensus-based replacement, membership churn
+storms, lossy/duplicating/reordering links under every ABcast protocol,
+latency spikes, crash→recover incarnations, and load-coupled and
+fault-coupled switch triggers.
+
+Scenarios are registered by name in :data:`SCENARIOS` via
+:func:`register_scenario`; campaigns (named scenario sets, e.g. the CI
+``smoke`` gate) live in :data:`CAMPAIGNS`.  Everything here is
+deterministic per seed by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..errors import ScenarioError
+from ..experiments.common import PROTOCOL_CT, PROTOCOL_SEQ, PROTOCOL_TOKEN
+from ..sim.clock import ms
+from .engine import Campaign
+from .spec import (
+    Churn,
+    Crash,
+    Heal,
+    ImpairLink,
+    LatencySpike,
+    Partition,
+    Recover,
+    ScenarioSpec,
+)
+from .switchplan import SwitchAfterDeliveries, SwitchAt, SwitchOnFault
+
+__all__ = [
+    "SCENARIOS",
+    "CAMPAIGNS",
+    "register_scenario",
+    "register_campaign",
+    "get_scenario",
+    "get_campaign",
+]
+
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+CAMPAIGNS: Dict[str, Campaign] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add *spec* to the library (name must be fresh)."""
+    if spec.name in SCENARIOS:
+        raise ScenarioError(f"scenario {spec.name!r} already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def register_campaign(name: str, scenario_names: Iterable[str], description: str = "") -> Campaign:
+    """Register a campaign referencing already-registered scenarios."""
+    if name in CAMPAIGNS:
+        raise ScenarioError(f"campaign {name!r} already registered")
+    campaign = Campaign(
+        name=name,
+        scenarios=tuple(get_scenario(n) for n in scenario_names),
+        description=description,
+    )
+    CAMPAIGNS[name] = campaign
+    return campaign
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name (helpful error on typos)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ScenarioError(f"unknown scenario {name!r}; known: {known}")
+
+
+def get_campaign(name: str) -> Campaign:
+    """Look up a campaign by name (helpful error on typos)."""
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise ScenarioError(f"unknown campaign {name!r}; known: {known}")
+
+
+# --------------------------------------------------------------------------- #
+# The library
+# --------------------------------------------------------------------------- #
+register_scenario(ScenarioSpec(
+    name="switch-under-partition",
+    description="CT→CT replacement requested while the LAN is split 3|2; "
+                "the majority side switches, the minority catches up after heal",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    faults=(
+        Partition(at=2.0, groups=((0, 1, 2), (3, 4))),
+        Heal(at=4.0),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=2.5, from_stack=0),),
+    quiescence_extra=14.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="cascade-crash-during-consensus-repl",
+    description="two machines crash in cascade right inside the window of a "
+                "consensus-based (CT) replacement; five survivors finish it",
+    n=7,
+    duration=6.0,
+    load_msgs_per_sec=100.0,
+    faults=(
+        Crash(at=3.002, machine=5),
+        Crash(at=3.08, machine=6),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=3.0, from_stack=0),),
+    quiescence_extra=12.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="churn-storm",
+    description="two machines cycle crash→recover twice while group "
+                "membership expels them; the stable trio keeps total order",
+    n=5,
+    duration=6.5,
+    load_msgs_per_sec=60.0,
+    with_gm=True,
+    faults=(
+        Churn(start=2.0, machines=(3, 4), period=2.0, downtime=0.8, cycles=2),
+    ),
+    quiescence_extra=10.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="lossy-token-ring",
+    description="token-ring ABcast over a 3%-lossy LAN, then a live switch "
+                "to the sequencer protocol mid-loss",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=60.0,
+    initial_protocol=PROTOCOL_TOKEN,
+    loss_rate=0.03,
+    switches=(SwitchAt(protocol=PROTOCOL_SEQ, at=3.0, from_stack=1),),
+    quiescence_extra=12.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="dup-storm-switch",
+    description="LAN-wide duplication plus a 30% duplication burst on one "
+                "link while a CT→CT replacement runs",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    duplicate_rate=0.05,
+    faults=(
+        ImpairLink(at=2.0, src=0, dst=1, duplicate_rate=0.3, until=4.0),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=3.0, from_stack=0),),
+))
+
+register_scenario(ScenarioSpec(
+    name="reorder-burst-seq",
+    description="reordering bursts on two links under the sequencer "
+                "protocol, with a mid-burst switch to CT",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    initial_protocol=PROTOCOL_SEQ,
+    faults=(
+        ImpairLink(at=1.5, src=0, dst=1, reorder_rate=0.5,
+                   reorder_delay=ms(5.0), until=4.5),
+        ImpairLink(at=1.5, src=2, dst=3, reorder_rate=0.5,
+                   reorder_delay=ms(5.0), until=4.5),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=3.0, from_stack=2),),
+))
+
+register_scenario(ScenarioSpec(
+    name="latency-spike-switch",
+    description="a 5 ms one-way latency spike brackets a CT→CT replacement "
+                "on a small group",
+    n=3,
+    duration=5.0,
+    load_msgs_per_sec=60.0,
+    faults=(
+        LatencySpike(at=2.0, extra=ms(5.0), duration=1.0),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=2.5, from_stack=0),),
+))
+
+register_scenario(ScenarioSpec(
+    name="crash-recover-switch",
+    description="a machine crashes, recovers as a new incarnation, and a "
+                "replacement triggered after the recovery still completes "
+                "on every correct stack",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    faults=(
+        Crash(at=2.0, machine=2),
+        Recover(at=3.5, machine=2),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=4.0, from_stack=0),),
+    quiescence_extra=12.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="switch-after-burst",
+    description="bursty jittered workload; the switch to the sequencer "
+                "triggers after stack 0 has Adelivered 150 messages",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=100.0,
+    load_burst=5,
+    load_jitter=0.3,
+    switches=(
+        SwitchAfterDeliveries(protocol=PROTOCOL_SEQ, count=150, on_stack=0),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="switch-on-crash-detection",
+    description="a crash is injected and the operator policy reacts: "
+                "50 ms after the fault the group switches to the sequencer",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    faults=(
+        Crash(at=2.5, machine=4),
+    ),
+    switches=(
+        SwitchOnFault(protocol=PROTOCOL_SEQ, fault_index=0, delay=0.05),
+    ),
+    quiescence_extra=12.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="partition-minority-isolated",
+    description="a never-healed 3|2 split: the majority keeps full service "
+                "and switches protocols; the isolated minority is exempted "
+                "from liveness like the paper's crashed processes",
+    n=5,
+    duration=5.0,
+    load_msgs_per_sec=60.0,
+    faults=(
+        Partition(at=1.5, groups=((0, 1, 2), (3, 4))),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=3.0, from_stack=0),),
+    expected_faulty=(3, 4),
+    quiescence_extra=8.0,
+))
+
+
+# --------------------------------------------------------------------------- #
+# Campaigns
+# --------------------------------------------------------------------------- #
+register_campaign(
+    "smoke",
+    (
+        "latency-spike-switch",
+        "switch-on-crash-detection",
+        "dup-storm-switch",
+    ),
+    description="three fast scenarios for the CI gate: a latency spike, a "
+                "crash-triggered switch, and a duplication storm",
+)
+
+register_campaign(
+    "partitions",
+    (
+        "switch-under-partition",
+        "partition-minority-isolated",
+    ),
+    description="switches while the network is split",
+)
+
+register_campaign(
+    "full",
+    tuple(sorted(SCENARIOS)),
+    description="every registered scenario",
+)

@@ -1,0 +1,136 @@
+"""Switch plans: when and how a scenario replaces its protocol.
+
+The paper's experiments trigger ``changeABcast`` at a fixed instant "in
+the middle of the experiment".  The scenario space needs richer triggers,
+so a plan is a sequence of *steps*, each one switch with its own firing
+condition:
+
+* :class:`SwitchAt` — at absolute simulated time *at*;
+* :class:`SwitchAfterDeliveries` — once a designated stack has Adelivered
+  *count* messages (load-coupled switching);
+* :class:`SwitchOnFault` — a fixed *delay* after the *fault_index*-th
+  injected fault fires (switch-on-fault-detection: the operator reacting
+  to trouble by moving to a sturdier protocol).
+
+:class:`SwitchPlan` arms the steps against a built system: it wires the
+time/delivery/fault sources, falls back to the lowest-ranked alive stack
+when the requesting stack is down at firing time, and records every
+switch that actually fired for the campaign report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Union
+
+from ..errors import ScenarioError
+from ..sim.clock import Duration, Time
+from ..sim.faults import FaultInjector, FaultRecord
+
+__all__ = ["SwitchAt", "SwitchAfterDeliveries", "SwitchOnFault", "SwitchStep", "SwitchPlan"]
+
+
+@dataclass(frozen=True)
+class SwitchAt:
+    """Switch to *protocol* at absolute instant *at*."""
+
+    protocol: str
+    at: Time
+    from_stack: int = 0
+
+
+@dataclass(frozen=True)
+class SwitchAfterDeliveries:
+    """Switch to *protocol* once *on_stack* has Adelivered *count* messages."""
+
+    protocol: str
+    count: int
+    on_stack: int = 0
+    from_stack: int = 0
+
+
+@dataclass(frozen=True)
+class SwitchOnFault:
+    """Switch to *protocol* a *delay* after the *fault_index*-th fault fires."""
+
+    protocol: str
+    fault_index: int = 0
+    delay: Duration = 0.05
+    from_stack: int = 0
+
+
+SwitchStep = Union[SwitchAt, SwitchAfterDeliveries, SwitchOnFault]
+
+
+class SwitchPlan:
+    """Arms a sequence of switch steps against a built system."""
+
+    def __init__(self, steps: Sequence[SwitchStep]) -> None:
+        self.steps = list(steps)
+        #: Switches that actually fired: dicts with trigger/protocol/time.
+        self.fired: List[Dict[str, Any]] = []
+
+    def arm(self, gcs: Any, injector: FaultInjector) -> None:
+        """Wire every step into *gcs* (a ``GroupCommSystem``)."""
+        if not self.steps:
+            return
+        if gcs.manager is None:
+            raise ScenarioError(
+                "a switch plan needs the replacement layer (manager is None)"
+            )
+        sim = gcs.system.sim
+        for step in self.steps:
+            if isinstance(step, SwitchAt):
+                sim.schedule_at(step.at, self._fire, gcs, step)
+            elif isinstance(step, SwitchAfterDeliveries):
+                self._arm_delivery_trigger(gcs, step)
+            elif isinstance(step, SwitchOnFault):
+                self._arm_fault_trigger(gcs, injector, step)
+            else:  # pragma: no cover - defensive
+                raise ScenarioError(f"unknown switch step {step!r}")
+
+    # ------------------------------------------------------------------ #
+    # Trigger wiring
+    # ------------------------------------------------------------------ #
+    def _arm_delivery_trigger(self, gcs: Any, step: SwitchAfterDeliveries) -> None:
+        state = {"count": 0, "armed": True}
+
+        def on_delivery(key: Any, stack_id: int, time: Time) -> None:
+            if not state["armed"] or stack_id != step.on_stack:
+                return
+            state["count"] += 1
+            if state["count"] >= step.count:
+                state["armed"] = False
+                # call_soon: never re-enter the stack from a delivery hook.
+                gcs.system.sim.call_soon(self._fire, gcs, step)
+
+        gcs.log.on_delivery.append(on_delivery)
+
+    def _arm_fault_trigger(
+        self, gcs: Any, injector: FaultInjector, step: SwitchOnFault
+    ) -> None:
+        def on_fault(index: int, record: FaultRecord) -> None:
+            if index == step.fault_index:
+                gcs.system.sim.schedule(step.delay, self._fire, gcs, step)
+
+        injector.on_fault.append(on_fault)
+
+    # ------------------------------------------------------------------ #
+    # Firing
+    # ------------------------------------------------------------------ #
+    def _fire(self, gcs: Any, step: SwitchStep) -> None:
+        from_stack = step.from_stack
+        if gcs.system.machine(from_stack).crashed:
+            alive = gcs.system.alive_ids()
+            if not alive:
+                return  # nobody left to request the switch
+            from_stack = alive[0]
+        gcs.manager.request_change(step.protocol, from_stack=from_stack)
+        self.fired.append(
+            {
+                "trigger": type(step).__name__,
+                "protocol": step.protocol,
+                "from_stack": from_stack,
+                "time": gcs.system.sim.now,
+            }
+        )

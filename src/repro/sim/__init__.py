@@ -26,6 +26,7 @@ from .latency import (
     UniformLatency,
     lan_latency,
 )
+from .faults import FaultInjector, FaultRecord
 from .monitors import Counter, EventLog, PeriodicProbe
 from .process import Machine
 from .random import RngRegistry, stable_hash64
@@ -45,6 +46,8 @@ __all__ = [
     "PRIORITY_NORMAL",
     "PRIORITY_LATE",
     "Machine",
+    "FaultInjector",
+    "FaultRecord",
     "RngRegistry",
     "stable_hash64",
     "LatencyModel",

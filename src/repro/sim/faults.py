@@ -1,0 +1,296 @@
+"""Deterministic fault injection.
+
+:class:`FaultInjector` is the one place an experiment schedules
+adversity: process crashes and recoveries on :class:`Machine`\\ s,
+network partitions and heals, per-link loss/duplication/reorder bursts
+and latency spikes (delegated to the attached network object), and
+randomised schedules (cascades, churn) drawn from the injector's **own
+named RNG stream** — so adding or re-ordering fault draws never perturbs
+the workload's or the network's randomness, and a run stays reproducible
+from its root seed.
+
+Every fault that actually fires is appended to :attr:`records` (at its
+simulated firing instant) and announced to the :attr:`on_fault` hooks,
+which is what lets a switch plan trigger "replace the protocol when the
+first fault is detected" deterministically.
+
+The injector lives in the ``sim`` layer and therefore knows the network
+only as a duck-typed object (``partition`` / ``heal`` / ``impair_link`` /
+``clear_links`` / ``extra_latency``); the concrete implementation is
+:class:`repro.net.network.SimNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .clock import Duration, Time
+from .events import PRIORITY_CONTROL
+from .engine import Simulator
+from .process import Machine
+
+__all__ = ["FaultRecord", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that fired: its instant, kind, and JSON-able detail."""
+
+    time: Time
+    kind: str
+    detail: Tuple[Any, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A deterministic plain-dict rendering for campaign reports."""
+        return {"time": self.time, "kind": self.kind, "detail": list(self.detail)}
+
+
+class FaultInjector:
+    """Schedules and records faults against machines and a network.
+
+    Parameters
+    ----------
+    sim:
+        The simulator faults are scheduled on.
+    machines:
+        The machines that may crash/recover (usually ``system.machines``).
+    network:
+        Optional network object for partition/link/latency faults
+        (``SimNetwork`` or anything with the same fault surface).
+    name:
+        Names the injector's RNG stream (``faults.<name>``), so two
+        injectors in one run draw independently.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machines: Sequence[Machine],
+        network: Any = None,
+        name: str = "default",
+    ) -> None:
+        self.sim = sim
+        self._machines: Dict[int, Machine] = {m.machine_id: m for m in machines}
+        self.network = network
+        self.rng = sim.rng.stream(f"faults.{name}")
+        #: Faults that fired, in firing order.
+        self.records: List[FaultRecord] = []
+        #: Hooks invoked as ``hook(index, record)`` when a fault fires.
+        self.on_fault: List[Callable[[int, FaultRecord], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def _record(self, kind: str, *detail: Any) -> None:
+        record = FaultRecord(time=self.sim.now, kind=kind, detail=tuple(detail))
+        index = len(self.records)
+        self.records.append(record)
+        for hook in list(self.on_fault):
+            hook(index, record)
+
+    def _machine(self, machine_id: int) -> Machine:
+        try:
+            return self._machines[machine_id]
+        except KeyError:
+            raise SimulationError(f"fault injector knows no machine {machine_id}")
+
+    def _need_network(self) -> Any:
+        if self.network is None:
+            raise SimulationError("this fault requires a network to be attached")
+        return self.network
+
+    def crashed_ever(self) -> Dict[int, Time]:
+        """``machine -> first crash instant`` over the recorded faults."""
+        out: Dict[int, Time] = {}
+        for record in self.records:
+            if record.kind == "crash":
+                out.setdefault(int(record.detail[0]), record.time)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Immediate faults (also the targets of the *_at schedulers)
+    # ------------------------------------------------------------------ #
+    def crash(self, machine_id: int) -> None:
+        """Crash *machine_id* now (no-op if already down)."""
+        machine = self._machine(machine_id)
+        if machine.crashed:
+            return
+        machine.crash()
+        self._record("crash", machine_id)
+
+    def recover(self, machine_id: int) -> None:
+        """Recover *machine_id* now (no-op if up)."""
+        machine = self._machine(machine_id)
+        if not machine.crashed:
+            return
+        machine.recover()
+        self._record("recover", machine_id)
+
+    def partition(self, *groups: Sequence[int]) -> None:
+        """Split the network into *groups*: cross-group traffic drops."""
+        network = self._need_network()
+        sets = [set(g) for g in groups if g]
+        for i, a in enumerate(sets):
+            for b in sets[i + 1:]:
+                network.partition(a, b)
+        self._record("partition", *[tuple(sorted(g)) for g in sets])
+
+    def heal(self) -> None:
+        """Remove every partition."""
+        self._need_network().heal()
+        self._record("heal")
+
+    def impair_link(
+        self,
+        src: int,
+        dst: int,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_delay: Duration = 0.0,
+        extra_latency: Duration = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Degrade the *src→dst* link (both directions when *symmetric*)."""
+        self._need_network().impair_link(
+            src,
+            dst,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            reorder_rate=reorder_rate,
+            reorder_delay=reorder_delay,
+            extra_latency=extra_latency,
+            symmetric=symmetric,
+        )
+        self._record(
+            "impair-link", src, dst, loss_rate, duplicate_rate, reorder_rate,
+            reorder_delay, extra_latency,
+        )
+
+    def clear_link(self, src: int, dst: int, symmetric: bool = True) -> None:
+        """Remove the impairment on *src↔dst*."""
+        self._need_network().clear_link(src, dst, symmetric=symmetric)
+        self._record("clear-link", src, dst)
+
+    def clear_links(self) -> None:
+        """Remove every per-link impairment."""
+        self._need_network().clear_links()
+        self._record("clear-links")
+
+    def latency_spike(self, extra: Duration) -> None:
+        """Set the network-wide extra delivery delay to *extra* (0 clears)."""
+        self._need_network().extra_latency = extra
+        self._record("latency-spike", extra)
+
+    def _spike_begin(self, extra: Duration) -> None:
+        network = self._need_network()
+        network.extra_latency += extra
+        self._record("latency-spike", network.extra_latency)
+
+    def _spike_end(self, extra: Duration) -> None:
+        network = self._need_network()
+        network.extra_latency = max(0.0, network.extra_latency - extra)
+        self._record("latency-spike", network.extra_latency)
+
+    # ------------------------------------------------------------------ #
+    # Scheduled faults
+    # ------------------------------------------------------------------ #
+    def _at(self, time: Time, fn: Callable[..., None], *args: Any) -> None:
+        self.sim.schedule_at(time, fn, *args, priority=PRIORITY_CONTROL)
+
+    def crash_at(self, time: Time, machine_id: int) -> None:
+        """Schedule a crash of *machine_id* at absolute instant *time*."""
+        self._at(time, self.crash, machine_id)
+
+    def recover_at(self, time: Time, machine_id: int) -> None:
+        """Schedule a recovery of *machine_id* at *time*."""
+        self._at(time, self.recover, machine_id)
+
+    def partition_at(self, time: Time, *groups: Sequence[int]) -> None:
+        """Schedule a partition into *groups* at *time*."""
+        self._at(time, self.partition, *[tuple(g) for g in groups])
+
+    def heal_at(self, time: Time) -> None:
+        """Schedule a full heal at *time*."""
+        self._at(time, self.heal)
+
+    def impair_link_at(self, time: Time, src: int, dst: int, **impairment: Any) -> None:
+        """Schedule a link impairment at *time* (kwargs of :meth:`impair_link`)."""
+        self._at(time, lambda: self.impair_link(src, dst, **impairment))
+
+    def clear_link_at(self, time: Time, src: int, dst: int) -> None:
+        """Schedule removal of the *src↔dst* impairment at *time*."""
+        self._at(time, self.clear_link, src, dst)
+
+    def clear_links_at(self, time: Time) -> None:
+        """Schedule removal of all link impairments at *time*."""
+        self._at(time, self.clear_links)
+
+    def latency_spike_at(
+        self, time: Time, extra: Duration, duration: Optional[Duration] = None
+    ) -> None:
+        """Schedule a latency spike at *time*; auto-reverts after *duration*.
+
+        Scheduled spikes are additive, so overlapping spikes compose and
+        each one reverts only its own contribution when it ends.
+        """
+        self._at(time, self._spike_begin, extra)
+        if duration is not None:
+            self._at(time + duration, self._spike_end, extra)
+
+    # ------------------------------------------------------------------ #
+    # Randomised schedules (drawn from the injector's own stream)
+    # ------------------------------------------------------------------ #
+    def random_crashes(
+        self,
+        count: int,
+        start: Time,
+        window: Duration,
+        candidates: Optional[Sequence[int]] = None,
+        recover_after: Optional[Duration] = None,
+    ) -> List[Tuple[Time, int]]:
+        """Crash *count* distinct machines at uniform instants in
+        ``[start, start+window)``; optionally recover each after
+        *recover_after*.  Returns the (time, machine) schedule drawn."""
+        pool = sorted(self._machines) if candidates is None else sorted(candidates)
+        if count > len(pool):
+            raise SimulationError(
+                f"cannot crash {count} machines out of {len(pool)} candidates"
+            )
+        picks = self.rng.choice(len(pool), size=count, replace=False)
+        times = sorted(float(t) for t in start + self.rng.random(count) * window)
+        schedule = [(t, pool[int(i)]) for t, i in zip(times, picks)]
+        for t, machine_id in schedule:
+            self.crash_at(t, machine_id)
+            if recover_after is not None:
+                self.recover_at(t + recover_after, machine_id)
+        return schedule
+
+    def churn(
+        self,
+        machine_ids: Sequence[int],
+        start: Time,
+        period: Duration,
+        downtime: Duration,
+        cycles: int = 1,
+    ) -> None:
+        """Cycle each listed machine through crash→recover *cycles* times.
+
+        Machine *k* of the list starts its first outage at
+        ``start + k * period / len(machine_ids)`` (staggered), stays down
+        *downtime*, and repeats every *period*.
+        """
+        if downtime >= period:
+            raise SimulationError("churn downtime must be shorter than the period")
+        ids = list(machine_ids)
+        for k, machine_id in enumerate(ids):
+            first = start + k * period / max(1, len(ids))
+            for cycle in range(cycles):
+                down = first + cycle * period
+                self.crash_at(down, machine_id)
+                self.recover_at(down + downtime, machine_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultInjector faults={len(self.records)} machines={len(self._machines)}>"

@@ -11,7 +11,14 @@ A :class:`Machine` models one node of the paper's cluster.  It has
   crashes;
 * **crash-stop failures** (:meth:`crash`): once crashed, no queued work,
   timer, or delivery on this machine ever fires again.  The paper's system
-  model is crash-stop (no recovery), and so is ours.
+  model is crash-stop (no recovery), and so is the default here;
+* **opt-in recovery** (:meth:`recover`) for the fault-injection scenario
+  engine: a recovered machine starts a new *incarnation* — everything
+  scheduled before the crash (CPU tasks, timers) is permanently dead, the
+  CPU queue is empty, but module state survives (it is a simulation; the
+  machine behaves like a node that paused and lost its in-flight work).
+  Property checkers keep treating an ever-crashed machine as crashed,
+  which stays sound (exemptions only ever widen).
 
 The machine deliberately knows nothing about protocol stacks; the kernel
 layer attaches a stack to a machine, not the other way round.
@@ -50,8 +57,12 @@ class Machine:
         self._busy_until: Time = 0.0
         self._cpu_busy_total: Duration = 0.0
         self._tasks_executed = 0
+        self._epoch = 0
+        self._crash_count = 0
         #: Hooks invoked with the crash time when :meth:`crash` fires.
         self.on_crash: List[Callable[[Time], None]] = []
+        #: Hooks invoked with the recovery time when :meth:`recover` fires.
+        self.on_recover: List[Callable[[Time], None]] = []
 
     # ------------------------------------------------------------------ #
     # Failure model
@@ -66,22 +77,54 @@ class Machine:
         """The crash instant, or ``None`` while the machine is alive."""
         return self._crashed_at
 
+    @property
+    def crash_count(self) -> int:
+        """How many times this machine has crashed so far."""
+        return self._crash_count
+
+    @property
+    def ever_crashed(self) -> bool:
+        """``True`` once the machine crashed at least once (even if it
+        recovered since); the conservative notion the property checkers
+        quantify over."""
+        return self._crash_count > 0
+
     def crash(self) -> None:
         """Crash the machine now.  Idempotent.
 
         Work already queued on the CPU, pending timers and in-flight
         deliveries targeting this machine are suppressed: their wrappers
-        check :attr:`crashed` when they fire.
+        check :attr:`crashed` (and the incarnation epoch) when they fire.
         """
         if self._crashed_at is not None:
             return
         self._crashed_at = self.sim.now
+        self._crash_count += 1
+        self._epoch += 1
         for hook in list(self.on_crash):
             hook(self.sim.now)
 
     def crash_at(self, time: Time) -> EventHandle:
         """Schedule a crash at absolute instant *time* (for fault injection)."""
         return self.sim.schedule_at(time, self.crash, priority=PRIORITY_CONTROL)
+
+    def recover(self) -> None:
+        """Bring a crashed machine back up (fault-injection opt-in).
+
+        The recovered incarnation starts with an idle CPU; every task and
+        timer scheduled before the crash stays dead (they belong to the
+        previous epoch).  No-op while the machine is up.
+        """
+        if self._crashed_at is None:
+            return
+        self._crashed_at = None
+        self._busy_until = self.sim.now
+        for hook in list(self.on_recover):
+            hook(self.sim.now)
+
+    def recover_at(self, time: Time) -> EventHandle:
+        """Schedule a recovery at absolute instant *time*."""
+        return self.sim.schedule_at(time, self.recover, priority=PRIORITY_CONTROL)
 
     # ------------------------------------------------------------------ #
     # CPU
@@ -124,10 +167,10 @@ class Machine:
         completion = start + cost
         self._busy_until = completion
         self._cpu_busy_total += cost
-        return self.sim.schedule_at(completion, self._run_task, fn, args)
+        return self.sim.schedule_at(completion, self._run_task, self._epoch, fn, args)
 
-    def _run_task(self, fn: Callable[..., Any], args: tuple) -> None:
-        if self.crashed:
+    def _run_task(self, epoch: int, fn: Callable[..., Any], args: tuple) -> None:
+        if self.crashed or epoch != self._epoch:
             return
         self._tasks_executed += 1
         fn(*args)
@@ -146,10 +189,10 @@ class Machine:
         """
         if self.crashed:
             return None
-        return self.sim.schedule(delay, self._run_timer, fn, args)
+        return self.sim.schedule(delay, self._run_timer, self._epoch, fn, args)
 
-    def _run_timer(self, fn: Callable[..., Any], args: tuple) -> None:
-        if self.crashed:
+    def _run_timer(self, epoch: int, fn: Callable[..., Any], args: tuple) -> None:
+        if self.crashed or epoch != self._epoch:
             return
         fn(*args)
 

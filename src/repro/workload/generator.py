@@ -12,6 +12,10 @@ Two arrival processes:
 * ``jitter>0`` — exponential jitter around the period (Poisson-ish),
   for robustness tests.
 
+``burst>1`` sends that many payloads back-to-back per tick while keeping
+the configured mean rate (the tick period stretches accordingly) — the
+scenario engine uses this for bursty adversarial workloads.
+
 The generator *is* the application of the experiments: if it can keep
 calling without blocking while a replacement runs, the paper's "the
 application on top of the stack is never blocked" claim holds.
@@ -20,8 +24,6 @@ application on top of the stack is never blocked" claim holds.
 from __future__ import annotations
 
 from typing import Optional
-
-import numpy as np
 
 from ..dpu.probes import DeliveryLog
 from ..kernel.module import Module
@@ -48,6 +50,7 @@ class LoadGeneratorModule(Module):
         service: str = WellKnown.R_ABCAST,
         payload: Optional[PayloadModel] = None,
         jitter: float = 0.0,
+        burst: int = 1,
         name: Optional[str] = None,
     ) -> None:
         super().__init__(stack, name=name, provides=(), requires=(service,))
@@ -55,9 +58,12 @@ class LoadGeneratorModule(Module):
             raise ValueError("rate_per_sec must be positive")
         if not 0.0 <= jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
         self.log = log
         self.rate = rate_per_sec
-        self.period: Duration = 1.0 / rate_per_sec
+        self.burst = int(burst)
+        self.period: Duration = burst / rate_per_sec
         self.start_at = start_at
         self.stop_at = stop_at
         self.service = service
@@ -74,7 +80,8 @@ class LoadGeneratorModule(Module):
     def _tick(self) -> None:
         if self.stop_at is not None and self.now >= self.stop_at:
             return
-        self.send_one()
+        for _ in range(self.burst):
+            self.send_one()
         gap = self.period
         if self.jitter > 0.0:
             # Mix a deterministic component with an exponential tail so

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.kernel import Module, System, WellKnown
+from repro.kernel import Module, System
 from repro.net import SimNetwork, SwitchedLan
 from repro.sim import ConstantLatency, Simulator
 

@@ -1,6 +1,5 @@
 """Integration tests: Chandra–Toueg consensus over the full substrate."""
 
-import pytest
 
 from repro.consensus import CtConsensusModule
 from repro.fd import HeartbeatFd, OracleFd

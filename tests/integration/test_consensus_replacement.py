@@ -6,7 +6,6 @@ atomic-broadcast load, with the switch point agreed through consensus
 itself.
 """
 
-import pytest
 
 from repro.abcast import CtAbcastModule
 from repro.consensus import CtConsensusModule

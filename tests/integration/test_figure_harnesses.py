@@ -8,7 +8,6 @@ import pytest
 
 from repro.experiments import (
     GroupCommConfig,
-    PROTOCOL_CT,
     run_comparison,
     run_concurrent_change_ablation,
     run_creation_cost_ablation,

@@ -64,7 +64,6 @@ class TestOurSolutionCrossesRequirements:
         gcs.manager.request_change(PROTOCOL_CT, from_stack=0, at=3.0)
         gcs.run(until=6.0)
         gcs.run_to_quiescence()
-        sent = set(gcs.log.sends)
         post_switch = {k for k, (s, t) in gcs.log.sends.items() if t > 4.0}
         assert post_switch, "load generator kept sending after the switch"
         for s in range(4):

@@ -1,6 +1,5 @@
 """Integration tests: group membership over (replaceable) atomic broadcast."""
 
-import pytest
 
 from repro.experiments import GroupCommConfig, build_group_comm_system
 from repro.kernel import WellKnown

@@ -9,7 +9,6 @@ Adelivered.  This is a real, documented boundary of the paper's approach
 down rather than hide it.
 """
 
-import pytest
 
 from repro.experiments import (
     GroupCommConfig,
@@ -17,7 +16,6 @@ from repro.experiments import (
     PROTOCOL_SEQ,
     build_group_comm_system,
 )
-from repro.kernel import WellKnown
 
 
 def build_seq(n=4, seed=51, duration=8.0):

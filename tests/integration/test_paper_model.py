@@ -11,7 +11,6 @@
   provider is bound to ``p`` and swapped without the consumers noticing.
 """
 
-import pytest
 
 from repro.dpu import IndirectionModule
 from repro.kernel import Module, System, WellKnown
@@ -145,7 +144,7 @@ class TestFigure3Composition:
                 self.tag = tag
                 self.export_call("p", "ping", lambda: self.respond("p", "pong", self.tag))
 
-        old = st.add_module(Impl(st, "old"))
+        st.add_module(Impl(st, "old"))
         st.add_module(IndirectionModule(st, "p", calls=["ping"], responses=["pong"]))
 
         class Consumer(Module):
@@ -162,7 +161,7 @@ class TestFigure3Composition:
         sys_.run()
         # Swap the provider behind the indirection:
         st.unbind("p")
-        new = st.add_module(Impl(st, "new"))
+        st.add_module(Impl(st, "new"))
         consumer.call("r-p", "ping")
         sys_.run()
         assert consumer.pongs == ["old", "new"]

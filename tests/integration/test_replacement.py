@@ -6,7 +6,6 @@ protocols on the fly, and check every correctness property plus the
 paper's headline behavioural claims.
 """
 
-import pytest
 
 from repro.dpu import (
     assert_abcast_properties,
@@ -21,7 +20,6 @@ from repro.experiments import (
     build_group_comm_system,
 )
 from repro.kernel import WellKnown
-from repro.sim import ms
 
 
 def run_with_switches(switches, n=4, seed=7, duration=6.0, load=60.0, **cfg_kwargs):

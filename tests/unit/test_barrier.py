@@ -1,6 +1,5 @@
 """Unit tests: the distributed barrier (Graceful Adaptation substrate)."""
 
-import pytest
 
 from repro.baselines import BARRIER_SERVICE, BarrierModule
 from repro.kernel import Module, System

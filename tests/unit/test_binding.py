@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import KernelError, ServiceAlreadyBoundError
-from repro.kernel import Module, System
+from repro.kernel import Module
 from repro.kernel.binding import BindingTable
 
 

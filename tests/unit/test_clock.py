@@ -1,6 +1,5 @@
 """Unit tests: simulated-time conventions."""
 
-import math
 
 import pytest
 

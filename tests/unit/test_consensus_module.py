@@ -7,7 +7,7 @@ from repro.errors import PropertyViolation
 from repro.fd import OracleFd
 from repro.kernel import Module, System, WellKnown
 from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
-from repro.rbcast import RBCAST_SERVICE, RbcastModule
+from repro.rbcast import RbcastModule
 from repro.sim import ConstantLatency
 
 

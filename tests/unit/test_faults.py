@@ -1,0 +1,192 @@
+"""Unit tests: the FaultInjector (crash/recover/partition/link faults)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import SimNetwork, SwitchedLan
+from repro.sim import ConstantLatency, FaultInjector, Machine, Simulator
+
+
+def make_world(n=3, seed=7):
+    sim = Simulator(seed=seed)
+    machines = [Machine(sim, i) for i in range(n)]
+    net = SimNetwork(sim, machines, SwitchedLan(latency=ConstantLatency(1e-4)))
+    return sim, machines, net
+
+
+class TestCrashRecover:
+    def test_scheduled_crash_and_recover_fire_and_record(self):
+        sim, machines, net = make_world()
+        inj = FaultInjector(sim, machines, network=net)
+        inj.crash_at(1.0, 2)
+        inj.recover_at(2.0, 2)
+        sim.run(until=3.0)
+        assert not machines[2].crashed
+        assert machines[2].ever_crashed
+        assert [(r.time, r.kind) for r in inj.records] == [
+            (1.0, "crash"),
+            (2.0, "recover"),
+        ]
+
+    def test_crash_is_idempotent_and_recorded_once(self):
+        sim, machines, _net = make_world()
+        inj = FaultInjector(sim, machines)
+        inj.crash_at(1.0, 0)
+        inj.crash_at(1.5, 0)  # already down: no second record
+        sim.run(until=2.0)
+        assert len(inj.records) == 1
+
+    def test_recover_of_live_machine_is_noop(self):
+        sim, machines, _net = make_world()
+        inj = FaultInjector(sim, machines)
+        inj.recover_at(1.0, 0)
+        sim.run(until=2.0)
+        assert inj.records == []
+
+    def test_unknown_machine_rejected(self):
+        sim, machines, _net = make_world()
+        inj = FaultInjector(sim, machines)
+        with pytest.raises(SimulationError):
+            inj.crash(99)
+
+    def test_crashed_ever_reports_first_crash_time(self):
+        sim, machines, _net = make_world()
+        inj = FaultInjector(sim, machines)
+        inj.crash_at(1.0, 1)
+        inj.recover_at(2.0, 1)
+        inj.crash_at(3.0, 1)
+        sim.run(until=4.0)
+        assert inj.crashed_ever() == {1: 1.0}
+
+    def test_on_fault_hook_sees_index_and_record(self):
+        sim, machines, _net = make_world()
+        inj = FaultInjector(sim, machines)
+        seen = []
+        inj.on_fault.append(lambda i, r: seen.append((i, r.kind, r.time)))
+        inj.crash_at(1.0, 0)
+        inj.crash_at(2.0, 1)
+        sim.run(until=3.0)
+        assert seen == [(0, "crash", 1.0), (1, "crash", 2.0)]
+
+
+class TestNetworkFaults:
+    def test_partition_splits_groups_pairwise(self):
+        sim, machines, net = make_world(n=4)
+        inj = FaultInjector(sim, machines, network=net)
+        inj.partition_at(1.0, (0, 1), (2, 3))
+        sim.run(until=1.5)
+        assert net.is_partitioned(0, 2)
+        assert net.is_partitioned(1, 3)
+        assert not net.is_partitioned(0, 1)
+        assert not net.is_partitioned(2, 3)
+
+    def test_heal_removes_partitions_and_records(self):
+        sim, machines, net = make_world(n=4)
+        inj = FaultInjector(sim, machines, network=net)
+        inj.partition_at(1.0, (0,), (1, 2, 3))
+        inj.heal_at(2.0)
+        sim.run(until=3.0)
+        assert not net.is_partitioned(0, 1)
+        assert [r.kind for r in inj.records] == ["partition", "heal"]
+
+    def test_impair_and_clear_link(self):
+        sim, machines, net = make_world()
+        inj = FaultInjector(sim, machines, network=net)
+        inj.impair_link_at(1.0, 0, 1, loss_rate=0.5)
+        inj.clear_link_at(2.0, 0, 1)
+        sim.run(until=1.5)
+        assert net.link_impairment(0, 1).loss_rate == 0.5
+        assert net.link_impairment(1, 0).loss_rate == 0.5  # symmetric
+        sim.run(until=3.0)
+        assert net.link_impairment(0, 1) is None
+
+    def test_latency_spike_sets_and_clears(self):
+        sim, machines, net = make_world()
+        inj = FaultInjector(sim, machines, network=net)
+        inj.latency_spike_at(1.0, 0.005, duration=1.0)
+        sim.run(until=1.5)
+        assert net.extra_latency == 0.005
+        sim.run(until=3.0)
+        assert net.extra_latency == 0.0
+
+    def test_network_faults_require_network(self):
+        sim, machines, _net = make_world()
+        inj = FaultInjector(sim, machines, network=None)
+        with pytest.raises(SimulationError):
+            inj.partition((0,), (1, 2))
+
+
+class TestRandomSchedules:
+    def test_random_crashes_deterministic_per_seed(self):
+        def schedule(seed):
+            sim, machines, _net = make_world(n=5, seed=seed)
+            inj = FaultInjector(sim, machines)
+            return inj.random_crashes(3, start=1.0, window=2.0)
+
+        assert schedule(42) == schedule(42)
+        assert schedule(42) != schedule(43)
+
+    def test_random_crashes_distinct_victims_in_window(self):
+        sim, machines, _net = make_world(n=5)
+        inj = FaultInjector(sim, machines)
+        plan = inj.random_crashes(3, start=1.0, window=2.0)
+        victims = [m for _t, m in plan]
+        assert len(set(victims)) == 3
+        assert all(1.0 <= t < 3.0 for t, _m in plan)
+        sim.run(until=4.0)
+        assert sum(m.crashed for m in machines) == 3
+
+    def test_random_crashes_with_recovery(self):
+        sim, machines, _net = make_world(n=4)
+        inj = FaultInjector(sim, machines)
+        inj.random_crashes(2, start=0.5, window=1.0, recover_after=0.5)
+        sim.run(until=3.0)
+        assert all(not m.crashed for m in machines)
+        assert sum(m.ever_crashed for m in machines) == 2
+
+    def test_random_crashes_rejects_oversized_count(self):
+        sim, machines, _net = make_world(n=3)
+        inj = FaultInjector(sim, machines)
+        with pytest.raises(SimulationError):
+            inj.random_crashes(4, start=0.0, window=1.0)
+
+    def test_injector_stream_does_not_perturb_other_streams(self):
+        def draw(with_faults):
+            sim, machines, _net = make_world(seed=5)
+            inj = FaultInjector(sim, machines)
+            if with_faults:
+                inj.random_crashes(2, start=0.5, window=1.0)
+            sim.run(until=2.0)
+            return list(sim.rng.stream("app").random(4))
+
+        assert draw(True) == draw(False)
+
+    def test_churn_cycles(self):
+        sim, machines, _net = make_world(n=3)
+        inj = FaultInjector(sim, machines)
+        inj.churn([0, 1], start=1.0, period=1.0, downtime=0.4, cycles=2)
+        sim.run(until=5.0)
+        assert all(not m.crashed for m in machines[:2])
+        assert machines[0].crash_count == 2
+        assert machines[1].crash_count == 2
+        assert machines[2].crash_count == 0
+
+    def test_churn_rejects_downtime_ge_period(self):
+        sim, machines, _net = make_world()
+        inj = FaultInjector(sim, machines)
+        with pytest.raises(SimulationError):
+            inj.churn([0], start=0.0, period=1.0, downtime=1.0)
+
+
+class TestOverlappingSpikes:
+    def test_overlapping_latency_spikes_compose(self):
+        sim, machines, net = make_world()
+        inj = FaultInjector(sim, machines, network=net)
+        inj.latency_spike_at(1.0, 0.005, duration=2.0)   # 1.0 .. 3.0
+        inj.latency_spike_at(2.0, 0.010, duration=2.0)   # 2.0 .. 4.0
+        sim.run(until=2.5)
+        assert net.extra_latency == pytest.approx(0.015)
+        sim.run(until=3.5)      # first spike ended, second still active
+        assert net.extra_latency == pytest.approx(0.010)
+        sim.run(until=4.5)
+        assert net.extra_latency == 0.0

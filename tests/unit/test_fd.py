@@ -76,9 +76,6 @@ class TestHeartbeatFd:
         # Partition briefly so heartbeats are lost, then heal: the FD
         # wrongly suspects, repents, and raises that peer's timeout.
         sys_, fds, watchers = build_hb(timeout=ms(150), period=ms(40))
-        net = None
-        for st in sys_.stacks:
-            pass
         # grab the network from the udp module
         udp = next(m for m in sys_.stack(0).modules.values() if m.protocol == "udp")
         network = udp.network

@@ -72,7 +72,6 @@ class TestTransparentRelay:
         sys_, st, inner, ind, outer = build()
         outer.call("r-svc", "go")
         sys_.run()
-        direct_cost = st.call_cost  # what a direct call would cost
         assert sys_.sim.now == pytest.approx(2 * st.call_cost)
 
     def test_undeclared_call_not_forwarded(self):

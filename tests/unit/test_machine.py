@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Machine, Simulator
+from repro.sim import Machine
 
 
 @pytest.fixture
@@ -116,3 +116,52 @@ class TestCrash:
         sim.schedule_at(1.0, lambda: order.append(machine.crashed))
         sim.run()
         assert order == [True]
+
+
+class TestRecovery:
+    def test_recover_brings_machine_back(self, sim, machine):
+        machine.crash_at(1.0)
+        machine.recover_at(2.0)
+        done = []
+        sim.schedule_at(2.5, lambda: machine.execute(0.01, done.append, "x"))
+        sim.run()
+        assert not machine.crashed
+        assert machine.ever_crashed and machine.crash_count == 1
+        assert done == ["x"]
+
+    def test_precrash_work_stays_dead_after_recovery(self, sim, machine):
+        """Tasks and timers from the old incarnation never fire."""
+        fired = []
+        machine.execute(1.5, fired.append, "task")   # would complete at 1.5
+        machine.set_timer(1.5, fired.append, "timer")
+        machine.crash_at(1.0)
+        machine.recover_at(1.2)                       # recovery before t=1.5
+        sim.run()
+        assert fired == []
+
+    def test_recovered_cpu_starts_idle(self, sim, machine):
+        machine.execute(5.0, lambda: None)            # long task queued
+        machine.crash_at(1.0)
+        machine.recover_at(2.0)
+        sim.run(until=2.0)
+        assert machine.cpu_backlog == 0.0
+
+    def test_recover_is_noop_when_up(self, sim, machine):
+        machine.recover()
+        assert not machine.crashed and machine.crash_count == 0
+
+    def test_on_recover_hooks_fire(self, sim, machine):
+        times = []
+        machine.on_recover.append(times.append)
+        machine.crash_at(1.0)
+        machine.recover_at(2.0)
+        sim.run()
+        assert times == [2.0]
+
+    def test_second_incarnation_can_crash_again(self, sim, machine):
+        machine.crash_at(1.0)
+        machine.recover_at(2.0)
+        machine.crash_at(3.0)
+        sim.run()
+        assert machine.crashed and machine.crash_count == 2
+        assert machine.crashed_at == 3.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Counter, EventLog, PeriodicProbe, Simulator
+from repro.sim import Counter, EventLog, PeriodicProbe
 
 
 class TestPeriodicProbe:

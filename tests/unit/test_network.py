@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import NetworkError, UnknownDestinationError
 from repro.net import NetMessage, SimNetwork, SwitchedLan, estimate_payload_size
-from repro.sim import ConstantLatency, Machine, Simulator
+from repro.sim import ConstantLatency, Machine
 
 
 def make_net(sim, n=3, **lan_kwargs):
@@ -171,3 +171,113 @@ class TestCrashSemantics:
         sim.run()
         assert got == []
         assert net.stats()["dropped_crashed_receiver"] == 1
+
+
+class TestLinkImpairments:
+    def _attach_counter(self, net, mid):
+        received = []
+        net.attach(mid, lambda msg, t: received.append((msg, t)))
+        return received
+
+    def test_link_loss_one_drops_everything(self, sim):
+        _machines, net = make_net(sim)
+        received = self._attach_counter(net, 1)
+        net.impair_link(0, 1, loss_rate=1.0)
+        for _ in range(10):
+            net.send(NetMessage(0, 1, "p", 100))
+        sim.run()
+        assert received == []
+        assert net.stats()["dropped_loss"] == 10
+
+    def test_link_loss_is_directional_when_asymmetric(self, sim):
+        _machines, net = make_net(sim)
+        got0 = self._attach_counter(net, 0)
+        got1 = self._attach_counter(net, 1)
+        net.impair_link(0, 1, loss_rate=1.0, symmetric=False)
+        net.send(NetMessage(0, 1, "p", 100))
+        net.send(NetMessage(1, 0, "p", 100))
+        sim.run()
+        assert got1 == [] and len(got0) == 1
+
+    def test_link_duplication_delivers_twice(self, sim):
+        _machines, net = make_net(sim)
+        received = self._attach_counter(net, 1)
+        net.impair_link(0, 1, duplicate_rate=1.0)
+        net.send(NetMessage(0, 1, "p", 100))
+        sim.run()
+        assert len(received) == 2
+        assert net.stats()["duplicated"] == 1
+
+    def test_link_extra_latency_delays_arrival(self, sim):
+        _machines, net = make_net(sim)
+        received = self._attach_counter(net, 1)
+        net.impair_link(0, 1, extra_latency=0.050)
+        net.send(NetMessage(0, 1, "p", 100))
+        sim.run()
+        ((_msg, arrival),) = received
+        assert arrival >= 0.050
+
+    def test_reorder_holds_messages_back(self, sim):
+        _machines, net = make_net(sim)
+        received = self._attach_counter(net, 1)
+        net.impair_link(0, 1, reorder_rate=1.0, reorder_delay=0.050)
+        net.send(NetMessage(0, 1, "p", 100))
+        sim.run()
+        ((_msg, arrival),) = received
+        assert arrival > 0.001  # held back beyond base latency + tx
+        assert net.stats()["reordered"] == 1
+
+    def test_clear_link_restores_delivery(self, sim):
+        _machines, net = make_net(sim)
+        received = self._attach_counter(net, 1)
+        net.impair_link(0, 1, loss_rate=1.0)
+        net.clear_link(0, 1)
+        assert net.link_impairment(0, 1) is None
+        net.send(NetMessage(0, 1, "p", 100))
+        sim.run()
+        assert len(received) == 1
+
+    def test_clear_links_removes_all(self, sim):
+        _machines, net = make_net(sim)
+        net.impair_link(0, 1, loss_rate=0.5)
+        net.impair_link(1, 2, loss_rate=0.5)
+        net.clear_links()
+        assert net.link_impairment(0, 1) is None
+        assert net.link_impairment(1, 2) is None
+
+    def test_link_rates_compose_with_lan_rates(self, sim):
+        _machines, net = make_net(sim, loss_rate=0.5)
+        self._attach_counter(net, 1)
+        net.impair_link(0, 1, loss_rate=0.5)
+        for _ in range(200):
+            net.send(NetMessage(0, 1, "p", 10))
+        sim.run()
+        assert net.stats()["dropped_loss"] == 200  # 0.5 + 0.5 clamps to 1
+
+    def test_invalid_impairment_rejected(self, sim):
+        _machines, net = make_net(sim)
+        with pytest.raises(NetworkError):
+            net.impair_link(0, 1, loss_rate=1.5)
+        with pytest.raises(NetworkError):
+            net.impair_link(0, 1, reorder_delay=-1.0)
+        with pytest.raises(UnknownDestinationError):
+            net.impair_link(0, 99, loss_rate=0.1)
+
+    def test_global_extra_latency_applies_everywhere(self, sim):
+        _machines, net = make_net(sim)
+        received = self._attach_counter(net, 2)
+        net.extra_latency = 0.030
+        net.send(NetMessage(0, 2, "p", 100))
+        sim.run()
+        ((_msg, arrival),) = received
+        assert arrival >= 0.030
+
+    def test_duplicate_pays_link_latency_too(self, sim):
+        """A duplicate crosses the same impaired link as the original."""
+        _machines, net = make_net(sim)
+        received = self._attach_counter(net, 1)
+        net.impair_link(0, 1, duplicate_rate=1.0, extra_latency=0.050)
+        net.send(NetMessage(0, 1, "p", 100))
+        sim.run()
+        assert len(received) == 2
+        assert all(arrival >= 0.050 for _msg, arrival in received)

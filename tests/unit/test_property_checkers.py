@@ -49,13 +49,9 @@ class TestWeakWellFormedness:
             (1.0, TraceKind.CALL_BLOCKED, 0, dict(service="s", call_id="0:1")),
             (2.0, TraceKind.CRASH, 0, {}),
         )
-        # Not exempt: crash happened after, and call was already pending.
-        # Our checker exempts only crashes at/before the block instant;
-        # a later crash leaves the violation visible... but the paper's
-        # properties quantify over non-crashed stacks, so the checker
-        # exempts it.  Pin the actual behaviour:
-        violations = check_weak_stack_well_formedness(tr)
-        assert violations != [] or violations == []  # documented either way
+        # The paper's properties quantify over non-crashed stacks: an
+        # obligation pending at the crash instant dies with the stack.
+        assert check_weak_stack_well_formedness(tr) == []
 
     def test_ignore_after_horizon(self):
         tr = trace_of(

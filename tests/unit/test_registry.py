@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RequirementError, UnknownProtocolError
-from repro.kernel import Module, System
+from repro.kernel import Module
 
 
 def make_protocol(name, provides, requires=()):

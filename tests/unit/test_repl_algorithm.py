@@ -296,8 +296,6 @@ class TestPaperLiteralAnomaly:
         # concurrently: c1 (applied first) and c2 (stale, applied late).
         appA.call(WellKnown.R_ABCAST, "abcast", "m", 64)
         sysA.run()
-        m_frame = fakeA.sent[0]
-
         c1 = (NEW_ABCAST, 0, (1, 0), "fake-abcast")
         c2 = (NEW_ABCAST, 0, (0, 99), "fake-abcast")
 

@@ -1,6 +1,5 @@
 """Unit tests: reliable FIFO point-to-point channels."""
 
-import pytest
 
 from repro.kernel import Module, System, WellKnown
 from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule

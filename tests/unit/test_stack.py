@@ -9,7 +9,7 @@ module is added.
 import pytest
 
 from repro.errors import KernelError, ModuleNotInStackError, UnknownServiceError
-from repro.kernel import Module, NOT_MINE, System, TraceKind, WellKnown
+from repro.kernel import Module, NOT_MINE, TraceKind
 
 
 class Echo(Module):
@@ -142,7 +142,7 @@ class TestResponses:
         assert "late" in listener.heard
 
     def test_response_to_all_subscribers(self, system, stack):
-        echo = stack.add_module(Echo(stack))
+        stack.add_module(Echo(stack))
         l1 = stack.add_module(Listener(stack))
         l2 = stack.add_module(Listener(stack))
         l1.call("echo", "ping", 9)
@@ -189,7 +189,7 @@ class TestResponseBuffering:
 
 class TestQueries:
     def test_query_returns_synchronously(self, system, stack):
-        echo = stack.add_module(Echo(stack))
+        stack.add_module(Echo(stack))
         listener = stack.add_module(Listener(stack))
         listener.call("echo", "ping", 1)
         system.run()

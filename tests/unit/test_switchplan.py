@@ -1,0 +1,116 @@
+"""Unit tests: switch-plan triggers (time / deliveries / fault detection)."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.experiments import (
+    GroupCommConfig,
+    PROTOCOL_CT,
+    PROTOCOL_SEQ,
+    build_group_comm_system,
+)
+from repro.scenarios import (
+    SwitchAfterDeliveries,
+    SwitchAt,
+    SwitchOnFault,
+    SwitchPlan,
+)
+from repro.sim import FaultInjector
+
+
+def build(n=3, seed=3, load=60.0, stop=3.0):
+    cfg = GroupCommConfig(n=n, seed=seed, load_msgs_per_sec=load, load_stop=stop)
+    gcs = build_group_comm_system(cfg)
+    injector = FaultInjector(
+        gcs.system.sim, gcs.system.machines, network=gcs.network, name="t"
+    )
+    return gcs, injector
+
+
+class TestSwitchAt:
+    def test_fires_at_time_and_records(self):
+        gcs, inj = build()
+        plan = SwitchPlan([SwitchAt(protocol=PROTOCOL_CT, at=1.5)])
+        plan.arm(gcs, inj)
+        gcs.run(until=4.0)
+        assert len(plan.fired) == 1
+        fired = plan.fired[0]
+        assert fired["trigger"] == "SwitchAt"
+        assert fired["time"] == pytest.approx(1.5)
+        assert gcs.manager.module(0).seq_number == 1
+
+    def test_falls_back_to_alive_stack(self):
+        gcs, inj = build(n=3)
+        inj.crash_at(1.0, 0)
+        plan = SwitchPlan([SwitchAt(protocol=PROTOCOL_CT, at=1.5, from_stack=0)])
+        plan.arm(gcs, inj)
+        gcs.run(until=4.0)
+        gcs.run_to_quiescence()
+        assert plan.fired[0]["from_stack"] == 1
+        assert gcs.manager.module(1).seq_number == 1
+
+
+class TestSwitchAfterDeliveries:
+    def test_fires_after_count(self):
+        gcs, inj = build(load=100.0)
+        plan = SwitchPlan(
+            [SwitchAfterDeliveries(protocol=PROTOCOL_SEQ, count=30, on_stack=0)]
+        )
+        plan.arm(gcs, inj)
+        gcs.run(until=5.0)
+        gcs.run_to_quiescence()
+        assert len(plan.fired) == 1
+        # The trigger saw the 30th delivery strictly before the switch fired.
+        assert gcs.log.delivered_count(0) >= 30
+        assert gcs.manager.current_protocols()[0] == PROTOCOL_SEQ
+
+    def test_never_fires_when_count_unreached(self):
+        gcs, inj = build(load=60.0, stop=1.0)
+        plan = SwitchPlan(
+            [SwitchAfterDeliveries(protocol=PROTOCOL_SEQ, count=10_000)]
+        )
+        plan.arm(gcs, inj)
+        gcs.run(until=3.0)
+        assert plan.fired == []
+        assert gcs.manager.module(0).seq_number == 0
+
+
+class TestSwitchOnFault:
+    def test_fires_after_fault_with_delay(self):
+        gcs, inj = build(n=5)
+        inj.crash_at(1.0, 4)
+        plan = SwitchPlan(
+            [SwitchOnFault(protocol=PROTOCOL_SEQ, fault_index=0, delay=0.2)]
+        )
+        plan.arm(gcs, inj)
+        gcs.run(until=5.0)
+        gcs.run_to_quiescence()
+        assert len(plan.fired) == 1
+        assert plan.fired[0]["time"] == pytest.approx(1.2)
+        assert gcs.manager.current_protocols()[0] == PROTOCOL_SEQ
+
+    def test_only_designated_fault_index_triggers(self):
+        gcs, inj = build(n=5)
+        inj.crash_at(1.0, 4)
+        plan = SwitchPlan(
+            [SwitchOnFault(protocol=PROTOCOL_SEQ, fault_index=1, delay=0.1)]
+        )
+        plan.arm(gcs, inj)
+        gcs.run(until=4.0)
+        assert plan.fired == []
+
+
+class TestPlanValidation:
+    def test_plan_requires_manager(self):
+        cfg = GroupCommConfig(n=3, seed=1, with_repl_layer=False, load_stop=1.0)
+        gcs = build_group_comm_system(cfg)
+        inj = FaultInjector(gcs.system.sim, gcs.system.machines)
+        plan = SwitchPlan([SwitchAt(protocol=PROTOCOL_CT, at=1.0)])
+        with pytest.raises(ScenarioError):
+            plan.arm(gcs, inj)
+
+    def test_empty_plan_is_fine_without_manager(self):
+        cfg = GroupCommConfig(n=3, seed=1, with_repl_layer=False, load_stop=1.0)
+        gcs = build_group_comm_system(cfg)
+        inj = FaultInjector(gcs.system.sim, gcs.system.machines)
+        SwitchPlan([]).arm(gcs, inj)  # no-op

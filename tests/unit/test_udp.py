@@ -1,6 +1,5 @@
 """Unit tests: the UDP kernel module."""
 
-import pytest
 
 from repro.kernel import Module, System, WellKnown
 from repro.net import UDP_HEADER_BYTES, SimNetwork, SwitchedLan, UdpModule

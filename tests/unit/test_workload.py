@@ -87,3 +87,25 @@ class TestGenerator:
             LoadGeneratorModule(st, DeliveryLog(), rate_per_sec=0.0)
         with pytest.raises(ValueError):
             LoadGeneratorModule(st, DeliveryLog(), rate_per_sec=1.0, jitter=2.0)
+
+
+class TestBurst:
+    def test_burst_sends_back_to_back(self):
+        sys_, sink, gen, _log = build(rate=100.0, burst=5, stop_at=0.5)
+        sys_.run(until=1.0)
+        # Bursts of 5 at a stretched period: mean rate is preserved.
+        assert gen.sent == sink.received.__len__()
+        times = [t for _p, _s, t in sink.received]
+        # The first 5 sends belong to one tick (only the serial kernel
+        # dispatch cost separates them), the 6th waits a full period.
+        assert times[4] - times[0] < 0.001
+        assert times[5] - times[4] > 0.04
+        assert gen.sent == pytest.approx(0.5 * 100.0, abs=5)
+
+    def test_burst_one_matches_plain_period(self):
+        _sys, _sink, gen, _log = build(rate=100.0, burst=1)
+        assert gen.period == pytest.approx(0.01)
+
+    def test_burst_must_be_positive(self):
+        with pytest.raises(ValueError):
+            build(burst=0)
