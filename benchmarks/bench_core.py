@@ -1,0 +1,386 @@
+"""Core hot-path benchmarks and the unified perf driver.
+
+Measures the three throughput numbers every experiment bottoms out in —
+**events/sec** through the discrete-event loop, **datagrams/sec** through
+the simulated network path, and **campaign wall-clock** (serial vs
+process-parallel) — and appends one machine-readable record per
+invocation to a trajectory file (default ``benchmarks/BENCH_core.json``),
+so the perf curve across commits stays visible.
+
+Run standalone (the driver)::
+
+    PYTHONPATH=src python benchmarks/bench_core.py                # full mode
+    PYTHONPATH=src python benchmarks/bench_core.py --quick        # CI mode
+    PYTHONPATH=src python benchmarks/bench_core.py --quick \\
+        --check benchmarks/baselines/bench_core_baseline.json     # perf gate
+
+The gate compares the **normalised** event-loop score — events/sec divided
+by a small pure-Python calibration loop measured in the same process — so
+a slower CI machine does not trip it; only a real regression of the
+simulator relative to the interpreter does.  ``--check`` exits non-zero
+when the score drops more than ``--tolerance`` (default 30%) below the
+stored baseline.
+
+The ``test_*`` wrappers run the same bodies under pytest-benchmark like
+the rest of the suite (quick-mode sizes under ``REPRO_BENCH_QUICK=1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Any, Dict, Optional
+
+import pytest
+
+from conftest import q
+from repro.scenarios import get_campaign, run_campaign
+from repro.sim import Machine, Simulator, lan_latency
+from repro.net import NetMessage, SimNetwork, SwitchedLan
+
+#: Event count for the event-loop microbench.
+N_EVENTS = q(200_000, 20_000)
+#: Best-of-N repeats for the microbenches (scheduler-noise hygiene).
+REPEATS = q(3, 2)
+#: Datagram count for the network-path microbench.
+N_DATAGRAMS = q(50_000, 5_000)
+#: Seeds for the campaign wall-clock measurement.
+CAMPAIGN_SEEDS = q((0, 1), (0,))
+#: Scenarios (from the smoke campaign) used for the campaign measurement.
+CAMPAIGN_NAME = "smoke"
+#: Default trajectory file.  Unlike the regenerable artefacts under
+#: ``benchmarks/out/`` (gitignored), the trajectory is **committed**: one
+#: record per invocation, so the perf curve across PRs stays visible.
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_core.json"
+#: Default checked-in baseline for the CI regression gate.
+DEFAULT_BASELINE = pathlib.Path(__file__).parent / "baselines" / "bench_core_baseline.json"
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark bodies
+# --------------------------------------------------------------------------- #
+def calibrate_pyops(n: int = 2_000_000) -> float:
+    """Pure-Python ops/sec of this interpreter on this machine.
+
+    A trivial arithmetic loop; dividing the simulator's events/sec by this
+    yields a hardware- and interpreter-normalised score that is comparable
+    across machines (used by the regression gate).
+    """
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(n):
+        acc += i & 7
+    dt = time.perf_counter() - t0
+    return n / dt
+
+
+def bench_event_loop(n_events: Optional[int] = None) -> Dict[str, float]:
+    """Schedule *n* events and drain them: schedule cost + dispatch cost.
+
+    The same shape as ``bench_kernel.test_event_loop_throughput`` — one
+    timed pass over the full schedule→fire life of every event, which is
+    where the handle-allocation and double-heap-inspection savings show.
+    Uses the fire-and-forget path when the core has one (the ~90% case:
+    network deliveries, CPU completions); falls back to ``schedule`` on
+    pre-overhaul cores so records stay comparable across commits.
+    """
+    if n_events is None:
+        n_events = N_EVENTS
+    best: Optional[Dict[str, float]] = None
+    for _ in range(REPEATS):
+        sim = Simulator(seed=1)
+        sched = getattr(sim, "schedule_fast", sim.schedule)
+        nop = _nop
+        t0 = time.perf_counter()
+        for i in range(n_events):
+            sched(i * 1e-6, nop)
+        sim.run()
+        seconds = time.perf_counter() - t0
+        rate = sim.events_processed / seconds
+        if best is None or rate > best["events_per_sec"]:
+            best = {
+                "events": sim.events_processed,
+                "seconds": seconds,
+                "events_per_sec": rate,
+            }
+    assert best is not None
+    return best
+
+
+def _nop() -> None:
+    pass
+
+
+def bench_event_loop_steady(
+    n_events: Optional[int] = None, chains: int = 64, fast: bool = True
+) -> Dict[str, float]:
+    """Self-rescheduling timer chains: the engine's steady-state loop.
+
+    A small constant heap (64 chains) with every event rescheduling
+    itself — dominated by per-event loop/dispatch cost rather than
+    allocation.  ``fast=False`` measures the cancellable-handle path.
+    """
+    if n_events is None:
+        n_events = N_EVENTS
+    best: Optional[Dict[str, float]] = None
+    for _ in range(REPEATS):
+        sim = Simulator(seed=1)
+        sched = getattr(sim, "schedule_fast", sim.schedule) if fast else sim.schedule
+        remaining = [n_events]
+
+        def tick() -> None:
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sched(1e-6, tick)
+
+        for _ in range(chains):
+            sim.schedule(0.0, tick)
+        t0 = time.perf_counter()
+        sim.run()
+        seconds = time.perf_counter() - t0
+        rate = sim.events_processed / seconds
+        if best is None or rate > best["events_per_sec"]:
+            best = {
+                "events": sim.events_processed,
+                "seconds": seconds,
+                "events_per_sec": rate,
+            }
+    assert best is not None
+    return best
+
+
+def bench_datagram_path(n_datagrams: Optional[int] = None) -> Dict[str, float]:
+    """Datagrams/sec through SimNetwork with the paper's LAN latency model
+    (NIC serialisation + lognormal propagation draw + delivery)."""
+    if n_datagrams is None:
+        n_datagrams = N_DATAGRAMS
+    best: Optional[Dict[str, float]] = None
+    for _ in range(REPEATS):
+        sim = Simulator(seed=2)
+        machines = [Machine(sim, i) for i in range(4)]
+        net = SimNetwork(sim, machines, SwitchedLan(latency=lan_latency()))
+        delivered = [0]
+        for m in machines:
+            net.attach(
+                m.machine_id,
+                lambda msg, t: delivered.__setitem__(0, delivered[0] + 1),
+            )
+        sched = getattr(sim, "schedule_fast", sim.schedule)
+        sent = [0]
+
+        def pump() -> None:
+            if sent[0] < n_datagrams:
+                sent[0] += 1
+                net.send(NetMessage(sent[0] % 4, (sent[0] + 1) % 4, "x", 256))
+                sched(1e-6, pump)
+
+        sim.schedule(0.0, pump)
+        t0 = time.perf_counter()
+        sim.run()
+        seconds = time.perf_counter() - t0
+        rate = delivered[0] / seconds
+        if best is None or rate > best["datagrams_per_sec"]:
+            best = {
+                "datagrams": delivered[0],
+                "seconds": seconds,
+                "datagrams_per_sec": rate,
+            }
+    assert best is not None
+    return best
+
+
+def bench_campaign(jobs: int = 4) -> Dict[str, Any]:
+    """Wall-clock of the smoke campaign, serial vs process-parallel.
+
+    Scaling is only meaningful with ``cpu_count >= jobs``; the record
+    always includes ``cpu_count`` so trajectory readers can tell a 1-core
+    CI box from a real regression.
+    """
+    campaign = get_campaign(CAMPAIGN_NAME)
+    record: Dict[str, Any] = {
+        "campaign": CAMPAIGN_NAME,
+        "seeds": list(CAMPAIGN_SEEDS),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+    }
+    t0 = time.perf_counter()
+    serial = run_campaign(campaign, seeds=CAMPAIGN_SEEDS)
+    record["jobs1_seconds"] = time.perf_counter() - t0
+    if "jobs" in inspect.signature(run_campaign).parameters:
+        t0 = time.perf_counter()
+        parallel = run_campaign(campaign, seeds=CAMPAIGN_SEEDS, jobs=jobs)
+        record["jobsN_seconds"] = time.perf_counter() - t0
+        record["speedup"] = record["jobs1_seconds"] / record["jobsN_seconds"]
+        record["byte_identical"] = serial.to_json() == parallel.to_json()
+    else:
+        # Pre-overhaul core: run_campaign has no jobs parameter.  Record
+        # the serial number only so trajectories stay comparable.
+        record["jobsN_seconds"] = None
+        record["speedup"] = None
+        record["byte_identical"] = None
+    return record
+
+
+def run_all(quick: bool, campaign_jobs: int = 4) -> Dict[str, Any]:
+    """One full measurement record (the shape appended to the trajectory)."""
+    pyops = calibrate_pyops()
+    event_loop = bench_event_loop()
+    record: Dict[str, Any] = {
+        "schema": 1,
+        "quick": quick,
+        "pyops_per_sec": pyops,
+        "event_loop": event_loop,
+        "event_loop_steady": bench_event_loop_steady(),
+        "event_loop_cancellable": bench_event_loop_steady(fast=False),
+        "datagram_path": bench_datagram_path(),
+        "campaign": bench_campaign(jobs=campaign_jobs),
+        # The gated metric: hardware-normalised event-loop throughput.
+        "events_score": event_loop["events_per_sec"] / pyops,
+    }
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# Trajectory + regression gate
+# --------------------------------------------------------------------------- #
+def append_trajectory(record: Dict[str, Any], path: pathlib.Path, label: Optional[str]) -> None:
+    """Append *record* to the trajectory file at *path* (a JSON object
+    with a ``trajectory`` list, newest last)."""
+    if label:
+        record = dict(record, label=label)
+    doc: Dict[str, Any] = {"trajectory": []}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = {}  # corrupt trajectory: restart it rather than crash the bench
+        if not isinstance(doc, dict) or not isinstance(doc.get("trajectory"), list):
+            doc = {"trajectory": []}
+    doc["trajectory"].append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def check_baseline(record: Dict[str, Any], baseline_path: pathlib.Path, tolerance: float) -> int:
+    """Gate: fail (return 1) when the normalised event-loop score drops
+    more than *tolerance* below the stored baseline score."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench_core: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    base_score = baseline.get("events_score")
+    if not isinstance(base_score, (int, float)) or base_score <= 0:
+        print(f"bench_core: baseline {baseline_path} has no usable events_score", file=sys.stderr)
+        return 2
+    if baseline.get("quick") != record.get("quick"):
+        # Quick and full sizes score differently (heap depth changes the
+        # per-event cost), so a cross-mode comparison is not a real gate.
+        print(
+            "bench_core: WARNING baseline and current record use different "
+            "modes (quick vs full); regenerate the baseline in the gated mode",
+            file=sys.stderr,
+        )
+    score = record["events_score"]
+    floor = base_score * (1.0 - tolerance)
+    verdict = "ok" if score >= floor else "REGRESSION"
+    print(
+        f"bench_core gate: events_score={score:.4f} baseline={base_score:.4f} "
+        f"floor={floor:.4f} ({tolerance:.0%} tolerance) -> {verdict}"
+    )
+    if score < floor:
+        print(
+            f"bench_core: events/sec regressed >{tolerance:.0%} vs baseline "
+            f"(normalised score {score:.4f} < floor {floor:.4f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_core.py",
+        description="Simulation-core throughput benchmarks + perf trajectory driver.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sizes (also via REPRO_BENCH_QUICK=1)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT, metavar="PATH",
+                        help=f"trajectory file to append to (default: {DEFAULT_OUT})")
+    parser.add_argument("--no-out", action="store_true",
+                        help="measure and print only; do not touch the trajectory file")
+    parser.add_argument("--label", default=None,
+                        help="tag this record in the trajectory (e.g. a commit id)")
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker count for the campaign scaling measurement")
+    parser.add_argument("--check", type=pathlib.Path, default=None, metavar="BASELINE",
+                        help="compare against this baseline JSON and exit non-zero "
+                             "on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30, metavar="FRAC",
+                        help="allowed fractional events_score drop vs baseline "
+                             "(default: 0.30)")
+    parser.add_argument("--write-baseline", type=pathlib.Path, default=None, metavar="PATH",
+                        help="store this record as the new gate baseline")
+    args = parser.parse_args(argv)
+
+    global N_EVENTS, N_DATAGRAMS, CAMPAIGN_SEEDS, REPEATS
+    if args.quick:
+        N_EVENTS, N_DATAGRAMS, CAMPAIGN_SEEDS, REPEATS = 20_000, 5_000, (0,), 2
+
+    record = run_all(quick=args.quick, campaign_jobs=args.jobs)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    ev = record["event_loop"]["events_per_sec"]
+    dg = record["datagram_path"]["datagrams_per_sec"]
+    camp = record["campaign"]
+    jobs_n = camp["jobsN_seconds"]
+    print(
+        f"\nevents/sec: {ev:,.0f}   datagrams/sec: {dg:,.0f}   "
+        f"campaign jobs=1: {camp['jobs1_seconds']:.2f}s  "
+        f"jobs={camp['jobs']}: "
+        + (f"{jobs_n:.2f}s" if jobs_n is not None else "n/a")
+        + f"  (cpus={camp['cpu_count']}, byte_identical={camp['byte_identical']})"
+    )
+
+    if not args.no_out:
+        append_trajectory(record, args.out, args.label)
+        print(f"trajectory appended to {args.out}")
+    if args.write_baseline:
+        args.write_baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.write_baseline.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"baseline written to {args.write_baseline}")
+    if args.check is not None:
+        return check_baseline(record, args.check, args.tolerance)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark wrappers (same bodies, suite-style)
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="core")
+def test_core_event_loop(benchmark):
+    result = benchmark(bench_event_loop)
+    assert result["events"] == N_EVENTS
+
+
+@pytest.mark.benchmark(group="core")
+def test_core_datagram_path(benchmark):
+    result = benchmark(bench_datagram_path)
+    assert result["datagrams"] > 0
+
+
+def test_core_campaign_parallel_identity():
+    """jobs=1 and jobs=2 must agree byte-for-byte (quick sizes)."""
+    campaign = get_campaign(CAMPAIGN_NAME)
+    seeds = (0,)
+    a = run_campaign(campaign, seeds=seeds, jobs=1)
+    b = run_campaign(campaign, seeds=seeds, jobs=2)
+    assert a.to_json() == b.to_json()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,7 @@ class Stack:
         self._module_ordinal = 0
         self._blocked_time_total: Duration = 0.0
         self._blocked_since: Dict[str, float] = {}  # call_id -> block instant
+        self._draining: Dict[str, bool] = {}  # service -> drain task pending
         machine.on_crash.append(self._on_machine_crash)
 
     # ------------------------------------------------------------------ #
@@ -252,7 +253,11 @@ class Stack:
         self, call_id: str, caller_name: str, service: str, method: str, args: tuple
     ) -> None:
         provider = self.bindings.bound(service)
-        if provider is None:
+        # Join the queue not only while the service is unbound, but also
+        # while an older backlog is still draining after a bind at this
+        # same instant — otherwise an in-flight call whose CPU completion
+        # lands just after the bind overtakes calls issued before it.
+        if provider is None or self._blocked_calls.get(service):
             queue = self._blocked_calls.setdefault(service, deque())
             queue.append((call_id, caller_name, method, args))
             self._blocked_since[call_id] = self.sim.now
@@ -265,6 +270,10 @@ class Stack:
                 method=method,
                 call_id=call_id,
             )
+            if provider is not None:
+                # The drain chain scheduled by the bind stops at the queue
+                # it saw; make sure this straggler is drained too.
+                self._release_blocked_calls(service)
             return
         self._invoke_provider(provider, call_id, service, method, args)
 
@@ -290,30 +299,44 @@ class Stack:
         handler(*args)
 
     def _release_blocked_calls(self, service: str) -> None:
+        """Start the FIFO drain of *service*'s backlog (idempotent).
+
+        The backlog stays in the queue and drains one call per 0-cost CPU
+        task, so :meth:`_dispatch_call` can see that older calls are still
+        pending and keep issue order; a racing unbind simply pauses the
+        drain until the next bind.
+        """
+        if self._blocked_calls.get(service) and not self._draining.get(service):
+            self._draining[service] = True
+            self.machine.execute(0.0, self._drain_blocked, service)
+
+    def _drain_blocked(self, service: str) -> None:
+        self._draining[service] = False
         queue = self._blocked_calls.get(service)
         if not queue:
             return
-        # Hand the whole backlog to the CPU in FIFO order.  Binding
-        # resolution happens again at dispatch time, so a racing unbind
-        # simply re-queues them.
-        backlog = list(queue)
-        queue.clear()
-        for call_id, caller_name, method, args in backlog:
-            blocked_at = self._blocked_since.pop(call_id, None)
-            if blocked_at is not None:
-                self._blocked_time_total += self.sim.now - blocked_at
-            self.trace.record(
-                self.sim.now,
-                TraceKind.CALL_UNBLOCKED,
-                self.stack_id,
-                service=service,
-                module=caller_name,
-                method=method,
-                call_id=call_id,
-            )
-            self.machine.execute(
-                0.0, self._dispatch_call, call_id, caller_name, service, method, args
-            )
+        provider = self.bindings.bound(service)
+        if provider is None:
+            return  # unbound again; the next bind restarts the drain
+        call_id, caller_name, method, args = queue.popleft()
+        blocked_at = self._blocked_since.pop(call_id, None)
+        if blocked_at is not None:
+            self._blocked_time_total += self.sim.now - blocked_at
+        self.trace.record(
+            self.sim.now,
+            TraceKind.CALL_UNBLOCKED,
+            self.stack_id,
+            service=service,
+            module=caller_name,
+            method=method,
+            call_id=call_id,
+        )
+        if queue:
+            # Re-arm before invoking, so the rest of the backlog keeps
+            # its place ahead of any same-instant calls the handler makes.
+            self._draining[service] = True
+            self.machine.execute(0.0, self._drain_blocked, service)
+        self._invoke_provider(provider, call_id, service, method, args)
 
     def blocked_call_count(self, service: Optional[str] = None) -> int:
         """Number of calls currently blocked (on *service*, or overall)."""
@@ -455,6 +478,9 @@ class Stack:
     # Failure
     # ------------------------------------------------------------------ #
     def _on_machine_crash(self, time: float) -> None:
+        # Pending drain tasks died with the CPU (epoch guard); clear the
+        # flags so a post-recovery bind can restart the drains.
+        self._draining.clear()
         self.trace.record(time, TraceKind.CRASH, self.stack_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -33,8 +33,8 @@ import numpy as np
 from ..errors import NetworkError, UnknownDestinationError
 from ..sim.clock import Duration, Time
 from ..sim.engine import Simulator
-from ..sim.monitors import Counter
 from ..sim.process import Machine
+from ..sim.random import BufferedDraws
 from .message import NetMessage
 from .topology import SwitchedLan
 
@@ -98,9 +98,27 @@ class SimNetwork:
         #: Extra one-way delay added to every delivery (latency-spike knob;
         #: deterministic, so toggling it never perturbs the RNG streams).
         self.extra_latency: Duration = 0.0
-        self.counters = Counter()
+        # Both hot streams draw homogeneously, so the block-buffered
+        # wrappers reproduce the exact scalar-draw sequences (see
+        # BufferedDraws' determinism contract).
         self._latency_rng: np.random.Generator = sim.rng.stream("net.latency")
         self._impair_rng: np.random.Generator = sim.rng.stream("net.impairments")
+        self._latency_draws = BufferedDraws(self._latency_rng)
+        self._impair_draws = BufferedDraws(self._impair_rng)
+        # Per-datagram counters are plain slots-style attributes rather
+        # than a Counter: one string-keyed dict update per datagram was a
+        # measurable share of the send path.  stats() reassembles the
+        # historical dict shape.
+        self._c_sent = 0
+        self._c_bytes_sent = 0
+        self._c_dropped_partition = 0
+        self._c_dropped_loss = 0
+        self._c_duplicated = 0
+        self._c_reordered = 0
+        self._c_loopback = 0
+        self._c_delivered = 0
+        self._c_dropped_crashed_receiver = 0
+        self._c_dropped_unattached = 0
 
     # ------------------------------------------------------------------ #
     # Attachment
@@ -133,7 +151,9 @@ class SimNetwork:
 
     def is_partitioned(self, a: int, b: int) -> bool:
         """Whether traffic between *a* and *b* is currently blocked."""
-        return frozenset((a, b)) in self._partitions
+        # Early-out keeps the per-datagram path allocation-free in the
+        # common no-partition case.
+        return bool(self._partitions) and frozenset((a, b)) in self._partitions
 
     # ------------------------------------------------------------------ #
     # Per-link impairments (fault injection)
@@ -192,8 +212,8 @@ class SimNetwork:
             raise UnknownDestinationError(f"no machine with id {src}")
         if sender.crashed:
             return  # a crashed machine sends nothing
-        self.counters.incr("sent")
-        self.counters.incr("bytes_sent", message.size_bytes)
+        self._c_sent += 1
+        self._c_bytes_sent += message.size_bytes
 
         # NIC transmit serialisation (per-sender queue).
         tx = self.lan.transmission_time(message.size_bytes)
@@ -202,7 +222,7 @@ class SimNetwork:
         self._nic_busy_until[src] = done
 
         if self.is_partitioned(src, dst):
-            self.counters.incr("dropped_partition")
+            self._c_dropped_partition += 1
             return
         link = self._links.get((src, dst)) if self._links else None
         loss = self.lan.loss_rate
@@ -210,38 +230,40 @@ class SimNetwork:
         if link is not None:
             loss = min(1.0, loss + link.loss_rate)
             duplicate = min(1.0, duplicate + link.duplicate_rate)
-        if loss > 0.0 and self._impair_rng.random() < loss:
-            self.counters.incr("dropped_loss")
+        if loss > 0.0 and self._impair_draws.random() < loss:
+            self._c_dropped_loss += 1
             return
 
         arrival = done + self._one_way_delay(link)
-        self.sim.schedule_at(arrival, self._deliver, message)
-        if duplicate > 0.0 and self._impair_rng.random() < duplicate:
+        # Deliveries are never cancelled (crashed receivers are filtered
+        # at delivery time), so they take the fire-and-forget path.
+        self.sim.schedule_at_fast(arrival, self._deliver, message)
+        if duplicate > 0.0 and self._impair_draws.random() < duplicate:
             # The duplicate crosses the same impaired link, so it pays the
             # same extra latency / reorder hold as the original copy.
             dup_arrival = done + self._one_way_delay(link)
-            self.sim.schedule_at(dup_arrival, self._deliver, message)
-            self.counters.incr("duplicated")
+            self.sim.schedule_at_fast(dup_arrival, self._deliver, message)
+            self._c_duplicated += 1
 
     def _one_way_delay(self, link: Optional[LinkImpairment]) -> Duration:
         """One propagation delay draw, including impairments."""
-        delay = self.lan.latency.sample(self._latency_rng) + self.extra_latency
+        delay = self.lan.latency.sample_buffered(self._latency_draws) + self.extra_latency
         if link is not None:
             delay += link.extra_latency
             if (
                 link.reorder_rate > 0.0
-                and self._impair_rng.random() < link.reorder_rate
+                and self._impair_draws.random() < link.reorder_rate
             ):
-                delay += float(self._impair_rng.random()) * link.reorder_delay
-                self.counters.incr("reordered")
+                delay += self._impair_draws.random() * link.reorder_delay
+                self._c_reordered += 1
         return delay
 
     def send_local(self, message: NetMessage, loopback_delay: Duration = 0.0) -> None:
         """Self-addressed delivery (loopback): no NIC, no LAN, no loss."""
         if message.src != message.dst:
             raise NetworkError("send_local requires src == dst")
-        self.counters.incr("loopback")
-        self.sim.schedule(loopback_delay, self._deliver, message)
+        self._c_loopback += 1
+        self.sim.schedule_fast(loopback_delay, self._deliver, message)
 
     # ------------------------------------------------------------------ #
     # Delivery
@@ -249,13 +271,13 @@ class SimNetwork:
     def _deliver(self, message: NetMessage) -> None:
         receiver = self._machines[message.dst]
         if receiver.crashed:
-            self.counters.incr("dropped_crashed_receiver")
+            self._c_dropped_crashed_receiver += 1
             return
         hook = self._hooks.get(message.dst)
         if hook is None:
-            self.counters.incr("dropped_unattached")
+            self._c_dropped_unattached += 1
             return
-        self.counters.incr("delivered")
+        self._c_delivered += 1
         hook(message, self.sim.now)
 
     # ------------------------------------------------------------------ #
@@ -266,5 +288,26 @@ class SimNetwork:
         return max(0.0, self._nic_busy_until[machine_id] - self.sim.now)
 
     def stats(self) -> Dict[str, int]:
-        """Snapshot of the network counters."""
-        return self.counters.as_dict()
+        """Snapshot of the network counters.
+
+        Matches the historical Counter semantics: a key is present iff
+        its event ever occurred (``bytes_sent`` rides along with ``sent``),
+        so reports stay byte-compatible across the fast-counter change.
+        """
+        out: Dict[str, int] = {}
+        if self._c_sent:
+            out["sent"] = self._c_sent
+            out["bytes_sent"] = self._c_bytes_sent
+        for key, value in (
+            ("dropped_partition", self._c_dropped_partition),
+            ("dropped_loss", self._c_dropped_loss),
+            ("duplicated", self._c_duplicated),
+            ("reordered", self._c_reordered),
+            ("loopback", self._c_loopback),
+            ("delivered", self._c_delivered),
+            ("dropped_crashed_receiver", self._c_dropped_crashed_receiver),
+            ("dropped_unattached", self._c_dropped_unattached),
+        ):
+            if value:
+                out[key] = value
+        return out

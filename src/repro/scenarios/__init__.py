@@ -19,6 +19,7 @@ from .engine import (
     Campaign,
     CampaignResult,
     ScenarioResult,
+    compare_reports,
     run_campaign,
     run_scenario,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "CampaignResult",
     "run_scenario",
     "run_campaign",
+    "compare_reports",
     "SCENARIOS",
     "CAMPAIGNS",
     "register_scenario",

@@ -10,23 +10,34 @@ Run the CI smoke campaign over 3 seeds and write the JSON report::
 
     python -m repro.scenarios --campaign smoke --seeds 3 --out smoke.json
 
+Fan the full library over 4 worker processes (reports are byte-identical
+to ``--jobs 1``; only the wall-clock changes)::
+
+    python -m repro.scenarios --campaign full --seeds 5 --jobs 4
+
 Run one scenario at one seed::
 
     python -m repro.scenarios --scenario churn-storm --seed 7
 
-Exit status is 0 iff no property checker reported a violation, so the
-command doubles as a CI regression gate.
+Gate a commit against a stored report (exits 3 on any drift)::
+
+    python -m repro.scenarios --campaign smoke --seeds 3 --compare baseline.json
+
+Exit status is 0 iff no property checker reported a violation (and, with
+``--compare``, the report matches the baseline), so the command doubles
+as a CI regression gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from ..errors import ScenarioError
 from ..viz import render_table
-from .engine import Campaign, CampaignResult, run_campaign
+from .engine import Campaign, CampaignResult, compare_reports, run_campaign
 from .library import CAMPAIGNS, SCENARIOS, get_campaign, get_scenario
 
 
@@ -72,11 +83,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run seeds 0..N-1 (default: 1)")
     parser.add_argument("--seed", type=int, default=None,
                         help="run exactly this one seed (overrides --seeds)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the (scenario, seed) matrix over N worker "
+                             "processes (0 = one per CPU; default: 1). The "
+                             "report is byte-identical for any N")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the JSON report here (default: stdout only "
                              "prints the summary table)")
     parser.add_argument("--json", action="store_true",
                         help="print the full JSON report to stdout")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="diff the fresh report against this stored JSON "
+                             "report and exit 3 on any drift (campaign reports "
+                             "are deterministic, so drift means behaviour "
+                             "changed)")
     args = parser.parse_args(argv)
 
     if args.list_all:
@@ -96,7 +116,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    result: CampaignResult = run_campaign(campaign, seeds=seeds)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    result: CampaignResult = run_campaign(campaign, seeds=seeds, jobs=args.jobs)
 
     print(render_table(
         ["scenario", "seed", "verdict", "sent", "ordered", "violations"],
@@ -109,6 +131,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"report written to {args.out}")
     if args.json:
         print(result.to_json())
+
+    if args.compare:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        drift = compare_reports(baseline, result.to_dict())
+        if drift:
+            for line in drift:
+                print(f"DRIFT {line}", file=sys.stderr)
+            print(f"{len(drift)} drift(s) against baseline {args.compare}",
+                  file=sys.stderr)
+            return 3
+        print(f"report matches baseline {args.compare}")
 
     if not result.ok:
         for run in result.results:

@@ -22,6 +22,8 @@ gate — any diff in the report is a real behavioural change.
 from __future__ import annotations
 
 import json
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +45,7 @@ __all__ = [
     "CampaignResult",
     "run_scenario",
     "run_campaign",
+    "compare_reports",
 ]
 
 
@@ -281,10 +284,93 @@ def run_scenario(spec: ScenarioSpec, seed: int = 0) -> ScenarioResult:
 # --------------------------------------------------------------------------- #
 # Running a campaign
 # --------------------------------------------------------------------------- #
-def run_campaign(campaign: Campaign, seeds: Sequence[int] = (0,)) -> CampaignResult:
-    """Run every scenario of *campaign* at every seed, in a fixed order."""
+def _scenario_task(task: Tuple[ScenarioSpec, int]) -> ScenarioResult:
+    """Process-pool entry point: run one ``(spec, seed)`` cell."""
+    spec, seed = task
+    return run_scenario(spec, seed=seed)
+
+
+def run_campaign(
+    campaign: Campaign, seeds: Sequence[int] = (0,), jobs: int = 1
+) -> CampaignResult:
+    """Run every scenario of *campaign* at every seed, in a fixed order.
+
+    ``jobs`` fans the ``(spec, seed)`` matrix over a process pool
+    (``jobs=0`` means one worker per CPU).  Each cell is a pure function
+    of its arguments — every run owns a private simulator and RNG
+    registry — and results are merged in task-submission order, so the
+    report is **byte-identical** for any ``jobs`` value; only the
+    wall-clock changes.
+    """
+    if jobs < 0:
+        raise ScenarioError(f"jobs must be >= 0, got {jobs}")
+    tasks = [(spec, seed) for spec in campaign.scenarios for seed in seeds]
     result = CampaignResult(campaign=campaign.name, seeds=list(seeds))
-    for spec in campaign.scenarios:
-        for seed in seeds:
-            result.results.append(run_scenario(spec, seed=seed))
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs == 1 or len(tasks) <= 1:
+        result.results.extend(run_scenario(spec, seed=seed) for spec, seed in tasks)
+        return result
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        # Executor.map preserves input order: the deterministic merge.
+        result.results.extend(pool.map(_scenario_task, tasks, chunksize=1))
     return result
+
+
+# --------------------------------------------------------------------------- #
+# Report comparison (regression gate)
+# --------------------------------------------------------------------------- #
+def compare_reports(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> List[str]:
+    """Diff two deterministic campaign-report dicts (``to_dict`` shape).
+
+    Returns human-readable drift lines, empty when the reports agree.
+    Campaign reports are deterministic functions of ``(campaign, seeds)``
+    and the code, so *any* per-run field drift is a real behavioural
+    change; property/checker drift (``ok``/``violations``) is flagged
+    first and most loudly.
+    """
+    drift: List[str] = []
+    if baseline.get("campaign") != current.get("campaign"):
+        drift.append(
+            f"campaign name: baseline {baseline.get('campaign')!r} "
+            f"!= current {current.get('campaign')!r}"
+        )
+    if baseline.get("seeds") != current.get("seeds"):
+        drift.append(
+            f"seed matrix: baseline {baseline.get('seeds')!r} "
+            f"!= current {current.get('seeds')!r}"
+        )
+
+    def key(run: Dict[str, Any]) -> Tuple[str, int]:
+        return (str(run.get("name")), int(run.get("seed", 0)))
+
+    base_runs = {key(r): r for r in baseline.get("runs", [])}
+    cur_runs = {key(r): r for r in current.get("runs", [])}
+    for name, seed in sorted(set(base_runs) - set(cur_runs)):
+        drift.append(f"run [{name} seed={seed}]: present in baseline only")
+    for name, seed in sorted(set(cur_runs) - set(base_runs)):
+        drift.append(f"run [{name} seed={seed}]: present in current only")
+
+    for run_key in sorted(set(base_runs) & set(cur_runs)):
+        name, seed = run_key
+        base, cur = base_runs[run_key], cur_runs[run_key]
+        # Property/checker drift first: the signal CI cares most about.
+        for field_name in ("ok", "violations"):
+            if base.get(field_name) != cur.get(field_name):
+                drift.append(
+                    f"run [{name} seed={seed}] {field_name}: "
+                    f"baseline {base.get(field_name)!r} -> "
+                    f"current {cur.get(field_name)!r}"
+                )
+        for field_name in sorted(set(base) | set(cur)):
+            if field_name in ("ok", "violations"):
+                continue
+            if base.get(field_name) != cur.get(field_name):
+                drift.append(
+                    f"run [{name} seed={seed}] {field_name}: "
+                    f"baseline {base.get(field_name)!r} -> "
+                    f"current {cur.get(field_name)!r}"
+                )
+    return drift

@@ -29,7 +29,7 @@ from .latency import (
 from .faults import FaultInjector, FaultRecord
 from .monitors import Counter, EventLog, PeriodicProbe
 from .process import Machine
-from .random import RngRegistry, stable_hash64
+from .random import BufferedDraws, RngRegistry, stable_hash64
 
 __all__ = [
     "Time",
@@ -49,6 +49,7 @@ __all__ = [
     "FaultInjector",
     "FaultRecord",
     "RngRegistry",
+    "BufferedDraws",
     "stable_hash64",
     "LatencyModel",
     "ConstantLatency",

@@ -1,6 +1,7 @@
 """Event queue for the discrete-event engine.
 
-The queue is a binary heap keyed by ``(time, priority, seq)``:
+The queue is a binary heap whose entries are plain tuples, keyed by
+``(time, priority, seq)``:
 
 * ``time`` — the simulated instant the event fires;
 * ``priority`` — ties at the same instant are broken by priority
@@ -11,6 +12,17 @@ The queue is a binary heap keyed by ``(time, priority, seq)``:
   with the same seed **bit-for-bit deterministic**, which the property
   tests rely on to shrink counterexamples.
 
+Two kinds of heap entry coexist:
+
+* **cancellable** — ``(time, priority, seq, handle)`` where *handle* is a
+  slotted :class:`EventHandle` the caller can :meth:`~EventQueue.cancel`;
+* **fire-and-forget** — ``(time, priority, seq, callback, args)``, pushed
+  by :meth:`EventQueue.push_fast` with no handle allocation at all.  The
+  vast majority of events (network deliveries, CPU completions) are never
+  cancelled, so this is the engine's hot path.
+
+Because ``seq`` is unique, tuple comparison always terminates within the
+first three elements and the two entry shapes mix freely in one heap.
 Cancellation is *lazy*: :meth:`EventQueue.cancel` marks the handle and the
 heap drops cancelled entries when they surface, which keeps both schedule
 and cancel O(log n) amortised.
@@ -20,7 +32,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from .clock import Time
@@ -35,16 +46,26 @@ PRIORITY_NORMAL = 10
 PRIORITY_LATE = 20
 
 
-@dataclass(eq=False)
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    time: Time
-    priority: int
-    seq: int
-    callback: Optional[Callable[..., Any]]
-    args: tuple = ()
-    cancelled: bool = field(default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: Time,
+        priority: int,
+        seq: int,
+        callback: Optional[Callable[..., Any]],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
@@ -66,20 +87,26 @@ class EventHandle:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`EventHandle`."""
+    """A deterministic priority queue of scheduled events.
 
-    __slots__ = ("_heap", "_counter", "_len")
+    The active count is derived (``len(heap) - pending cancellations``)
+    rather than maintained per push/pop, which keeps the hot paths free
+    of bookkeeping: pushes are a bare ``heappush`` and only
+    :meth:`cancel` — the rare operation — touches a counter.
+    """
+
+    __slots__ = ("_heap", "_counter", "_cancelled")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[tuple, EventHandle]] = []
+        self._heap: list[tuple] = []
         self._counter = itertools.count()
-        self._len = 0  # number of *active* events
+        self._cancelled = 0  # cancelled entries still sitting in the heap
 
     def __len__(self) -> int:
-        return self._len
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
-        return self._len > 0
+        return len(self._heap) > self._cancelled
 
     def push(
         self,
@@ -90,42 +117,74 @@ class EventQueue:
     ) -> EventHandle:
         """Schedule *callback(*args)* at instant *time* and return its handle."""
         handle = EventHandle(time, priority, next(self._counter), callback, args)
-        heapq.heappush(self._heap, (handle.sort_key(), handle))
-        self._len += 1
+        heapq.heappush(self._heap, (time, priority, handle.seq, handle))
         return handle
 
+    def push_fast(
+        self,
+        time: Time,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule a fire-and-forget event: no handle, not cancellable."""
+        heapq.heappush(
+            self._heap, (time, priority, next(self._counter), callback, args)
+        )
+
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel *handle*; a no-op if it already fired or was cancelled."""
-        if not handle.cancelled:
-            handle.cancel()
-            self._len -= 1
+        """Cancel *handle*; a no-op if it already fired or was cancelled.
+
+        A fired handle is recognised by its ``fired`` flag (set by
+        :meth:`pop`) or its released callback (nulled by the engine's
+        dispatch loops), so a late cancel never corrupts the active count.
+        """
+        if handle.cancelled or handle.fired or handle.callback is None:
+            return
+        handle.cancel()
+        self._cancelled += 1
 
     def pop(self) -> EventHandle:
         """Remove and return the next active event.
 
+        Fire-and-forget entries are materialised into a transient
+        :class:`EventHandle` for the caller's convenience — :meth:`pop` is
+        the compatibility path; :meth:`Simulator.run` dispatches entries
+        without it.
+
         Raises :class:`IndexError` when the queue holds no active event.
         """
-        while self._heap:
-            _, handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if len(entry) == 5:
+                handle = EventHandle(entry[0], entry[1], entry[2], entry[3], entry[4])
+                handle.fired = True  # already out of the heap: cancel is a no-op
+                return handle
+            handle = entry[3]
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
-            self._len -= 1
+            handle.fired = True
             return handle
         raise IndexError("pop from an empty EventQueue")
 
     def peek_time(self) -> Optional[Time]:
         """Return the instant of the next active event, or ``None`` if empty."""
-        while self._heap:
-            _, handle = self._heap[0]
-            if handle.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if len(entry) == 4 and entry[3].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
                 continue
-            return handle.time
+            return entry[0]
         return None
 
     def clear(self) -> None:
         """Drop every pending event."""
-        for _, handle in self._heap:
-            handle.cancel()
+        for entry in self._heap:
+            if len(entry) == 4:
+                entry[3].cancel()
         self._heap.clear()
-        self._len = 0
+        self._cancelled = 0

@@ -30,6 +30,7 @@ from .clock import Duration, Time
 from .events import PRIORITY_CONTROL
 from .engine import Simulator
 from .process import Machine
+from .random import BufferedDraws
 
 __all__ = ["FaultRecord", "FaultInjector"]
 
@@ -75,6 +76,10 @@ class FaultInjector:
         self._machines: Dict[int, Machine] = {m.machine_id: m for m in machines}
         self.network = network
         self.rng = sim.rng.stream(f"faults.{name}")
+        #: Block-buffered uniform draws on the injector's stream (used for
+        #: randomised schedules; ``self.rng`` stays available — via
+        #: ``self.draws.raw`` — for shapes the buffer does not cover).
+        self.draws = BufferedDraws(self.rng)
         #: Faults that fired, in firing order.
         self.records: List[FaultRecord] = []
         #: Hooks invoked as ``hook(index, record)`` when a fault fires.
@@ -259,8 +264,10 @@ class FaultInjector:
             raise SimulationError(
                 f"cannot crash {count} machines out of {len(pool)} candidates"
             )
-        picks = self.rng.choice(len(pool), size=count, replace=False)
-        times = sorted(float(t) for t in start + self.rng.random(count) * window)
+        picks = self.draws.raw.choice(len(pool), size=count, replace=False)
+        times = sorted(
+            float(start + t * window) for t in self.draws.random_block(count)
+        )
         schedule = [(t, pool[int(i)]) for t, i in zip(times, picks)]
         for t, machine_id in schedule:
             self.crash_at(t, machine_id)

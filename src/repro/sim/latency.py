@@ -15,12 +15,15 @@ network layer because it depends on the message size.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from .clock import Duration, us
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .random import BufferedDraws
 
 __all__ = [
     "LatencyModel",
@@ -45,6 +48,17 @@ class LatencyModel:
         """The distribution's mean, used for calibration and documentation."""
         raise NotImplementedError
 
+    def sample_buffered(self, draws: "BufferedDraws") -> Duration:
+        """Draw one duration through a :class:`~repro.sim.random.BufferedDraws`.
+
+        Equivalent to :meth:`sample` on the wrapped stream but served from
+        vectorised blocks; hot paths (the network's per-datagram delay)
+        call this.  Models that do not override it fall back to a scalar
+        draw on the raw generator (discarding any buffered values, which
+        keeps the stream deterministic).
+        """
+        return self.sample(draws.raw)
+
 
 @dataclass(frozen=True)
 class ConstantLatency(LatencyModel):
@@ -57,6 +71,9 @@ class ConstantLatency(LatencyModel):
             raise ValueError(f"latency must be non-negative, got {self.value}")
 
     def sample(self, rng: np.random.Generator) -> Duration:
+        return self.value
+
+    def sample_buffered(self, draws: "BufferedDraws") -> Duration:
         return self.value
 
     def mean(self) -> Duration:
@@ -77,6 +94,9 @@ class UniformLatency(LatencyModel):
     def sample(self, rng: np.random.Generator) -> Duration:
         return float(rng.uniform(self.low, self.high))
 
+    def sample_buffered(self, draws: "BufferedDraws") -> Duration:
+        return draws.uniform(self.low, self.high)
+
     def mean(self) -> Duration:
         return 0.5 * (self.low + self.high)
 
@@ -95,6 +115,9 @@ class ExponentialLatency(LatencyModel):
     def sample(self, rng: np.random.Generator) -> Duration:
         return self.floor + float(rng.exponential(self.mean_tail))
 
+    def sample_buffered(self, draws: "BufferedDraws") -> Duration:
+        return self.floor + draws.exponential(self.mean_tail)
+
     def mean(self) -> Duration:
         return self.floor + self.mean_tail
 
@@ -112,6 +135,9 @@ class LogNormalLatency(LatencyModel):
     tail_mean: Duration
     sigma: float = 0.5
     floor: Duration = 0.0
+    #: mu of the underlying normal, derived once at construction (a
+    #: ``math.log`` per draw is measurable on the per-datagram path).
+    mu: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.tail_mean <= 0:
@@ -120,13 +146,19 @@ class LogNormalLatency(LatencyModel):
             raise ValueError("sigma must be positive")
         if self.floor < 0:
             raise ValueError("floor must be non-negative")
+        # mean of lognormal = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+        object.__setattr__(
+            self, "mu", math.log(self.tail_mean) - 0.5 * self.sigma * self.sigma
+        )
 
     def _mu(self) -> float:
-        # mean of lognormal = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
-        return math.log(self.tail_mean) - 0.5 * self.sigma * self.sigma
+        return self.mu
 
     def sample(self, rng: np.random.Generator) -> Duration:
-        return self.floor + float(rng.lognormal(self._mu(), self.sigma))
+        return self.floor + float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_buffered(self, draws: "BufferedDraws") -> Duration:
+        return self.floor + draws.lognormal(self.mu, self.sigma)
 
     def mean(self) -> Duration:
         return self.floor + self.tail_mean
@@ -149,6 +181,9 @@ class EmpiricalLatency(LatencyModel):
     def sample(self, rng: np.random.Generator) -> Duration:
         return self.samples[int(rng.integers(len(self.samples)))]
 
+    def sample_buffered(self, draws: "BufferedDraws") -> Duration:
+        return self.samples[draws.integers(len(self.samples))]
+
     def mean(self) -> Duration:
         return float(np.mean(self.samples))
 
@@ -166,6 +201,9 @@ class ShiftedLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> Duration:
         return self.shift + self.base.sample(rng)
+
+    def sample_buffered(self, draws: "BufferedDraws") -> Duration:
+        return self.shift + self.base.sample_buffered(draws)
 
     def mean(self) -> Duration:
         return self.shift + self.base.mean()

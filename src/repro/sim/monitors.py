@@ -95,27 +95,31 @@ class EventLog:
         self.sim = sim
         self.capacity = capacity
         self.records: List[Tuple[Time, str, Any]] = []
+        # Per-kind index: campaign checkers call of_kind/first/last once
+        # per property per run, which used to linear-scan the whole log.
+        self._by_kind: Dict[str, List[Tuple[Time, Any]]] = {}
 
     def record(self, kind: str, payload: Any = None) -> None:
         """Append a ``(now, kind, payload)`` record."""
         if self.capacity is not None and len(self.records) >= self.capacity:
             return
-        self.records.append((self.sim.now, kind, payload))
+        now = self.sim.now
+        self.records.append((now, kind, payload))
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            bucket = self._by_kind[kind] = []
+        bucket.append((now, payload))
 
     def of_kind(self, kind: str) -> List[Tuple[Time, Any]]:
         """All ``(time, payload)`` records of the given *kind*, in order."""
-        return [(t, p) for t, k, p in self.records if k == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def first(self, kind: str) -> Optional[Tuple[Time, Any]]:
         """The earliest record of *kind*, or ``None``."""
-        for t, k, p in self.records:
-            if k == kind:
-                return (t, p)
-        return None
+        bucket = self._by_kind.get(kind)
+        return bucket[0] if bucket else None
 
     def last(self, kind: str) -> Optional[Tuple[Time, Any]]:
         """The latest record of *kind*, or ``None``."""
-        for t, k, p in reversed(self.records):
-            if k == kind:
-                return (t, p)
-        return None
+        bucket = self._by_kind.get(kind)
+        return bucket[-1] if bucket else None

@@ -149,28 +149,31 @@ class Machine:
         """Number of CPU tasks completed so far."""
         return self._tasks_executed
 
-    def execute(
-        self, cost: Duration, fn: Callable[..., Any], *args: Any
-    ) -> Optional[EventHandle]:
+    def execute(self, cost: Duration, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` after the CPU has spent *cost* seconds on it.
 
         The task starts when the CPU becomes free, so its completion time
-        is ``max(now, busy_until) + cost``.  Returns the completion event
-        handle, or ``None`` when the machine is already crashed (the work
-        is silently dropped — a crashed machine does nothing).
+        is ``max(now, busy_until) + cost``.  When the machine is already
+        crashed the work is silently dropped — a crashed machine does
+        nothing.  Completions are fire-and-forget events (a crash
+        suppresses them through the incarnation-epoch guard, not through
+        cancellation), so no handle is allocated or returned.
         """
         if cost < 0:
             raise SimulationError(f"negative CPU cost {cost!r}")
-        if self.crashed:
+        if self._crashed_at is not None:
             return None
-        start = max(self.sim.now, self._busy_until)
+        sim = self.sim
+        start = sim.now
+        if self._busy_until > start:
+            start = self._busy_until
         completion = start + cost
         self._busy_until = completion
         self._cpu_busy_total += cost
-        return self.sim.schedule_at(completion, self._run_task, self._epoch, fn, args)
+        sim.schedule_at_fast(completion, self._run_task, self._epoch, fn, args)
 
     def _run_task(self, epoch: int, fn: Callable[..., Any], args: tuple) -> None:
-        if self.crashed or epoch != self._epoch:
+        if self._crashed_at is not None or epoch != self._epoch:
             return
         self._tasks_executed += 1
         fn(*args)
@@ -192,7 +195,7 @@ class Machine:
         return self.sim.schedule(delay, self._run_timer, self._epoch, fn, args)
 
     def _run_timer(self, epoch: int, fn: Callable[..., Any], args: tuple) -> None:
-        if self.crashed or epoch != self._epoch:
+        if self._crashed_at is not None or epoch != self._epoch:
             return
         fn(*args)
 

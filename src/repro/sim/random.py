@@ -16,11 +16,11 @@ simulation literature — is one *named* independent substream per component.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RngRegistry", "stable_hash64"]
+__all__ = ["BufferedDraws", "RngRegistry", "stable_hash64"]
 
 
 def stable_hash64(name: str) -> int:
@@ -66,3 +66,151 @@ class RngRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngRegistry(seed={self._seed}, streams={sorted(self._streams)})"
+
+
+class BufferedDraws:
+    """Block-buffered scalar draws from one named stream.
+
+    Per-datagram and per-tick code draws *one* number at a time, but a
+    ``numpy.random.Generator`` pays most of its cost in Python call
+    overhead, not in bit generation.  :class:`BufferedDraws` vectorises:
+    it fills a block of *block* values in one generator call and serves
+    them back as plain Python floats.
+
+    **Determinism contract.**  numpy's ``Generator`` fills an array with
+    exactly the same values, in the same order, as the corresponding
+    sequence of scalar calls (the distribution kernels consume the
+    underlying bitstream sequentially either way).  So as long as a
+    stream's draw sequence is *homogeneous* — same distribution, same
+    parameters — the buffered sequence is **bit-identical** to the scalar
+    one, and same-seed runs are unchanged.  Switching distribution or
+    parameters mid-stream discards the rest of the buffer: still fully
+    deterministic (the refill schedule is a pure function of the call
+    sequence), but the prefetched bits shift the stream relative to pure
+    scalar code.  The hot streams in this repo (network latency, network
+    impairments, workload jitter) are all homogeneous.
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_idx", "_kind")
+
+    def __init__(self, rng: np.random.Generator, block: int = 256) -> None:
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self._rng = rng
+        self._block = int(block)
+        self._buf: list = []
+        self._idx = 0
+        self._kind: Optional[Tuple] = None
+
+    @property
+    def raw(self) -> np.random.Generator:
+        """The underlying generator, after discarding any buffered values.
+
+        For draw shapes :class:`BufferedDraws` does not cover (``choice``,
+        ``shuffle``, ...).  Discarding keeps the interleaving of buffered
+        and raw draws a deterministic function of the call sequence.
+        """
+        self._buf = []
+        self._idx = 0
+        self._kind = None
+        return self._rng
+
+    def _serve(self, kind: Tuple, fill) -> float:
+        if self._kind != kind or self._idx >= len(self._buf):
+            self._buf = fill(self._rng, self._block).tolist()
+            self._idx = 0
+            self._kind = kind
+        value = self._buf[self._idx]
+        self._idx += 1
+        return value
+
+    # The per-kind methods inline the buffer-hit case — no tuple or
+    # closure allocation per draw — because they sit on the per-datagram
+    # path; only a refill (or a parameter change) builds anything.
+    def random(self) -> float:
+        """One uniform draw on [0, 1) — block-buffered ``rng.random()``."""
+        if self._kind is _KIND_RANDOM and self._idx < len(self._buf):
+            value = self._buf[self._idx]
+            self._idx += 1
+            return value
+        return self._serve(_KIND_RANDOM, lambda rng, n: rng.random(n))
+
+    def random_block(self, count: int) -> np.ndarray:
+        """*count* uniform draws on [0, 1), served from the same buffer."""
+        out = np.empty(count)
+        for i in range(count):
+            out[i] = self.random()
+        return out
+
+    def uniform(self, low: float, high: float) -> float:
+        """Block-buffered ``rng.uniform(low, high)``."""
+        kind = self._kind
+        if (
+            self._idx < len(self._buf)
+            and kind is not None
+            and kind[0] == "uniform"
+            and kind[1] == low
+            and kind[2] == high
+        ):
+            value = self._buf[self._idx]
+            self._idx += 1
+            return value
+        return self._serve(
+            ("uniform", low, high), lambda rng, n: rng.uniform(low, high, n)
+        )
+
+    def exponential(self, scale: float) -> float:
+        """Block-buffered ``rng.exponential(scale)``."""
+        kind = self._kind
+        if (
+            self._idx < len(self._buf)
+            and kind is not None
+            and kind[0] == "exponential"
+            and kind[1] == scale
+        ):
+            value = self._buf[self._idx]
+            self._idx += 1
+            return value
+        return self._serve(
+            ("exponential", scale), lambda rng, n: rng.exponential(scale, n)
+        )
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        """Block-buffered ``rng.lognormal(mu, sigma)``."""
+        kind = self._kind
+        if (
+            self._idx < len(self._buf)
+            and kind is not None
+            and kind[0] == "lognormal"
+            and kind[1] == mu
+            and kind[2] == sigma
+        ):
+            value = self._buf[self._idx]
+            self._idx += 1
+            return value
+        return self._serve(
+            ("lognormal", mu, sigma), lambda rng, n: rng.lognormal(mu, sigma, n)
+        )
+
+    def integers(self, high: int) -> int:
+        """Block-buffered ``rng.integers(high)`` (one draw on [0, high))."""
+        kind = self._kind
+        if (
+            self._idx < len(self._buf)
+            and kind is not None
+            and kind[0] == "integers"
+            and kind[1] == high
+        ):
+            value = self._buf[self._idx]
+            self._idx += 1
+            return value
+        return self._serve(
+            ("integers", high), lambda rng, n: rng.integers(high, size=n)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        left = len(self._buf) - self._idx
+        return f"<BufferedDraws block={self._block} kind={self._kind} buffered={left}>"
+
+
+_KIND_RANDOM = ("random",)

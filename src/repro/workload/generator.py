@@ -30,6 +30,7 @@ from ..kernel.module import Module
 from ..kernel.service import WellKnown
 from ..kernel.stack import Stack
 from ..sim.clock import Duration, Time
+from ..sim.random import BufferedDraws
 from .payload import FixedPayload, PayloadModel
 
 __all__ = ["LoadGeneratorModule"]
@@ -69,7 +70,10 @@ class LoadGeneratorModule(Module):
         self.service = service
         self.payload_model = payload if payload is not None else FixedPayload()
         self.jitter = jitter
+        # Jitter draws are homogeneous exponentials, so block-buffering
+        # reproduces the exact scalar-draw sequence (same seed, same run).
         self._rng = stack.sim.rng.stream(f"workload.{stack.stack_id}")
+        self._draws = BufferedDraws(self._rng)
         self._seq = 0
         self.sent = 0
 
@@ -86,8 +90,8 @@ class LoadGeneratorModule(Module):
         if self.jitter > 0.0:
             # Mix a deterministic component with an exponential tail so
             # the mean rate stays exact.
-            gap = (1.0 - self.jitter) * self.period + float(
-                self._rng.exponential(self.jitter * self.period)
+            gap = (1.0 - self.jitter) * self.period + self._draws.exponential(
+                self.jitter * self.period
             )
         self.set_timer(gap, self._tick)
 

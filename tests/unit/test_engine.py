@@ -132,3 +132,11 @@ class TestBookkeeping:
         sim.schedule(0.5, lambda: None)
         sim.run()
         assert seen == [0.5]
+
+    def test_events_processed_is_live_mid_run(self, sim):
+        """Callbacks (and probes) read an up-to-date count during run()."""
+        seen = []
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: seen.append(sim.events_processed))
+        sim.run()
+        assert seen == [1, 2, 3]

@@ -94,3 +94,108 @@ class TestErrors:
     def test_pop_empty_raises(self):
         with pytest.raises(IndexError):
             EventQueue().pop()
+
+
+class TestFastPath:
+    """The fire-and-forget entries obey the same ordering contract."""
+
+    def test_fast_entries_order_with_handles(self):
+        q = EventQueue()
+        fired = []
+        q.push_fast(2.0, fired.append, ("fast2",))
+        q.push(1.0, fired.append, ("slow1",))
+        q.push_fast(1.0, fired.append, ("fast1-later",))
+        q.push(3.0, fired.append, ("slow3",))
+        while q:
+            h = q.pop()
+            h.callback(*h.args)
+        assert fired == ["slow1", "fast1-later", "fast2", "slow3"]
+
+    def test_fast_priority_breaks_ties(self):
+        q = EventQueue()
+        fired = []
+        q.push_fast(1.0, fired.append, ("late",), priority=PRIORITY_LATE)
+        q.push_fast(1.0, fired.append, ("control",), priority=PRIORITY_CONTROL)
+        q.push_fast(1.0, fired.append, ("normal",), priority=PRIORITY_NORMAL)
+        while q:
+            h = q.pop()
+            h.callback(*h.args)
+        assert fired == ["control", "normal", "late"]
+
+    def test_fifo_among_mixed_equal_entries(self):
+        q = EventQueue()
+        fired = []
+        for i in range(6):
+            if i % 2:
+                q.push(1.0, fired.append, (i,))
+            else:
+                q.push_fast(1.0, fired.append, (i,))
+        while q:
+            h = q.pop()
+            h.callback(*h.args)
+        assert fired == list(range(6))
+
+    def test_pop_materialises_transient_handle(self):
+        q = EventQueue()
+        q.push_fast(1.5, print, ("x",), priority=PRIORITY_LATE)
+        h = q.pop()
+        assert (h.time, h.priority) == (1.5, PRIORITY_LATE)
+        assert h.callback is print and h.args == ("x",)
+
+    def test_len_counts_fast_entries(self):
+        q = EventQueue()
+        q.push_fast(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_peek_time_sees_fast_entries(self):
+        q = EventQueue()
+        q.push(5.0, lambda: None)
+        q.push_fast(2.0, lambda: None)
+        assert q.peek_time() == 2.0
+
+    def test_clear_drops_fast_entries(self):
+        q = EventQueue()
+        q.push_fast(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.clear()
+        assert len(q) == 0 and q.peek_time() is None
+
+
+class TestCancelAfterFire:
+    def test_cancel_of_fired_handle_keeps_count_consistent(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        other = q.push(2.0, lambda: None)
+        fired = q.pop()
+        assert fired is h
+        fired.callback, fired.args = None, ()  # what the engine does on fire
+        q.cancel(h)  # late cancel: must be a no-op
+        assert len(q) == 1
+        assert q.pop() is other
+        assert len(q) == 0
+
+    def test_cancel_of_popped_fast_entry_handle_is_noop(self):
+        """The transient handle pop() materialises for a fire-and-forget
+        entry is already fired; cancelling it must not corrupt the count."""
+        q = EventQueue()
+        q.push_fast(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        transient = q.pop()
+        q.cancel(transient)
+        assert len(q) == 1 and bool(q)
+        assert q.peek_time() == 2.0
+
+    def test_cancel_after_pop_without_engine_is_still_noop(self):
+        """pop() marks the handle fired, so a consumer that pops and
+        invokes the callback itself cannot corrupt the count either."""
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        popped = q.pop()
+        popped.callback(*popped.args)  # fire without nulling anything
+        q.cancel(h)
+        assert len(q) == 1 and bool(q)
+        assert q.peek_time() == 2.0

@@ -9,7 +9,7 @@ module is added.
 import pytest
 
 from repro.errors import KernelError, ModuleNotInStackError, UnknownServiceError
-from repro.kernel import Module, NOT_MINE, TraceKind
+from repro.kernel import Module, NOT_MINE, System, TraceKind
 
 
 class Echo(Module):
@@ -107,6 +107,47 @@ class TestBlockedCalls:
         assert stack.blocked_call_count("echo") == 0
         unblocked = system.trace.of_kind(TraceKind.CALL_UNBLOCKED)
         assert len(unblocked) == 3
+
+    def test_in_flight_call_does_not_overtake_released_backlog(self):
+        """A call whose CPU completion lands just after a bind must not
+        jump ahead of calls issued earlier that blocked on the unbound
+        service (regression: served [1, 0] instead of [0, 1]).
+
+        The race needs the second call's dispatch completion (issue
+        instant + call_cost) to land fractionally *after* the bind, so it
+        carries an older heap seq than the released backlog's dispatch.
+        """
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        echo = st.add_module(Echo(st), bind=False)
+        listener = st.add_module(Listener(st))
+        sys_.sim.schedule_at(0.0, listener.call, "echo", "ping", 0)
+        sys_.sim.schedule_at(0.99999, listener.call, "echo", "ping", 1)
+        sys_.sim.schedule_at(1.0, st.bind, "echo", echo)
+        sys_.run()
+        assert echo.calls == [0, 1]
+        assert st.blocked_call_count("echo") == 0
+
+    def test_backlog_drains_after_crash_kills_pending_drain(self):
+        """A crash that lands between a bind and its scheduled drain task
+        must not wedge the backlog: after recovery, the next bind restarts
+        the drain (regression: the drain-pending flag stayed set forever)."""
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        echo = st.add_module(Echo(st), bind=False)
+        listener = st.add_module(Listener(st))
+        listener.call("echo", "ping", 0)
+        sys_.run()  # the call blocks on the unbound service
+        st.bind("echo", echo)  # schedules the 0-cost drain task...
+        st.machine.crash()  # ...which dies with the old incarnation
+        st.machine.recover()
+        sys_.run()
+        assert echo.calls == []  # the drain really was killed
+        st.unbind("echo")
+        st.bind("echo", echo)
+        sys_.run()
+        assert echo.calls == [0]
+        assert st.blocked_call_count("echo") == 0
 
     def test_blocked_time_is_accounted(self, system, stack):
         echo = stack.add_module(Echo(stack), bind=False)
