@@ -72,6 +72,14 @@ class TokenAbcastModule(AbcastModuleBase):
         if self.stack_id == self.group[0]:
             self._receive_token(0)
 
+    def on_restart(self) -> None:
+        # If this stack crashed while holding the token, the forward
+        # timer died with the old incarnation and the ring stalled.  The
+        # holding flag and sequence counter survived, so re-arming the
+        # forward regenerates the ring without minting a second token.
+        if self._holding:
+            self.set_timer(self.idle_hold, self._forward_token)
+
     @property
     def next_in_ring(self) -> int:
         """The ring successor of this stack."""

@@ -17,10 +17,12 @@
 from .abcast_checker import (
     assert_abcast_properties,
     check_all_abcast_properties,
+    check_recovery_liveness,
     check_uniform_agreement,
     check_uniform_integrity,
     check_uniform_total_order,
     check_validity,
+    is_post_rejoin_send,
 )
 from .consensus_repl import ReplConsensusModule
 from .generic import IndirectionModule
@@ -61,6 +63,8 @@ __all__ = [
     "check_uniform_agreement",
     "check_uniform_integrity",
     "check_uniform_total_order",
+    "check_recovery_liveness",
     "check_all_abcast_properties",
     "assert_abcast_properties",
+    "is_post_rejoin_send",
 ]

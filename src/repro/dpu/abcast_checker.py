@@ -36,9 +36,27 @@ __all__ = [
     "check_uniform_agreement",
     "check_uniform_integrity",
     "check_uniform_total_order",
+    "check_recovery_liveness",
     "check_all_abcast_properties",
     "assert_abcast_properties",
+    "is_post_rejoin_send",
 ]
+
+
+def is_post_rejoin_send(
+    sender: int, t_send: Time, rejoined: Dict[int, Time]
+) -> bool:
+    """Whether a send happened after *sender*'s own re-join completion.
+
+    The single definition of the exemption-narrowing rule: a send by an
+    ever-crashed stack counts as a correct-process send again exactly
+    when the sender completed its re-join handshake before the send.
+    The scenario engine (in-flight exemptions), the quiescence drain and
+    :func:`check_recovery_liveness` all consult this predicate, so the
+    three can never drift apart.
+    """
+    t_rejoin = rejoined.get(sender)
+    return t_rejoin is not None and t_send > t_rejoin
 
 
 def check_validity(
@@ -130,6 +148,48 @@ def check_uniform_total_order(log: DeliveryLog, stacks: Sequence[int]) -> List[s
                         f"stacks {i} and {j} delivered common messages in "
                         f"different multiplicity"
                     )
+    return violations
+
+
+def check_recovery_liveness(
+    log: DeliveryLog,
+    rejoined: Dict[int, Time],
+    crashed: Dict[int, Time],
+    in_flight_ok: Optional[Set[Hashable]] = None,
+) -> List[str]:
+    """Recovered-and-rejoined stacks honour liveness again (narrowed exemption).
+
+    The plain checkers exempt an ever-crashed stack from every
+    "eventually delivers" obligation, which is sound but hollow in
+    crash-recovery runs: a machine that restarted, re-armed its failure
+    detector and re-joined through the GM state transfer is a correct
+    process again from its re-join instant on.  This checker narrows the
+    exemption back: for each stack *r* with re-join completion time
+    ``rejoined[r]``, every message ABcast after that instant by a correct
+    sender — or by a rejoined sender after *its own* re-join — must be
+    Adelivered by *r*.  (Total order and integrity never exempted *r*;
+    agreement obligations of the *other* stacks towards *r*'s
+    post-re-join sends are restored by the engine, which drops those
+    sends from the ``in_flight_ok`` exemption set.)
+    """
+    exempt = in_flight_ok or set()
+    violations = []
+    for r, t_rejoin in sorted(rejoined.items()):
+        delivered = log.delivered_set(r)
+        missing = []
+        for key, (sender, t_send) in log.sends.items():
+            if t_send <= t_rejoin or key in exempt:
+                continue
+            if sender in crashed and not is_post_rejoin_send(sender, t_send, rejoined):
+                continue  # the sender itself stayed exempt for this send
+            if key not in delivered:
+                missing.append((t_send, key, sender))
+        for t_send, key, sender in sorted(missing, key=lambda m: (m[0], repr(m[1]))):
+            violations.append(
+                f"message {key!r} ABcast by stack {sender} at t={t_send:.6f} "
+                f"was never Adelivered by stack {r}, which re-joined at "
+                f"t={t_rejoin:.6f}"
+            )
     return violations
 
 

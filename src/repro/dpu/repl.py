@@ -171,6 +171,11 @@ class ReplAbcastModule(Module):
         #: Change requests this stack initiated and not yet seen applied.
         self._pending_changes: Dict[_Rid, str] = {}
         self._switching = False
+        #: The (prot, started_at) of a switch whose creation timer is in
+        #: flight — needed to re-arm it if the machine crashes mid-switch.
+        self._switch_pending: Optional[Tuple[str, float]] = None
+        #: Unbound old modules scheduled for retirement: name -> due time.
+        self._retire_pending: Dict[str, float] = {}
         self._deferred_changes: List[tuple] = []
         self._delivered_rids: set = set()
         #: Hooks fired as ``hook(stack_id, seq_number, prot, started_at)``.
@@ -256,6 +261,7 @@ class ReplAbcastModule(Module):
         # block in the kernel's queue (weak stack-well-formedness).
         old_module = self.stack.unbind(WellKnown.ABCAST)
         if self.retire_old_after is not None:
+            self._retire_pending[old_module.name] = self.now + self.retire_old_after
             self.set_timer(self.retire_old_after, self._retire, old_module.name)
         # Module creation is modelled as *elapsed* time, not CPU burn:
         # the dominant cost in the paper's Java framework is classloading
@@ -263,11 +269,29 @@ class ReplAbcastModule(Module):
         # still-running old protocol.  This is what lets calls actually
         # reach the unbound service and block (weak well-formedness).
         if self.creation_cost > 0:
+            self._switch_pending = (prot, started_at)
             self.set_timer(self.creation_cost, self._complete_switch, prot, started_at)
         else:
             self._complete_switch(prot, started_at)
 
+    def on_restart(self) -> None:
+        """Resume an interrupted switch and lost retirements (crash-recovery).
+
+        A crash between ``unbind`` and the creation-timer completion
+        would otherwise leave ``abcast`` unbound forever on the recovered
+        stack: the creation timer died with the old incarnation while
+        ``_switching`` stayed true, so every abcast call blocks
+        permanently.  Module creation restarts from scratch in the new
+        incarnation (the classloading work is lost with the crash).
+        """
+        if self._switch_pending is not None:
+            prot, started_at = self._switch_pending
+            self.set_timer(self.creation_cost, self._complete_switch, prot, started_at)
+        for module_name, due in sorted(self._retire_pending.items()):
+            self.set_timer(max(0.0, due - self.now), self._retire, module_name)
+
     def _complete_switch(self, prot: str, started_at: float) -> None:
+        self._switch_pending = None
         # lines 13-14 (+ 22-28 via the registry): create and bind the new
         # protocol module under a fresh incarnation tag agreed via the
         # totally-ordered seq_number.
@@ -310,6 +334,7 @@ class ReplAbcastModule(Module):
 
     def _retire(self, module_name: str) -> None:
         """Reclaim a long-unbound old protocol module (see constructor)."""
+        self._retire_pending.pop(module_name, None)
         if module_name in self.stack.modules:
             bound = self.stack.bound_module(WellKnown.ABCAST)
             if bound is not None and bound.name == module_name:

@@ -14,7 +14,7 @@ calibrated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
 from ..abcast import CtAbcastModule, SequencerAbcastModule, TokenAbcastModule
 from ..baselines import (
@@ -29,6 +29,7 @@ from ..dpu import (
     ReplAbcastModule,
     ReplacementManager,
 )
+from ..dpu.abcast_checker import is_post_rejoin_send
 from ..dpu.probes import is_workload_key
 from ..fd import HeartbeatFd
 from ..gm import GroupMembershipModule
@@ -128,6 +129,7 @@ class GroupCommSystem:
         extra: float = 5.0,
         step: float = 0.5,
         exempt: Sequence[int] = (),
+        rejoined: Optional[Callable[[], Mapping[int, float]]] = None,
     ) -> None:
         """Run until every correct stack has delivered everything outstanding
         (or the budget of *extra* seconds is exhausted).
@@ -135,11 +137,25 @@ class GroupCommSystem:
         *exempt* stacks (known-faulty: crashed, churned, or isolated) are
         held to no obligation; their sends only count once delivered
         somewhere by a correct stack (mirroring uniform agreement).
+
+        *rejoined*, when given, is polled each step for the stacks whose
+        crash-recovery re-join handshake has completed (``stack ->
+        re-join instant``).  A rejoined stack's exemption narrows back:
+        its post-re-join sends become targets for everyone, and the
+        drain also waits for the rejoined stack itself to deliver every
+        message sent after its re-join instant.
         """
         exempt_set = set(exempt)
         deadline = self.system.sim.now + extra
         while self.system.sim.now < deadline:
             self.system.run(until=min(deadline, self.system.sim.now + step))
+            rejoin_times = dict(rejoined()) if rejoined is not None else {}
+
+            def obliged(sender: int, t_send: float) -> bool:
+                if sender not in exempt_set:
+                    return True
+                return is_post_rejoin_send(sender, t_send, rejoin_times)
+
             correct = [
                 s
                 for s in range(self.config.n)
@@ -147,12 +163,20 @@ class GroupCommSystem:
             ]
             targets = {
                 key
-                for key, (sender, _t) in self.log.sends.items()
-                if sender not in exempt_set
+                for key, (sender, t) in self.log.sends.items()
+                if obliged(sender, t)
             }
             for s in correct:
                 targets |= self.log.delivered_set(s)
-            if all(targets <= self.log.delivered_set(s) for s in correct):
+            done = all(targets <= self.log.delivered_set(s) for s in correct)
+            for r, t_rejoin in rejoin_times.items():
+                post_rejoin = {
+                    key
+                    for key, (sender, t) in self.log.sends.items()
+                    if t > t_rejoin and obliged(sender, t)
+                }
+                done = done and post_rejoin <= self.log.delivered_set(r)
+            if done:
                 return
 
     def stacks(self) -> List:

@@ -47,6 +47,10 @@ class PerfectFd(FdModuleBase):
     def on_start(self) -> None:
         self._poll()
 
+    def on_restart(self) -> None:
+        # The poll timer died with the old incarnation; re-arm it.
+        self._poll()
+
     def _poll(self) -> None:
         now = self.now
         for rank, machine in self._machines.items():
@@ -56,4 +60,8 @@ class PerfectFd(FdModuleBase):
                 and now >= machine.crashed_at + self.detection_delay
             ):
                 self._mark_suspected(rank)
+            elif not machine.crashed and rank in self._suspected:
+                # The machine recovered (crash-recovery runs): the oracle
+                # sees it immediately and lifts the suspicion.
+                self._mark_restored(rank)
         self.set_timer(self.poll_period, self._poll)

@@ -18,17 +18,37 @@ suspicion: the lowest-ranked live member, to avoid n duplicate
 proposals; duplicates are harmless anyway since proposals are idempotent
 per (view, member)).
 
+Crash-recovery re-join (the restart protocol's GM leg): when this
+module's machine recovers, :meth:`on_restart` proposes a **rejoin**
+through the (replaceable) abcast service, carrying the machine's new
+incarnation epoch.  When the rejoin op is Adelivered, every member
+re-admits the node (a view change, if it had been expelled meanwhile)
+and the lowest-ranked member the local FD trusts answers with a
+**state-transfer snapshot**: current view id, members, the applied-op
+set, and the donor's abcast sequence position.  The snapshot travels
+through the same total order, so its Adelivery instant is a consistent
+"rejoined" marker at every member; the joiner merges it idempotently —
+when the transport replayed history to it (reliable channels retransmit
+across the outage) the snapshot is a confirmation, and when history was
+skipped it fast-forwards the view instead of replaying.  The scenario
+engine uses the joiner-side completion (:attr:`rejoined_at` /
+:attr:`rejoined_epoch`) to narrow the property checkers' crash
+exemptions back.
+
 Service vocabulary (service ``gm``):
 
 * call ``propose_expel(rank)`` / ``propose_join(rank)``;
 * response ``view(view_id, members)`` — a new view was installed;
+* response ``rejoined(rank, view_id)`` — a restarted member completed
+  its re-join handshake (state snapshot Adelivered);
 * query ``current_view()`` → ``(view_id, members)``.
 """
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..errors import KernelError, UnknownServiceError
 from ..kernel.module import Module, NOT_MINE
 from ..kernel.service import WellKnown
 from ..kernel.stack import Stack
@@ -38,6 +58,11 @@ __all__ = ["GroupMembershipModule"]
 
 _GM = "gm.op"
 _GM_BYTES = 24
+#: Base wire size of a state-transfer snapshot (header + view id + sn).
+_GM_STATE_BASE_BYTES = 48
+#: Per-member and per-applied-op contributions to the snapshot size.
+_GM_STATE_MEMBER_BYTES = 8
+_GM_STATE_OP_BYTES = 12
 
 
 class GroupMembershipModule(Module):
@@ -64,12 +89,25 @@ class GroupMembershipModule(Module):
         self.counters = Counter()
         self.view_id = 0
         self.members: FrozenSet[int] = frozenset(members)
-        #: (kind, rank, proposed-in-view) operations already applied.
+        #: (kind, rank, proposed-in-view|epoch) operations already applied.
         self._applied_ops: set = set()
         self._proposed_ops: set = set()
         self.view_history: List[Tuple[int, FrozenSet[int]]] = [
             (self.view_id, self.members)
         ]
+
+        # -- crash-recovery re-join state -------------------------------- #
+        #: Epoch of the incarnation whose rejoin is in flight (joiner side).
+        self._restart_epoch: Optional[int] = None
+        #: Incarnation epoch whose re-join handshake completed here.
+        self.rejoined_epoch: Optional[int] = None
+        #: Local instant the handshake completed (snapshot Adelivered).
+        self.rejoined_at: Optional[float] = None
+        #: The donor's abcast sequence position from the last snapshot.
+        self.last_snapshot_abcast_sn: Optional[int] = None
+        #: Every completed re-join observed here: (rank, epoch, time).
+        self.rejoin_log: List[Tuple[int, int, float]] = []
+        self._states_seen: Set[Tuple[int, int]] = set()
 
         self.export_call(WellKnown.GM, "propose_expel", self._propose_expel)
         self.export_call(WellKnown.GM, "propose_join", self._propose_join)
@@ -95,6 +133,22 @@ class GroupMembershipModule(Module):
         self.call(self.abcast_service, "abcast", (_GM, kind, rank, self.view_id), _GM_BYTES)
 
     # ------------------------------------------------------------------ #
+    # Crash-recovery re-join (joiner side)
+    # ------------------------------------------------------------------ #
+    def on_restart(self) -> None:
+        # Propose re-admission under the new incarnation epoch.  The
+        # proposal rides the replaceable abcast service: if this stack
+        # missed protocol switches while down, Algorithm 1's reissue loop
+        # (lines 15-16) re-routes the frame through each newly installed
+        # protocol until it lands in the live total order.
+        epoch = self.stack.machine.epoch
+        self._restart_epoch = epoch
+        self.counters.incr("rejoins_proposed")
+        self.call(
+            self.abcast_service, "abcast", (_GM, "rejoin", self.stack_id, epoch), _GM_BYTES
+        )
+
+    # ------------------------------------------------------------------ #
     # Failure-detector coupling
     # ------------------------------------------------------------------ #
     def _on_suspect(self, rank: int) -> None:
@@ -107,14 +161,25 @@ class GroupMembershipModule(Module):
         if live and self.stack_id == live[0]:
             self._propose_expel(rank)
 
+    def _fd_suspects(self) -> FrozenSet[int]:
+        try:
+            return frozenset(self.query(WellKnown.FD, "suspects"))
+        except (KernelError, UnknownServiceError):
+            return frozenset()  # no FD bound (bare test rigs): trust all
+
     # ------------------------------------------------------------------ #
     # View installation (totally ordered, hence consistent)
     # ------------------------------------------------------------------ #
     def _on_adeliver(self, origin: int, payload: Any, size_bytes: int):
         if not (isinstance(payload, tuple) and payload and payload[0] == _GM):
             return NOT_MINE
-        _, kind, rank, proposed_in_view = payload
-        op = (kind, rank, proposed_in_view)
+        kind = payload[1]
+        if kind == "state":
+            _, _, rank, epoch, snapshot = payload
+            self._on_state(rank, epoch, snapshot)
+            return None
+        _, kind, rank, arg = payload
+        op = (kind, rank, arg)
         if op in self._applied_ops:
             return None
         self._applied_ops.add(op)
@@ -122,6 +187,8 @@ class GroupMembershipModule(Module):
             self._install(self.members - {rank})
         elif kind == "join" and rank not in self.members:
             self._install(self.members | {rank})
+        elif kind == "rejoin":
+            self._on_rejoin(rank, arg)
         return None
 
     def _install(self, members: FrozenSet[int]) -> None:
@@ -130,6 +197,74 @@ class GroupMembershipModule(Module):
         self.view_history.append((self.view_id, self.members))
         self.counters.incr("views_installed")
         self.respond(WellKnown.GM, "view", self.view_id, self.members)
+
+    # ------------------------------------------------------------------ #
+    # Re-join handshake (member side)
+    # ------------------------------------------------------------------ #
+    def _on_rejoin(self, rank: int, epoch: int) -> None:
+        self.counters.incr("rejoins_seen")
+        if rank not in self.members:
+            # The node was expelled while down; re-admit it.
+            self._install(self.members | {rank})
+        # Donor election: the lowest-ranked member the *local* FD trusts
+        # answers with the state snapshot.  Divergent suspect sets can
+        # elect two donors transiently; duplicate snapshots are dropped
+        # by the per-(rank, epoch) dedup at every receiver.
+        suspects = self._fd_suspects()
+        candidates = sorted(m for m in self.members if m != rank and m not in suspects)
+        if candidates and candidates[0] == self.stack_id:
+            snapshot = self._state_snapshot()
+            size = (
+                _GM_STATE_BASE_BYTES
+                + _GM_STATE_MEMBER_BYTES * len(snapshot[1])
+                + _GM_STATE_OP_BYTES * len(snapshot[2])
+            )
+            self.counters.incr("state_snapshots_sent")
+            self.call(
+                self.abcast_service, "abcast", (_GM, "state", rank, epoch, snapshot), size
+            )
+
+    def _state_snapshot(self) -> Tuple[int, tuple, tuple, Optional[int]]:
+        """The donor's consistent state: view, members, ops, abcast position."""
+        abcast_sn: Optional[int] = None
+        try:
+            status = self.query(self.abcast_service, "status")
+            abcast_sn = status.get("seq_number")
+        except (KernelError, UnknownServiceError):
+            pass  # a plain abcast service has no replacement status query
+        return (
+            self.view_id,
+            tuple(sorted(self.members)),
+            tuple(sorted(self._applied_ops)),
+            abcast_sn,
+        )
+
+    def _on_state(self, rank: int, epoch: int, snapshot: tuple) -> None:
+        if (rank, epoch) in self._states_seen:
+            return  # duplicate snapshot from a second donor
+        self._states_seen.add((rank, epoch))
+        snap_view, snap_members, snap_ops, abcast_sn = snapshot
+        if rank == self.stack_id and epoch == self._restart_epoch:
+            # Joiner side: install the donor's state.  Because abcast
+            # delivery is prefix-faithful, any history the transport
+            # replayed to us was already applied before this snapshot was
+            # Adelivered; merging is then a no-op confirmation.  If
+            # history was skipped, the snapshot fast-forwards instead.
+            self._applied_ops.update(snap_ops)
+            if snap_view > self.view_id:
+                self.view_id = snap_view
+                self.members = frozenset(snap_members)
+                self.view_history.append((self.view_id, self.members))
+                self.counters.incr("state_transfers_fastforwarded")
+                self.respond(WellKnown.GM, "view", self.view_id, self.members)
+            self.counters.incr("state_transfers_applied")
+            self.rejoined_epoch = epoch
+            self.rejoined_at = self.now
+            self.last_snapshot_abcast_sn = abcast_sn
+        # Every member records the completed handshake at its Adelivery
+        # instant (the same position of the total order everywhere).
+        self.rejoin_log.append((rank, epoch, self.now))
+        self.respond(WellKnown.GM, "rejoined", rank, self.view_id)
 
     # ------------------------------------------------------------------ #
     # Queries

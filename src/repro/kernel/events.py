@@ -45,6 +45,8 @@ class TraceKind(enum.Enum):
     RESPONSE_BUFFERED = "response_buffered"
     #: The machine hosting the stack crashed.
     CRASH = "crash"
+    #: The machine recovered and the stack restarted its modules.
+    RECOVER = "recover"
 
 
 @dataclass(frozen=True)

@@ -184,6 +184,19 @@ class Module:
     def on_stop(self) -> None:
         """Called once when the module is removed from its stack."""
 
+    def on_restart(self) -> None:
+        """Called when the host machine recovers from a crash.
+
+        Timers armed before the crash belong to the dead incarnation and
+        never fire; a module whose liveness depends on a timer wheel
+        (heartbeats, retransmissions, periodic work) re-arms it here.
+        Module state survived the crash, so implementations re-arm from
+        their surviving state rather than re-running :meth:`on_start`
+        (which may have one-shot side effects such as minting a token).
+        The default is a no-op: a purely message-driven module needs
+        nothing.
+        """
+
     # Convenience ------------------------------------------------------- #
     @property
     def sim(self):

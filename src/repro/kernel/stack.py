@@ -82,6 +82,7 @@ class Stack:
         self._blocked_since: Dict[str, float] = {}  # call_id -> block instant
         self._draining: Dict[str, bool] = {}  # service -> drain task pending
         machine.on_crash.append(self._on_machine_crash)
+        machine.on_recover.append(self._on_machine_recover)
 
     # ------------------------------------------------------------------ #
     # Identity / convenience
@@ -482,6 +483,29 @@ class Stack:
         # flags so a post-recovery bind can restart the drains.
         self._draining.clear()
         self.trace.record(time, TraceKind.CRASH, self.stack_id)
+
+    def _on_machine_recover(self, time: float) -> None:
+        self.trace.record(
+            time, TraceKind.RECOVER, self.stack_id, epoch=self.machine.epoch
+        )
+        self.restart()
+
+    def restart(self) -> None:
+        """Re-arm the stack in the machine's new incarnation epoch.
+
+        Every timer armed before the crash belongs to the dead epoch and
+        will never fire, so a recovered machine would otherwise come back
+        as a passive zombie: state intact, heartbeat/retransmission/load
+        wheels all stopped.  The restart path gives each module its
+        :meth:`~repro.kernel.module.Module.on_restart` hook (in stack
+        order, bottom-most first — transports re-arm before the
+        protocols that ride them) and then restarts the blocked-call
+        drains whose 0-cost CPU tasks died with the old incarnation.
+        """
+        for module in list(self.modules.values()):
+            module.on_restart()
+        for service in [s for s, queue in self._blocked_calls.items() if queue]:
+            self._release_blocked_calls(service)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

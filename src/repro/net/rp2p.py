@@ -79,6 +79,21 @@ class Rp2pModule(Module):
         self.export_call(WellKnown.RP2P, "send", self._send)
         self.subscribe(WellKnown.UDP, "deliver", self._on_udp)
 
+    def on_restart(self) -> None:
+        # Retransmission and ack timers died with the old incarnation;
+        # the handles left in the tables are dead, so drop them and
+        # re-arm from the surviving sender state.  Without this a
+        # recovered node never again retransmits its own unacked frames
+        # and never acks, so peers retransmit to it forever.
+        self._retx_timer.clear()
+        self._ack_timer_armed = False
+        for dst in sorted(self._unacked):
+            if self._unacked[dst]:
+                self._cur_rto[dst] = self.rto
+                self._arm_timer(dst)
+        if self._ack_pending:
+            self._flush_acks()
+
     # ------------------------------------------------------------------ #
     # Sending
     # ------------------------------------------------------------------ #

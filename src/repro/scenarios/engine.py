@@ -27,13 +27,18 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..dpu.abcast_checker import check_all_abcast_properties
+from ..dpu.abcast_checker import (
+    check_all_abcast_properties,
+    check_recovery_liveness,
+    is_post_rejoin_send,
+)
 from ..dpu.properties import (
     check_weak_protocol_operationability,
     check_weak_stack_well_formedness,
 )
 from ..errors import ScenarioError
 from ..experiments.common import GroupCommConfig, build_group_comm_system
+from ..kernel.service import WellKnown
 from ..metrics import mean_latency
 from ..sim.faults import FaultInjector
 from .spec import ScenarioSpec
@@ -72,6 +77,10 @@ class ScenarioResult:
     switch_windows: List[Dict[str, Any]]
     final_protocols: Dict[int, str]
     crashed: Dict[int, float]
+    #: Stacks whose crash-recovery re-join handshake completed (and that
+    #: stayed up): ``stack -> re-join completion instant``.  Their
+    #: liveness exemption is narrowed back from that instant on.
+    rejoined: Dict[int, float]
     correct_stacks: List[int]
     violations: Dict[str, List[str]]
     network: Dict[str, int]
@@ -107,6 +116,7 @@ class ScenarioResult:
                 str(k): v for k, v in sorted(self.final_protocols.items())
             },
             "crashed": {str(k): v for k, v in sorted(self.crashed.items())},
+            "rejoined": {str(k): v for k, v in sorted(self.rejoined.items())},
             "correct_stacks": list(self.correct_stacks),
             "violations": {k: list(v) for k, v in sorted(self.violations.items())},
             "network": {k: v for k, v in sorted(self.network.items())},
@@ -176,6 +186,28 @@ class CampaignResult:
 # --------------------------------------------------------------------------- #
 # Running one scenario
 # --------------------------------------------------------------------------- #
+def _collect_rejoined(gcs: Any) -> Dict[int, float]:
+    """Stacks whose GM re-join handshake completed for the incarnation
+    that is still up: ``stack -> re-join completion instant``.
+
+    Requires the group-membership module (scenarios without GM keep the
+    wide ever-crashed exemption) and discards stale handshakes: a stack
+    that crashed again after re-joining only counts once its *current*
+    incarnation completed the handshake.
+    """
+    out: Dict[int, float] = {}
+    for stack in gcs.system.stacks:
+        machine = stack.machine
+        if machine.crashed or not machine.ever_crashed:
+            continue
+        gm = stack.bound_module(WellKnown.GM)
+        if gm is None or getattr(gm, "rejoined_at", None) is None:
+            continue
+        if gm.rejoined_epoch == machine.epoch:
+            out[stack.stack_id] = gm.rejoined_at
+    return out
+
+
 def _config_for(spec: ScenarioSpec, seed: int) -> GroupCommConfig:
     return GroupCommConfig(
         n=spec.n,
@@ -211,6 +243,7 @@ def run_scenario(spec: ScenarioSpec, seed: int = 0) -> ScenarioResult:
         extra=spec.quiescence_extra,
         step=spec.quiescence_step,
         exempt=declared | set(injector.crashed_ever()),
+        rejoined=lambda: _collect_rejoined(gcs),
     )
 
     # ----- fault/crash accounting ------------------------------------- #
@@ -219,13 +252,24 @@ def run_scenario(spec: ScenarioSpec, seed: int = 0) -> ScenarioResult:
         crashed.setdefault(machine_id, spec.duration)
     stacks = list(range(spec.n))
     correct = [s for s in stacks if s not in crashed]
+    # Stacks that recovered AND completed the GM re-join handshake are
+    # correct again from their re-join instant: their post-re-join sends
+    # leave the in-flight exemption (everyone must deliver them) and the
+    # recovery-liveness checker holds the rejoined stack itself to every
+    # post-re-join message.
+    rejoined = _collect_rejoined(gcs)
     in_flight = {
-        key for key, (sender, _t) in gcs.log.sends.items() if sender in crashed
+        key
+        for key, (sender, t_send) in gcs.log.sends.items()
+        if sender in crashed and not is_post_rejoin_send(sender, t_send, rejoined)
     }
 
     # ----- property checks -------------------------------------------- #
     violations = check_all_abcast_properties(
         gcs.log, crashed, stacks, in_flight_ok=in_flight
+    )
+    violations["recovery liveness"] = check_recovery_liveness(
+        gcs.log, rejoined, crashed
     )
     violations["weak stack-well-formedness"] = check_weak_stack_well_formedness(
         system.trace
@@ -275,6 +319,7 @@ def run_scenario(spec: ScenarioSpec, seed: int = 0) -> ScenarioResult:
             gcs.manager.current_protocols() if gcs.manager is not None else {}
         ),
         crashed=crashed,
+        rejoined=rejoined,
         correct_stacks=correct,
         violations=violations,
         network=gcs.network.stats(),

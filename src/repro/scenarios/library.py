@@ -4,8 +4,10 @@ Each entry opens one corner of the adversarial schedule space the
 ROADMAP's north star asks for: switches while the network is partitioned,
 cascading crashes during a consensus-based replacement, membership churn
 storms, lossy/duplicating/reordering links under every ABcast protocol,
-latency spikes, crash→recover incarnations, and load-coupled and
-fault-coupled switch triggers.
+latency spikes, crash→recover incarnations, load-coupled and
+fault-coupled switch triggers, and the **crash-recovery family**
+(recover during a switch, churn with GM re-joins, a recovery storm after
+a partition heal) that exercises the restart protocol end to end.
 
 Scenarios are registered by name in :data:`SCENARIOS` via
 :func:`register_scenario`; campaigns (named scenario sets, e.g. the CI
@@ -206,6 +208,61 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="recover-during-switch",
+    description="a machine crashes, a CT→CT replacement fires while it is "
+                "down, and it recovers mid-switch: the restart protocol "
+                "re-arms its timers, it replays the change, re-joins via "
+                "the GM state transfer and converges on the full order",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    with_gm=True,
+    faults=(
+        Crash(at=2.0, machine=3),
+        Recover(at=2.7, machine=3),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=2.3, from_stack=0),),
+    quiescence_extra=16.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="churn-with-rejoin",
+    description="one machine cycles crash→recover twice; each incarnation "
+                "re-arms its FD, proposes a GM rejoin and must deliver "
+                "every post-rejoin message (narrowed exemptions)",
+    n=5,
+    duration=6.5,
+    load_msgs_per_sec=60.0,
+    with_gm=True,
+    faults=(
+        Churn(start=2.0, machines=(3,), period=2.5, downtime=0.9, cycles=2),
+    ),
+    quiescence_extra=14.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="recovery-storm-after-heal",
+    description="the 3-member minority of a 4|3 split crashes while "
+                "partitioned; after the heal all three recover in a burst "
+                "and re-join through staggered state transfers",
+    n=7,
+    duration=7.0,
+    load_msgs_per_sec=70.0,
+    with_gm=True,
+    faults=(
+        Partition(at=1.5, groups=((0, 1, 2, 3), (4, 5, 6))),
+        Crash(at=2.0, machine=4),
+        Crash(at=2.1, machine=5),
+        Crash(at=2.2, machine=6),
+        Heal(at=3.0),
+        Recover(at=3.2, machine=4),
+        Recover(at=3.35, machine=5),
+        Recover(at=3.5, machine=6),
+    ),
+    quiescence_extra=18.0,
+))
+
+register_scenario(ScenarioSpec(
     name="switch-after-burst",
     description="bursty jittered workload; the switch to the sequencer "
                 "triggers after stack 0 has Adelivered 150 messages",
@@ -261,9 +318,11 @@ register_campaign(
         "latency-spike-switch",
         "switch-on-crash-detection",
         "dup-storm-switch",
+        "recover-during-switch",
     ),
-    description="three fast scenarios for the CI gate: a latency spike, a "
-                "crash-triggered switch, and a duplication storm",
+    description="four fast scenarios for the CI gate: a latency spike, a "
+                "crash-triggered switch, a duplication storm, and a "
+                "crash-recovery restart during a replacement",
 )
 
 register_campaign(
@@ -273,6 +332,19 @@ register_campaign(
         "partition-minority-isolated",
     ),
     description="switches while the network is split",
+)
+
+register_campaign(
+    "recovery",
+    (
+        "crash-recover-switch",
+        "recover-during-switch",
+        "churn-with-rejoin",
+        "recovery-storm-after-heal",
+    ),
+    description="the crash-recovery restart protocol under pressure: "
+                "recover-then-switch, recover mid-switch, churn with "
+                "repeated rejoins, and a recovery storm after a heal",
 )
 
 register_campaign(

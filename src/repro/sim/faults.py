@@ -84,6 +84,14 @@ class FaultInjector:
         self.records: List[FaultRecord] = []
         #: Hooks invoked as ``hook(index, record)`` when a fault fires.
         self.on_fault: List[Callable[[int, FaultRecord], None]] = []
+        #: Latency spikes currently active (spikes compose additively and
+        #: each revert removes exactly its own delta; when the count hits
+        #: zero the total snaps to 0.0 so float residue cannot linger).
+        self._active_spikes = 0
+        #: Bumped by :meth:`clear_latency_spikes`; a scheduled revert
+        #: whose spike began under an older generation is a no-op (its
+        #: delta was already reverted wholesale by the clear).
+        self._spike_generation = 0
 
     # ------------------------------------------------------------------ #
     # Bookkeeping
@@ -184,20 +192,50 @@ class FaultInjector:
         self._need_network().clear_links()
         self._record("clear-links")
 
-    def latency_spike(self, extra: Duration) -> None:
-        """Set the network-wide extra delivery delay to *extra* (0 clears)."""
-        self._need_network().extra_latency = extra
-        self._record("latency-spike", extra)
+    def latency_spike(self, extra: Duration, duration: Optional[Duration] = None) -> None:
+        """Add *extra* seconds of network-wide delivery delay now.
 
-    def _spike_begin(self, extra: Duration) -> None:
+        Immediate and scheduled (:meth:`latency_spike_at`) spikes share
+        one additive semantics: overlapping spikes compose, and each one
+        reverts exactly its own contribution — either after *duration*
+        or via :meth:`clear_latency_spikes`.  Records carry
+        ``(delta, total_after)`` so a report shows both the spike's own
+        size and the composed network state.
+        """
+        self._spike_begin(extra, duration)
+
+    def clear_latency_spikes(self) -> None:
+        """Revert every active latency spike at once."""
         network = self._need_network()
+        self._spike_generation += 1
+        if self._active_spikes == 0 and network.extra_latency == 0.0:
+            return
+        self._active_spikes = 0
+        network.extra_latency = 0.0
+        self._record("latency-clear", 0.0, 0.0)
+
+    def _spike_begin(self, extra: Duration, duration: Optional[Duration] = None) -> None:
+        network = self._need_network()
+        self._active_spikes += 1
         network.extra_latency += extra
-        self._record("latency-spike", network.extra_latency)
+        self._record("latency-spike", extra, network.extra_latency)
+        if duration is not None:
+            # The revert is armed at begin time, carrying the current
+            # generation: a wholesale clear in between invalidates it.
+            self._at(self.sim.now + duration, self._spike_end, extra, self._spike_generation)
 
-    def _spike_end(self, extra: Duration) -> None:
+    def _spike_end(self, extra: Duration, generation: int) -> None:
         network = self._need_network()
-        network.extra_latency = max(0.0, network.extra_latency - extra)
-        self._record("latency-spike", network.extra_latency)
+        if generation != self._spike_generation:
+            return  # this spike was already reverted by clear_latency_spikes
+        self._active_spikes -= 1
+        total = network.extra_latency - extra
+        if self._active_spikes == 0:
+            # Snap instead of trusting float subtraction to cancel: any
+            # residue here would be an accounting bug, not physics.
+            total = 0.0
+        network.extra_latency = total
+        self._record("latency-spike", -extra, total)
 
     # ------------------------------------------------------------------ #
     # Scheduled faults
@@ -238,12 +276,11 @@ class FaultInjector:
     ) -> None:
         """Schedule a latency spike at *time*; auto-reverts after *duration*.
 
-        Scheduled spikes are additive, so overlapping spikes compose and
-        each one reverts only its own contribution when it ends.
+        Same additive semantics as the immediate :meth:`latency_spike`:
+        overlapping spikes compose and each one reverts only its own
+        contribution when it ends.
         """
-        self._at(time, self._spike_begin, extra)
-        if duration is not None:
-            self._at(time + duration, self._spike_end, extra)
+        self._at(time, self._spike_begin, extra, duration)
 
     # ------------------------------------------------------------------ #
     # Randomised schedules (drawn from the injector's own stream)

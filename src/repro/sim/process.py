@@ -17,8 +17,13 @@ A :class:`Machine` models one node of the paper's cluster.  It has
   scheduled before the crash (CPU tasks, timers) is permanently dead, the
   CPU queue is empty, but module state survives (it is a simulation; the
   machine behaves like a node that paused and lost its in-flight work).
-  Property checkers keep treating an ever-crashed machine as crashed,
-  which stays sound (exemptions only ever widen).
+  The :attr:`on_recover` hooks are the **restart protocol's** entry
+  point: the kernel registers one per stack and uses it to re-arm every
+  module's timer wheel in the new incarnation epoch (see
+  :meth:`repro.kernel.stack.Stack.restart`).  Property checkers treat an
+  ever-crashed machine as crashed until it *re-joins* the group, at
+  which point the scenario engine narrows the exemption back (see
+  ``check_recovery_liveness``).
 
 The machine deliberately knows nothing about protocol stacks; the kernel
 layer attaches a stack to a machine, not the other way round.
@@ -59,9 +64,11 @@ class Machine:
         self._tasks_executed = 0
         self._epoch = 0
         self._crash_count = 0
+        self._recovered_at: Optional[Time] = None
         #: Hooks invoked with the crash time when :meth:`crash` fires.
         self.on_crash: List[Callable[[Time], None]] = []
         #: Hooks invoked with the recovery time when :meth:`recover` fires.
+        #: The kernel's restart path hangs off these.
         self.on_recover: List[Callable[[Time], None]] = []
 
     # ------------------------------------------------------------------ #
@@ -89,6 +96,21 @@ class Machine:
         quantify over."""
         return self._crash_count > 0
 
+    @property
+    def epoch(self) -> int:
+        """The current incarnation epoch (increments at every crash).
+
+        Work scheduled under an older epoch never fires; protocol
+        payloads that must outlive in-flight traffic from a dead
+        incarnation (heartbeats, re-join handshakes) carry this value.
+        """
+        return self._epoch
+
+    @property
+    def last_recovered_at(self) -> Optional[Time]:
+        """Instant of the most recent recovery (``None`` if never)."""
+        return self._recovered_at
+
     def crash(self) -> None:
         """Crash the machine now.  Idempotent.
 
@@ -113,12 +135,15 @@ class Machine:
 
         The recovered incarnation starts with an idle CPU; every task and
         timer scheduled before the crash stays dead (they belong to the
-        previous epoch).  No-op while the machine is up.
+        previous epoch).  The :attr:`on_recover` hooks then run the
+        restart protocol (the kernel re-arms each module's timers in the
+        new epoch).  No-op while the machine is up.
         """
         if self._crashed_at is None:
             return
         self._crashed_at = None
         self._busy_until = self.sim.now
+        self._recovered_at = self.sim.now
         for hook in list(self.on_recover):
             hook(self.sim.now)
 

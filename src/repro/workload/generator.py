@@ -81,6 +81,14 @@ class LoadGeneratorModule(Module):
         delay = max(0.0, self.start_at - self.now)
         self.set_timer(delay, self._tick)
 
+    def on_restart(self) -> None:
+        # The tick timer died with the crash; resume the load one period
+        # after recovery (no burst at the recovery instant) unless the
+        # workload window already closed — and never before the window
+        # opens (a crash during the warm-up must not start the load early).
+        if self.stop_at is None or self.now < self.stop_at:
+            self.set_timer(max(self.period, self.start_at - self.now), self._tick)
+
     def _tick(self) -> None:
         if self.stop_at is not None and self.now >= self.stop_at:
             return

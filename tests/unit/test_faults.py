@@ -190,3 +190,57 @@ class TestOverlappingSpikes:
         assert net.extra_latency == pytest.approx(0.010)
         sim.run(until=4.5)
         assert net.extra_latency == 0.0
+
+    def test_immediate_and_scheduled_spikes_share_additive_semantics(self):
+        """Satellite regression: the immediate form used to *set* the
+        network-wide latency absolutely while scheduled spikes were
+        additive, so mixing them corrupted the revert (and the old
+        ``max(0, ...)`` clamp silently hid the corruption)."""
+        sim, machines, net = make_world()
+        inj = FaultInjector(sim, machines, network=net)
+        inj.latency_spike_at(1.0, 0.005, duration=2.0)   # 1.0 .. 3.0
+        sim.run(until=1.5)
+        inj.latency_spike(0.010, duration=1.0)           # 1.5 .. 2.5
+        assert net.extra_latency == pytest.approx(0.015)  # composes
+        sim.run(until=2.7)      # immediate spike reverted its own delta
+        assert net.extra_latency == pytest.approx(0.005)
+        sim.run(until=3.5)      # scheduled spike reverted too: clean zero
+        assert net.extra_latency == 0.0
+
+    def test_spike_records_carry_delta_and_total(self):
+        sim, machines, net = make_world()
+        inj = FaultInjector(sim, machines, network=net)
+        inj.latency_spike_at(1.0, 0.005, duration=1.0)
+        sim.run(until=3.0)
+        details = [r.detail for r in inj.records if r.kind == "latency-spike"]
+        assert details == [(0.005, 0.005), (-0.005, 0.0)]
+
+    def test_stale_revert_does_not_cancel_spikes_started_after_a_clear(self):
+        """A scheduled revert whose spike was already wiped by
+        clear_latency_spikes must not eat a *newer* spike's delta."""
+        sim, machines, net = make_world()
+        inj = FaultInjector(sim, machines, network=net)
+        inj.latency_spike_at(1.0, 0.005, duration=2.0)   # revert due t=3.0
+        sim.run(until=1.5)
+        inj.clear_latency_spikes()                        # wipes the 0.005
+        sim.run(until=2.0)
+        inj.latency_spike(0.010, duration=2.0)           # 2.0 .. 4.0
+        sim.run(until=3.5)   # the stale t=3.0 revert must be a no-op
+        assert net.extra_latency == pytest.approx(0.010)
+        sim.run(until=4.5)   # the new spike's own revert still works
+        assert net.extra_latency == 0.0
+
+    def test_clear_latency_spikes_reverts_everything(self):
+        sim, machines, net = make_world()
+        inj = FaultInjector(sim, machines, network=net)
+        inj.latency_spike(0.005)
+        inj.latency_spike(0.003)
+        assert net.extra_latency == pytest.approx(0.008)
+        inj.clear_latency_spikes()
+        assert net.extra_latency == 0.0
+        # A stale scheduled revert after the wholesale clear is a no-op.
+        inj.latency_spike_at(1.0, 0.002, duration=0.5)
+        sim.run(until=1.2)
+        inj.clear_latency_spikes()
+        sim.run(until=2.0)
+        assert net.extra_latency == 0.0

@@ -95,6 +95,74 @@ class TestHeartbeatFd:
             HeartbeatFd(sys_.stack(0), [0, 1], backoff=0.5)
 
 
+class TestHeartbeatRestart:
+    """Crash-recovery: epoch-carrying heartbeats and tick re-arming."""
+
+    def test_recovered_peer_is_restored_without_backoff_penalty(self):
+        sys_, fds, watchers = build_hb()
+        sys_.machines[2].crash_at(1.0)
+        sys_.machines[2].recover_at(2.0)
+        sys_.run(until=4.0)
+        fd0 = fds[0]
+        assert 2 not in fd0.suspects()  # the restart lifted the suspicion
+        assert fd0.restarts_observed >= 1
+        # A genuine restart is not a false suspicion: no adaptive backoff.
+        assert fd0.false_suspicions == 0
+        assert fd0.current_timeout(2) == fd0.initial_timeout
+        events = [(k, r) for k, r, _t in watchers[0].events]
+        assert events == [("suspect", 2), ("restore", 2)]
+
+    def test_restarted_detector_rearms_its_tick(self):
+        sys_, fds, watchers = build_hb()
+        sys_.machines[0].crash_at(1.0)
+        sys_.machines[0].recover_at(1.5)
+        sys_.run(until=4.0)
+        # The restarted detector keeps monitoring: it neither stalls nor
+        # suspects the peers that kept running.
+        assert fds[0].suspects() == frozenset()
+        # And the peers lifted their (correct) suspicion of stack 0.
+        assert all(0 not in fds[i].suspects() for i in (1, 2))
+
+    def test_stale_incarnation_heartbeat_is_dropped(self):
+        """Satellite regression: a heartbeat from a dead incarnation must
+        not falsely restore (or refresh) a suspected peer."""
+        sys_, fds, watchers = build_hb()
+        fd0, fd2 = fds[0], fds[2]
+        sys_.run(until=0.5)
+        # Learn epoch 1 for peer 2 first, then replay an epoch-0 frame.
+        fd0._on_udp(2, ("fd.hb", 2, 1), 12)
+        dropped_before = fd0.stale_heartbeats_dropped
+        heard_before = fd0._last_heard[2]
+        fd0._on_udp(2, ("fd.hb", 2, 0), 12)
+        assert fd0.stale_heartbeats_dropped == dropped_before + 1
+        assert fd0._last_heard[2] == heard_before  # liveness not refreshed
+
+    def test_dynamically_joined_peer_does_not_keyerror(self):
+        """Satellite regression: ``_tick``/``current_timeout`` indexed the
+        per-peer tables by rank and blew up for peers added after
+        construction — exactly what a GM re-join produces."""
+        sys_ = System(n=4, seed=11)
+        net = SimNetwork(
+            sys_.sim, sys_.machines, SwitchedLan(latency=ConstantLatency(0.0002))
+        )
+        fds = []
+        for st in sys_.stacks:
+            st.add_module(UdpModule(st, net))
+            # Stack 3 is unknown to everyone at construction time.
+            fd = HeartbeatFd(st, [0, 1, 2])
+            st.add_module(fd)
+            fds.append(fd)
+        # current_timeout on an unknown rank: default, not KeyError.
+        assert fds[0].current_timeout(3) == fds[0].initial_timeout
+        fds[0].watch(3)
+        assert 3 in fds[0].peers
+        sys_.run(until=1.0)
+        # Stack 3's heartbeats auto-register it at stacks 1 and 2 too.
+        assert 3 in fds[1].peers and 3 in fds[2].peers
+        sys_.run(until=2.0)
+        assert all(not fd.suspects() for fd in fds)
+
+
 class TestPerfectFd:
     def test_suspects_exactly_crashed(self):
         sys_ = System(n=3, seed=0)
