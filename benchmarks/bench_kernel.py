@@ -10,6 +10,7 @@ large the figure benchmarks can afford to be.
 import pytest
 
 from conftest import q
+from repro.experiments import GroupCommConfig, build_group_comm_system
 from repro.kernel import Module, System, WellKnown
 from repro.net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
 from repro.sim import ConstantLatency, Machine, Simulator
@@ -18,6 +19,7 @@ N_EVENTS = q(10_000, 1_000)
 N_TASKS = q(5_000, 500)
 N_CALLS = q(2_000, 200)
 N_MSGS = q(500, 100)
+FULLSTACK_SIM_SECONDS = q(2.0, 0.5)
 
 
 @pytest.mark.benchmark(group="kernel-micro")
@@ -102,3 +104,29 @@ def test_rp2p_message_path(benchmark):
         return sinks[1].count
 
     assert benchmark(run) == N_MSGS
+
+
+def run_full_stack_calls(sim_seconds=None, trace="off"):
+    """One full Figure-4 stack run; returns total kernel dispatches.
+
+    Builds the complete group-communication stack (UDP → RP2P → FD →
+    consensus → CT-ABcast → Repl) on three machines, drives the paper's
+    workload through it, and counts every kernel call and response
+    issued — the "full-stack calls/sec" number ``bench_core.py`` records
+    into the perf trajectory.  This is the paper-shaped workload the
+    dispatch fast path is tuned for, as opposed to the synthetic
+    single-module loop of ``test_call_dispatch_throughput``.
+    """
+    if sim_seconds is None:
+        sim_seconds = FULLSTACK_SIM_SECONDS
+    gcs = build_group_comm_system(GroupCommConfig(
+        n=3, seed=7, load_msgs_per_sec=120.0, load_stop=sim_seconds,
+        trace=trace,
+    ))
+    gcs.run(until=sim_seconds)
+    return sum(st.calls_issued + st.responses_issued for st in gcs.system.stacks)
+
+
+@pytest.mark.benchmark(group="kernel-fullstack")
+def test_full_stack_call_throughput(benchmark):
+    assert benchmark(run_full_stack_calls) > 0

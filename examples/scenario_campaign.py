@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
 """Fault-injection campaigns: the adversarial schedule space, end to end.
 
-Runs the ``smoke`` campaign over two seeds, prints the per-run summary,
-and then composes a *custom* scenario on the fly — a partition, a
-crash, and a fault-triggered protocol switch in one schedule — to show
-that scenarios are plain declarative values.
+Runs the ``smoke`` campaign over two seeds (fanned over a process pool
+with ``jobs=2`` — reports are byte-identical for any jobs value), prints
+the per-run summary including the crash-recovery ``rejoined`` field, and
+then composes a *custom* scenario on the fly — a partition, a crash, and
+a fault-triggered protocol switch in one schedule — to show that
+scenarios are plain declarative values.
+
+Campaigns default to the ``structural`` kernel-trace depth: everything
+the property checkers consume, without the per-call record firehose
+(``trace="full"`` restores it; reports are byte-identical either way).
 
 Run:  python examples/scenario_campaign.py
 """
@@ -24,14 +30,24 @@ from repro.viz import render_table
 
 
 def main() -> None:
-    # 1. The registered CI gate, over two seeds.
-    result = run_campaign(get_campaign("smoke"), seeds=(0, 1))
+    # 1. The registered CI gate, over two seeds, process-parallel.
+    result = run_campaign(get_campaign("smoke"), seeds=(0, 1), jobs=2)
     print(render_table(
         ["scenario", "seed", "verdict", "sent", "ordered", "violations"],
         result.summary_rows(),
         title="smoke campaign",
     ))
     assert result.ok, "smoke campaign must be violation-free"
+
+    # The smoke campaign includes a crash-recovery restart mid-switch:
+    # the recovered stack re-joins through the GM state transfer, and
+    # its re-join instant narrows the liveness exemptions back.
+    for run in result.results:
+        if run.rejoined:
+            rejoins = {s: f"t={t:.3f}s" for s, t in sorted(run.rejoined.items())}
+            print(f"  {run.name} seed={run.seed}: re-joined stacks {rejoins}")
+    assert any(run.rejoined for run in result.results), \
+        "recover-during-switch must produce a GM re-join"
 
     # 2. A custom composed scenario: partition 3|2, crash inside the
     #    minority, and switch to the sequencer 100 ms after the crash.

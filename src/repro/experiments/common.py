@@ -33,7 +33,7 @@ from ..dpu.abcast_checker import is_post_rejoin_send
 from ..dpu.probes import is_workload_key
 from ..fd import HeartbeatFd
 from ..gm import GroupMembershipModule
-from ..kernel import System, WellKnown
+from ..kernel import STRUCTURAL_TRACE_KINDS, System, WellKnown
 from ..net import Rp2pModule, SimNetwork, SwitchedLan, UdpModule
 from ..rbcast import RBCAST_SERVICE, RbcastModule
 from ..sim.clock import Duration, ms, us
@@ -49,12 +49,17 @@ __all__ = [
     "PROTOCOL_SEQ",
     "PROTOCOL_TOKEN",
     "PROTOCOL_CONSENSUS_CT",
+    "TRACE_MODES",
 ]
 
 PROTOCOL_CT = "abcast-ct"
 PROTOCOL_SEQ = "abcast-seq"
 PROTOCOL_TOKEN = "abcast-token"
 PROTOCOL_CONSENSUS_CT = "consensus-ct"
+
+#: The kernel trace depths a build accepts (see ``GroupCommConfig.trace``);
+#: the scenario engine and CLI validate against this same tuple.
+TRACE_MODES = ("full", "structural", "off")
 
 
 @dataclass(frozen=True)
@@ -102,6 +107,12 @@ class GroupCommConfig:
     fd_timeout: Duration = ms(200.0)
     token_idle_hold: Duration = ms(1.0)
     trace_enabled: bool = True
+    #: Trace depth: ``"full"`` records every kernel event (tests,
+    #: debugging), ``"structural"`` drops the per-call/per-response
+    #: firehose but keeps everything the property checkers consume
+    #: (campaign default — reports are byte-identical to full), ``"off"``
+    #: records nothing.  ``trace_enabled=False`` equals ``"off"``.
+    trace: str = "full"
 
     def per_stack_rate(self) -> float:
         """The paper's constant load split evenly across machines."""
@@ -229,10 +240,17 @@ def build_group_comm_system(config: GroupCommConfig) -> GroupCommSystem:
     if config.baseline is not None and not config.with_repl_layer:
         raise ValueError("a baseline run implies an indirection layer")
 
+    if config.trace not in TRACE_MODES:
+        raise ValueError(
+            f"unknown trace mode {config.trace!r}; expected one of {TRACE_MODES}"
+        )
     system = System(
         n=config.n,
         seed=config.seed,
-        trace_enabled=config.trace_enabled,
+        trace_enabled=config.trace_enabled and config.trace != "off",
+        trace_kinds=(
+            STRUCTURAL_TRACE_KINDS if config.trace == "structural" else None
+        ),
         call_cost=config.call_cost,
         response_cost=config.response_cost,
     )

@@ -12,7 +12,7 @@ updateable protocols being aware of it*.
 """
 
 from .binding import BindingTable
-from .events import TraceEvent, TraceKind
+from .events import STRUCTURAL_TRACE_KINDS, TraceEvent, TraceKind, TraceRecord
 from .module import NOT_MINE, Module
 from .registry import ProtocolInfo, ProtocolRegistry
 from .service import (
@@ -30,7 +30,7 @@ from .service import (
 )
 from .stack import DEFAULT_CALL_COST, DEFAULT_RESPONSE_COST, Stack
 from .system import System
-from .trace import TraceRecorder
+from .trace import NULL_TRACE, TraceRecorder
 
 __all__ = [
     "ServiceSpec",
@@ -51,7 +51,10 @@ __all__ = [
     "System",
     "TraceRecorder",
     "TraceEvent",
+    "TraceRecord",
     "TraceKind",
+    "STRUCTURAL_TRACE_KINDS",
+    "NULL_TRACE",
     "ProtocolRegistry",
     "ProtocolInfo",
     "DEFAULT_CALL_COST",

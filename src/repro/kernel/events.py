@@ -1,23 +1,32 @@
-"""Kernel trace events.
+"""Kernel trace events (paper, Sections 2-3: the observable kernel actions).
 
 Every structurally relevant action in a stack — adding or removing a
 module, binding or unbinding a service, issuing / blocking / dispatching
 a call, emitting a response, crashing — is recorded as a
-:class:`TraceEvent`.  The correctness checkers of
+:class:`TraceRecord`.  The correctness checkers of
 :mod:`repro.dpu.properties` are pure functions over these traces, which is
 what lets the property-based tests explore random schedules and then
 *prove* facts about each concrete execution.
+
+Records are **slotted**: the hot per-call fields (``method``,
+``call_id``, ``event``) are real attributes instead of entries in a
+per-record dict, so a full-trace run allocates one small object per
+kernel action and nothing else.  Rare kinds (``module_added``,
+``recover``) still carry their extras in the :attr:`TraceRecord.detail`
+mapping; :meth:`TraceRecord.get` reads both transparently, so checkers
+written against the old dict shape keep working unchanged.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Any, Mapping, Optional
 
 from ..sim.clock import Time
 
-__all__ = ["TraceKind", "TraceEvent"]
+__all__ = ["TraceKind", "TraceRecord", "TraceEvent", "STRUCTURAL_TRACE_KINDS"]
 
 
 class TraceKind(enum.Enum):
@@ -49,8 +58,27 @@ class TraceKind(enum.Enum):
     RECOVER = "recover"
 
 
-@dataclass(frozen=True)
-class TraceEvent:
+#: The kinds the property checkers consume (everything except the
+#: per-call/per-response firehose).  A recorder restricted to these keeps
+#: the checkers' verdicts — and therefore campaign reports — **byte
+#: identical** to a full trace, while full-stack runs stop paying one
+#: record allocation per dispatched call; see
+#: :func:`repro.scenarios.engine.run_scenario`.
+STRUCTURAL_TRACE_KINDS = frozenset(TraceKind) - frozenset(
+    (
+        TraceKind.CALL,
+        TraceKind.CALL_DISPATCHED,
+        TraceKind.RESPONSE,
+        TraceKind.RESPONSE_BUFFERED,
+    )
+)
+
+#: Shared immutable empty mapping: the `detail` of every hot record.
+_EMPTY_DETAIL: Mapping[str, Any] = MappingProxyType({})
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
     """One timestamped kernel event.
 
     Attributes
@@ -68,8 +96,18 @@ class TraceEvent:
     protocol:
         Protocol name of that module (identical modules on different
         stacks share it), when applicable.
+    method:
+        Call method name, for the ``call*`` kinds.
+    call_id:
+        Stack-unique call identifier ``"<stack>:<seq>"``, for the
+        ``call*`` kinds.
+    event:
+        Response event name, for the ``response*`` kinds.
     detail:
-        Free-form extras: ``method``/``event`` names, call ids, etc.
+        Free-form extras of the rare kinds (``provides``/``requires`` of
+        ``module_added``, ``epoch`` of ``recover``, ...).  Hot records
+        share one immutable empty mapping (the dataclass default is
+        ``None``; :attr:`detail` reads as the shared empty map then).
     """
 
     time: Time
@@ -78,11 +116,31 @@ class TraceEvent:
     service: Optional[str] = None
     module: Optional[str] = None
     protocol: Optional[str] = None
-    detail: Mapping[str, Any] = field(default_factory=dict)
+    method: Optional[str] = None
+    call_id: Optional[str] = None
+    event: Optional[str] = None
+    _detail: Optional[Mapping[str, Any]] = None
+
+    @property
+    def detail(self) -> Mapping[str, Any]:
+        """Free-form extras of the rare kinds (empty map for hot records)."""
+        return self._detail if self._detail is not None else _EMPTY_DETAIL
 
     def get(self, key: str, default: Any = None) -> Any:
-        """Shortcut into :attr:`detail`."""
-        return self.detail.get(key, default)
+        """Field access by name, covering both slots and :attr:`detail`.
+
+        Kept for compatibility with the pre-slotted record shape, where
+        ``method``/``call_id``/``event`` lived in the detail dict.
+        """
+        if key == "method":
+            return self.method if self.method is not None else default
+        if key == "call_id":
+            return self.call_id if self.call_id is not None else default
+        if key == "event":
+            return self.event if self.event is not None else default
+        if self._detail is None:
+            return default
+        return self._detail.get(key, default)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bits = [f"t={self.time:.6f}", self.kind.value, f"stack={self.stack_id}"]
@@ -90,6 +148,17 @@ class TraceEvent:
             bits.append(f"svc={self.service}")
         if self.module:
             bits.append(f"mod={self.module}")
-        if self.detail:
-            bits.append(f"detail={dict(self.detail)!r}")
-        return f"<TraceEvent {' '.join(bits)}>"
+        if self.method:
+            bits.append(f"method={self.method}")
+        if self.call_id:
+            bits.append(f"call_id={self.call_id}")
+        if self.event:
+            bits.append(f"event={self.event}")
+        if self._detail:
+            bits.append(f"detail={dict(self._detail)!r}")
+        return f"<TraceRecord {' '.join(bits)}>"
+
+
+#: Backwards-compatible alias: the record type was called ``TraceEvent``
+#: before the slotted rebuild; external checkers may still import it.
+TraceEvent = TraceRecord

@@ -120,6 +120,7 @@ class Module:
                 f"{self.name}: cannot export call on {service!r}; provides {self.provides}"
             )
         self._call_handlers[(service, method)] = fn
+        self.stack._invalidate_handler(service, method)
 
     def export_query(self, service: str, query: str, fn: QueryHandler) -> None:
         """Declare that this module answers synchronous *query* of *service*."""
@@ -136,15 +137,19 @@ class Module:
                 f"{self.name}: cannot subscribe to {service!r}; requires {self.requires}"
             )
         self._response_handlers[(service, event)] = fn
+        self.stack._invalidate_subscribers(service, event)
 
     # Handler lookup (used by the stack) -------------------------------- #
     def call_handler(self, service: str, method: str) -> Optional[CallHandler]:
+        """The registered handler for downcall *method*, or ``None``."""
         return self._call_handlers.get((service, method))
 
     def query_handler(self, service: str, query: str) -> Optional[QueryHandler]:
+        """The registered handler for synchronous *query*, or ``None``."""
         return self._query_handlers.get((service, query))
 
     def response_handler(self, service: str, event: str) -> Optional[ResponseHandler]:
+        """The registered handler for response *event*, or ``None``."""
         return self._response_handlers.get((service, event))
 
     def handles_any_response(self, service: str) -> bool:

@@ -1,7 +1,6 @@
-"""Protocol stacks.
+"""Protocol stacks (paper, Section 2): dispatch machinery of one machine.
 
-A :class:`Stack` is the set of modules located on one machine (paper,
-Section 2), plus:
+A :class:`Stack` is the set of modules located on one machine, plus:
 
 * the **binding table** (at most one bound provider per service),
 * the **blocked-call queue**: a call issued while its service is unbound
@@ -19,12 +18,43 @@ Section 2), plus:
 
 All interactions are one-way events except *queries*, which are
 synchronous zero-cost reads (failure-detector suspect lists and similar).
+
+Hot-path design
+---------------
+``issue_call`` → ``_dispatch_call`` is the dominant per-message cost of a
+full-stack run (every send, deliver, heartbeat and consensus round goes
+through it), so the common case — bound service, no blocked-call backlog
+— takes a **fast path**:
+
+* the ``(service, method) -> (provider, handler)`` resolution is served
+  from :attr:`_dispatch_cache`, one dict probe instead of binding-table +
+  handler-table hops; any ``bind``/``unbind`` invalidates it;
+* a single :attr:`_blocked_total` counter guards the backlog check — only
+  while some service has queued calls (i.e. during a replacement window)
+  does dispatch fall back to the per-service slow path;
+* trace recording is **opt-out**: per-kind flags cached from the
+  recorder's ``keep`` filter plus a live ``enabled`` check mean a
+  trace-off call never packs record kwargs (``Stack(machine)`` and
+  ``Stack(machine, trace=False)`` use the shared
+  :data:`~repro.kernel.trace.NULL_TRACE` sink);
+* call ids materialise as strings lazily, only when a record that carries
+  them is actually kept;
+* response fan-out is served from a cached per ``(service, event)``
+  subscriber list, invalidated when the module set changes.
+
+Blocked-call backlogs drain in **batches**: one 0-cost CPU task drains
+every queued call while no other simulation event is pending at the same
+instant and the CPU is idle, falling back to the one-task-per-call chain
+exactly when an equal-time event exists or a released handler occupied
+the CPU — which keeps the observable schedule (and hence same-seed
+traces) identical to the unbatched kernel while collapsing the common
+k-task drain to a single task.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from ..errors import KernelError, ModuleNotInStackError, UnknownServiceError
 from ..sim.clock import Duration, us
@@ -32,7 +62,7 @@ from ..sim.process import Machine
 from .binding import BindingTable
 from .events import TraceKind
 from .module import Module, NOT_MINE
-from .trace import TraceRecorder
+from .trace import NULL_TRACE, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.engine import Simulator
@@ -45,42 +75,108 @@ DEFAULT_CALL_COST: Duration = us(10.0)
 #: Default CPU cost of delivering one response event.
 DEFAULT_RESPONSE_COST: Duration = us(10.0)
 
-#: A queued blocked call: (call_id, caller name, method, args).
-_BlockedCall = Tuple[str, str, str, tuple]
+#: A queued blocked call: (call seq, caller name, method, args).
+_BlockedCall = Tuple[int, str, str, tuple]
 #: A buffered response: (event, args, provider name, protocol name).
 _BufferedResponse = Tuple[str, tuple, str, str]
 
 
 class Stack:
-    """The modules, bindings and dispatch machinery of one machine."""
+    """The modules, bindings and dispatch machinery of one machine.
+
+    Parameters
+    ----------
+    machine:
+        The simulated host this stack runs on.
+    trace:
+        Where kernel events go: a shared
+        :class:`~repro.kernel.trace.TraceRecorder` (what
+        :class:`~repro.kernel.system.System` passes), ``True`` for a
+        fresh private recorder, or ``None``/``False`` for the shared
+        always-off :data:`~repro.kernel.trace.NULL_TRACE` sink
+        (benchmark stacks pay no per-call record cost).
+    call_cost / response_cost:
+        Default CPU cost of one call / response dispatch.
+    max_buffered_responses:
+        Per-service cap on the unclaimed-response buffer (``None`` =
+        unbounded).  Long-running systems that retire old protocol
+        modules need the cap: frames of a retired incarnation are never
+        claimed again.  Overflow drops the oldest entry.
+    """
+
+    __slots__ = (
+        "machine",
+        "trace",
+        "call_cost",
+        "response_cost",
+        "max_buffered_responses",
+        "buffered_responses_dropped",
+        "modules",
+        "bindings",
+        "_sim",
+        "_blocked_calls",
+        "_blocked_total",
+        "_responses_issued",
+        "_buffered_responses",
+        "_call_seq",
+        "_module_ordinal",
+        "_blocked_time_total",
+        "_blocked_since",
+        "_draining",
+        "_dispatch_cache",
+        "_response_cache",
+        "_trace_call",
+        "_trace_dispatch",
+        "_trace_blocked",
+        "_trace_unblocked",
+        "_trace_response",
+        "_trace_response_buffered",
+    )
 
     def __init__(
         self,
         machine: Machine,
-        trace: TraceRecorder,
+        trace: Union[TraceRecorder, bool, None] = None,
         call_cost: Duration = DEFAULT_CALL_COST,
         response_cost: Duration = DEFAULT_RESPONSE_COST,
         max_buffered_responses: Optional[int] = None,
     ) -> None:
         self.machine = machine
+        if trace is None or trace is False:
+            trace = NULL_TRACE
+        elif trace is True:
+            trace = TraceRecorder()
         self.trace = trace
         self.call_cost = call_cost
         self.response_cost = response_cost
-        #: Per-service cap on the unclaimed-response buffer (None =
-        #: unbounded).  Long-running systems that retire old protocol
-        #: modules need the cap: frames of a retired incarnation are
-        #: never claimed again.  Overflow drops the oldest entry.
         self.max_buffered_responses = max_buffered_responses
         self.buffered_responses_dropped = 0
         self.modules: Dict[str, Module] = {}
         self.bindings = BindingTable()
+        self._sim = machine.sim
         self._blocked_calls: Dict[str, Deque[_BlockedCall]] = {}
+        #: Total queued blocked calls across services: the fast-path guard.
+        self._blocked_total = 0
         self._buffered_responses: Dict[str, Deque[_BufferedResponse]] = {}
         self._call_seq = 0
+        self._responses_issued = 0
         self._module_ordinal = 0
         self._blocked_time_total: Duration = 0.0
-        self._blocked_since: Dict[str, float] = {}  # call_id -> block instant
+        self._blocked_since: Dict[int, float] = {}  # call seq -> block instant
         self._draining: Dict[str, bool] = {}  # service -> drain task pending
+        #: (service, method) -> (bound provider, handler): the call fast path.
+        self._dispatch_cache: Dict[Tuple[str, str], Tuple[Module, Callable[..., None]]] = {}
+        #: (service, event) -> subscribed handlers: the response fast path.
+        self._response_cache: Dict[Tuple[str, str], List[Callable[..., Any]]] = {}
+        # Per-kind keep-filter flags, paired with a live `trace.enabled`
+        # check on use (the keep filter is fixed at recorder construction).
+        wants = trace.wants
+        self._trace_call = wants(TraceKind.CALL)
+        self._trace_dispatch = wants(TraceKind.CALL_DISPATCHED)
+        self._trace_blocked = wants(TraceKind.CALL_BLOCKED)
+        self._trace_unblocked = wants(TraceKind.CALL_UNBLOCKED)
+        self._trace_response = wants(TraceKind.RESPONSE)
+        self._trace_response_buffered = wants(TraceKind.RESPONSE_BUFFERED)
         machine.on_crash.append(self._on_machine_crash)
         machine.on_recover.append(self._on_machine_recover)
 
@@ -94,10 +190,12 @@ class Stack:
 
     @property
     def sim(self) -> "Simulator":
-        return self.machine.sim
+        """The simulator the hosting machine runs on."""
+        return self._sim
 
     @property
     def crashed(self) -> bool:
+        """Whether the hosting machine is currently crashed."""
         return self.machine.crashed
 
     def module(self, name: str) -> Module:
@@ -148,8 +246,9 @@ class Stack:
                 f"stack {self.stack_id}: duplicate module name {module.name!r}"
             )
         self.modules[module.name] = module
+        self._response_cache.clear()
         self.trace.record(
-            self.sim.now,
+            self._sim.now,
             TraceKind.MODULE_ADDED,
             self.stack_id,
             module=module.name,
@@ -171,8 +270,9 @@ class Stack:
         for service in self.bindings.services_of(module):
             self.unbind(service)
         del self.modules[name]
+        self._response_cache.clear()
         self.trace.record(
-            self.sim.now,
+            self._sim.now,
             TraceKind.MODULE_REMOVED,
             self.stack_id,
             module=module.name,
@@ -192,8 +292,9 @@ class Stack:
                 f"stack {self.stack_id}: cannot bind {module.name!r}; not in stack"
             )
         self.bindings.bind(service, module)
+        self._dispatch_cache.clear()
         self.trace.record(
-            self.sim.now,
+            self._sim.now,
             TraceKind.BIND,
             self.stack_id,
             service=service,
@@ -205,8 +306,9 @@ class Stack:
     def unbind(self, service: str) -> Module:
         """Unbind whatever module is bound to *service*."""
         module = self.bindings.unbind(service)
+        self._dispatch_cache.clear()
         self.trace.record(
-            self.sim.now,
+            self._sim.now,
             TraceKind.UNBIND,
             self.stack_id,
             service=service,
@@ -214,6 +316,14 @@ class Stack:
             protocol=module.protocol,
         )
         return module
+
+    def _invalidate_handler(self, service: str, method: str) -> None:
+        """Drop one cached call resolution (a handler was re-exported)."""
+        self._dispatch_cache.pop((service, method), None)
+
+    def _invalidate_subscribers(self, service: str, event: str) -> None:
+        """Drop one cached response fan-out (a subscription was added)."""
+        self._response_cache.pop((service, event), None)
 
     # ------------------------------------------------------------------ #
     # Calls
@@ -233,117 +343,201 @@ class Stack:
         service *at dispatch time*.  If none is bound, it joins the
         blocked-call queue and is released by the next :meth:`bind`.
         """
-        if self.crashed:
+        if cost is not None and cost < 0:
+            raise KernelError(f"negative call cost {cost!r}")
+        machine = self.machine
+        # Hot path reads Machine internals (_crashed_at here, _busy_until
+        # in the drain) instead of the crashed/busy_until properties: one
+        # attribute load per call.  Kernel and machine are co-designed;
+        # keep these reads in sync with the property definitions.
+        if machine._crashed_at is not None:
             return
-        self._call_seq += 1
-        call_id = f"{self.stack_id}:{self._call_seq}"
-        caller_name = caller.name if caller is not None else "<external>"
-        self.trace.record(
-            self.sim.now,
-            TraceKind.CALL,
-            self.stack_id,
-            service=service,
-            module=caller_name,
-            method=method,
-            call_id=call_id,
+        seq = self._call_seq + 1
+        self._call_seq = seq
+        trace = self.trace
+        if self._trace_call and trace.enabled:
+            trace.record(
+                self._sim.now,
+                TraceKind.CALL,
+                self.stack_id,
+                service=service,
+                module=caller.name if caller is not None else "<external>",
+                method=method,
+                call_id=f"{self.stack_id}:{seq}",
+            )
+        machine.execute_packed(
+            self.call_cost if cost is None else cost,
+            self._dispatch_call, (seq, caller, service, method, args),
         )
-        actual_cost = self.call_cost if cost is None else cost
-        self.machine.execute(actual_cost, self._dispatch_call, call_id, caller_name, service, method, args)
 
     def _dispatch_call(
-        self, call_id: str, caller_name: str, service: str, method: str, args: tuple
+        self, seq: int, caller: Optional[Module], service: str, method: str, args: tuple
     ) -> None:
+        """CPU-completion half of a call: hand it to the bound provider.
+
+        Fast path: no backlog anywhere on the stack and a warm
+        ``(service, method)`` cache entry — one dict probe, optional
+        trace record, handler invocation.
+        """
+        if not self._blocked_total:
+            entry = self._dispatch_cache.get((service, method))
+            if entry is not None:
+                trace = self.trace
+                if self._trace_dispatch and trace.enabled:
+                    provider = entry[0]
+                    trace.record(
+                        self._sim.now,
+                        TraceKind.CALL_DISPATCHED,
+                        self.stack_id,
+                        service=service,
+                        module=provider.name,
+                        protocol=provider.protocol,
+                        method=method,
+                        call_id=f"{self.stack_id}:{seq}",
+                    )
+                entry[1](*args)
+                return
         provider = self.bindings.bound(service)
         # Join the queue not only while the service is unbound, but also
         # while an older backlog is still draining after a bind at this
         # same instant — otherwise an in-flight call whose CPU completion
         # lands just after the bind overtakes calls issued before it.
         if provider is None or self._blocked_calls.get(service):
+            caller_name = caller.name if caller is not None else "<external>"
             queue = self._blocked_calls.setdefault(service, deque())
-            queue.append((call_id, caller_name, method, args))
-            self._blocked_since[call_id] = self.sim.now
-            self.trace.record(
-                self.sim.now,
-                TraceKind.CALL_BLOCKED,
-                self.stack_id,
-                service=service,
-                module=caller_name,
-                method=method,
-                call_id=call_id,
-            )
+            queue.append((seq, caller_name, method, args))
+            self._blocked_total += 1
+            self._blocked_since[seq] = self._sim.now
+            trace = self.trace
+            if self._trace_blocked and trace.enabled:
+                trace.record(
+                    self._sim.now,
+                    TraceKind.CALL_BLOCKED,
+                    self.stack_id,
+                    service=service,
+                    module=caller_name,
+                    method=method,
+                    call_id=f"{self.stack_id}:{seq}",
+                )
             if provider is not None:
                 # The drain chain scheduled by the bind stops at the queue
                 # it saw; make sure this straggler is drained too.
                 self._release_blocked_calls(service)
             return
-        self._invoke_provider(provider, call_id, service, method, args)
+        self._invoke_provider(provider, seq, service, method, args)
 
     def _invoke_provider(
-        self, provider: Module, call_id: str, service: str, method: str, args: tuple
+        self, provider: Module, seq: int, service: str, method: str, args: tuple
     ) -> None:
-        handler = provider.call_handler(service, method)
-        if handler is None:
-            raise KernelError(
-                f"stack {self.stack_id}: module {provider.name!r} bound to "
-                f"{service!r} has no handler for call {method!r}"
+        """Resolve (and cache) the provider's handler, record, invoke."""
+        key = (service, method)
+        entry = self._dispatch_cache.get(key)
+        if entry is not None and entry[0] is provider:
+            handler = entry[1]
+        else:
+            handler = provider.call_handler(service, method)
+            if handler is None:
+                raise KernelError(
+                    f"stack {self.stack_id}: module {provider.name!r} bound to "
+                    f"{service!r} has no handler for call {method!r}"
+                )
+            self._dispatch_cache[key] = (provider, handler)
+        trace = self.trace
+        if self._trace_dispatch and trace.enabled:
+            trace.record(
+                self._sim.now,
+                TraceKind.CALL_DISPATCHED,
+                self.stack_id,
+                service=service,
+                module=provider.name,
+                protocol=provider.protocol,
+                method=method,
+                call_id=f"{self.stack_id}:{seq}",
             )
-        self.trace.record(
-            self.sim.now,
-            TraceKind.CALL_DISPATCHED,
-            self.stack_id,
-            service=service,
-            module=provider.name,
-            protocol=provider.protocol,
-            method=method,
-            call_id=call_id,
-        )
         handler(*args)
 
     def _release_blocked_calls(self, service: str) -> None:
-        """Start the FIFO drain of *service*'s backlog (idempotent).
+        """Start the drain of *service*'s backlog (idempotent).
 
-        The backlog stays in the queue and drains one call per 0-cost CPU
-        task, so :meth:`_dispatch_call` can see that older calls are still
-        pending and keep issue order; a racing unbind simply pauses the
-        drain until the next bind.
+        The backlog stays in the queue and drains in FIFO issue order, so
+        :meth:`_dispatch_call` can see that older calls are still pending
+        and keep issue order; a racing unbind simply pauses the drain
+        until the next bind.
         """
         if self._blocked_calls.get(service) and not self._draining.get(service):
             self._draining[service] = True
             self.machine.execute(0.0, self._drain_blocked, service)
 
     def _drain_blocked(self, service: str) -> None:
+        """One drain task: release queued calls of *service* in FIFO order.
+
+        Batches the whole backlog into this task while the event heap has
+        nothing else pending at the current instant and the CPU is idle;
+        the moment an equal-time event exists (a racing dispatch
+        completion, work a released handler scheduled at zero delay) or a
+        released handler occupies the CPU (the chained drain task would
+        only start at ``busy_until``), it re-arms the one-call-per-task
+        chain *before* invoking — the exact schedule of the unbatched
+        kernel, so same-seed traces are unchanged.
+        """
         self._draining[service] = False
         queue = self._blocked_calls.get(service)
-        if not queue:
-            return
-        provider = self.bindings.bound(service)
-        if provider is None:
-            return  # unbound again; the next bind restarts the drain
-        call_id, caller_name, method, args = queue.popleft()
-        blocked_at = self._blocked_since.pop(call_id, None)
-        if blocked_at is not None:
-            self._blocked_time_total += self.sim.now - blocked_at
-        self.trace.record(
-            self.sim.now,
-            TraceKind.CALL_UNBLOCKED,
-            self.stack_id,
-            service=service,
-            module=caller_name,
-            method=method,
-            call_id=call_id,
-        )
-        if queue:
-            # Re-arm before invoking, so the rest of the backlog keeps
-            # its place ahead of any same-instant calls the handler makes.
-            self._draining[service] = True
-            self.machine.execute(0.0, self._drain_blocked, service)
-        self._invoke_provider(provider, call_id, service, method, args)
+        machine = self.machine
+        sim = self._sim
+        epoch = machine.epoch
+        trace = self.trace
+        while queue:
+            provider = self.bindings.bound(service)
+            if provider is None:
+                return  # unbound again; the next bind restarts the drain
+            seq, caller_name, method, args = queue.popleft()
+            self._blocked_total -= 1
+            blocked_at = self._blocked_since.pop(seq, None)
+            if blocked_at is not None:
+                self._blocked_time_total += sim.now - blocked_at
+            if self._trace_unblocked and trace.enabled:
+                trace.record(
+                    sim.now,
+                    TraceKind.CALL_UNBLOCKED,
+                    self.stack_id,
+                    service=service,
+                    module=caller_name,
+                    method=method,
+                    call_id=f"{self.stack_id}:{seq}",
+                )
+            if queue:
+                peek = sim.peek_time()
+                if (peek is not None and peek <= sim.now) or machine._busy_until > sim.now:
+                    # An equal-time event is pending, or a released
+                    # handler occupied the CPU (the chained drain would
+                    # start only at busy_until): re-arm the chain before
+                    # invoking — the exact unbatched schedule — so the
+                    # rest of the backlog keeps its place and its timing.
+                    self._draining[service] = True
+                    machine.execute(0.0, self._drain_blocked, service)
+                    self._invoke_provider(provider, seq, service, method, args)
+                    return
+            self._invoke_provider(provider, seq, service, method, args)
+            if machine.crashed or machine.epoch != epoch:
+                # The handler crashed (or re-incarnated) the machine: the
+                # rest of the backlog waits for the restart protocol.
+                return
+
+    @property
+    def calls_issued(self) -> int:
+        """Total service calls issued on this stack since construction."""
+        return self._call_seq
+
+    @property
+    def responses_issued(self) -> int:
+        """Total response events issued on this stack since construction."""
+        return self._responses_issued
 
     def blocked_call_count(self, service: Optional[str] = None) -> int:
         """Number of calls currently blocked (on *service*, or overall)."""
         if service is not None:
             return len(self._blocked_calls.get(service, ()))
-        return sum(len(q) for q in self._blocked_calls.values())
+        return self._blocked_total
 
     @property
     def blocked_time_total(self) -> Duration:
@@ -390,40 +584,60 @@ class Stack:
         Deliberately **not** gated on the binding table: an unbound module
         may still respond (paper, Section 2).
         """
-        if self.crashed:
+        if cost is not None and cost < 0:
+            raise KernelError(f"negative response cost {cost!r}")
+        machine = self.machine
+        if machine._crashed_at is not None:
             return
         if service not in provider.provides:
             raise KernelError(
                 f"stack {self.stack_id}: module {provider.name!r} cannot respond "
                 f"on service {service!r} it does not provide"
             )
-        self.trace.record(
-            self.sim.now,
-            TraceKind.RESPONSE,
-            self.stack_id,
-            service=service,
-            module=provider.name,
-            protocol=provider.protocol,
-            event=event,
+        self._responses_issued += 1
+        trace = self.trace
+        if self._trace_response and trace.enabled:
+            trace.record(
+                self._sim.now,
+                TraceKind.RESPONSE,
+                self.stack_id,
+                service=service,
+                module=provider.name,
+                protocol=provider.protocol,
+                event=event,
+            )
+        machine.execute_packed(
+            self.response_cost if cost is None else cost,
+            self._deliver_response,
+            (service, event, args, provider.name, provider.protocol),
         )
-        actual_cost = self.response_cost if cost is None else cost
-        self.machine.execute(
-            actual_cost, self._deliver_response, service, event, args,
-            provider.name, provider.protocol,
-        )
+
+    def _subscribers(self, service: str, event: str) -> List[Callable[..., Any]]:
+        """The (cached) handlers subscribed to *event* of *service*.
+
+        Rebuilt lazily whenever the module set changes; order follows
+        module insertion order, like the uncached scan did.
+        """
+        key = (service, event)
+        handlers = self._response_cache.get(key)
+        if handlers is None:
+            handlers = [
+                h
+                for m in self.modules.values()
+                if service in m.requires
+                for h in (m.response_handler(service, event),)
+                if h is not None
+            ]
+            self._response_cache[key] = handlers
+        return handlers
 
     def _deliver_response(
         self, service: str, event: str, args: tuple,
         provider_name: str, provider_protocol: str,
     ) -> None:
-        handlers = [
-            m.response_handler(service, event)
-            for m in self.modules.values()
-            if service in m.requires
-        ]
-        handlers = [h for h in handlers if h is not None]
+        """CPU-completion half of a response: fan out to subscribers."""
         claimed = False
-        for handler in handlers:
+        for handler in self._subscribers(service, event):
             if handler(*args) is not NOT_MINE:
                 claimed = True
         if not claimed:
@@ -438,15 +652,17 @@ class Stack:
                 queue.popleft()
                 self.buffered_responses_dropped += 1
             queue.append((event, args, provider_name, provider_protocol))
-            self.trace.record(
-                self.sim.now,
-                TraceKind.RESPONSE_BUFFERED,
-                self.stack_id,
-                service=service,
-                module=provider_name,
-                protocol=provider_protocol,
-                event=event,
-            )
+            trace = self.trace
+            if self._trace_response_buffered and trace.enabled:
+                trace.record(
+                    self._sim.now,
+                    TraceKind.RESPONSE_BUFFERED,
+                    self.stack_id,
+                    service=service,
+                    module=provider_name,
+                    protocol=provider_protocol,
+                    event=event,
+                )
 
     def _flush_buffered_responses(self, new_module: Module) -> None:
         """Deliver responses that were waiting for a subscriber like *new_module*."""
@@ -479,12 +695,14 @@ class Stack:
     # Failure
     # ------------------------------------------------------------------ #
     def _on_machine_crash(self, time: float) -> None:
+        """Machine crash hook: record, and let dead drain tasks restart."""
         # Pending drain tasks died with the CPU (epoch guard); clear the
         # flags so a post-recovery bind can restart the drains.
         self._draining.clear()
         self.trace.record(time, TraceKind.CRASH, self.stack_id)
 
     def _on_machine_recover(self, time: float) -> None:
+        """Machine recovery hook: record, then run the restart protocol."""
         self.trace.record(
             time, TraceKind.RECOVER, self.stack_id, epoch=self.machine.epoch
         )

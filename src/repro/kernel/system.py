@@ -16,6 +16,7 @@ from ..errors import KernelError
 from ..sim.clock import Duration, Time
 from ..sim.engine import Simulator
 from ..sim.process import Machine
+from .events import TraceKind
 from .registry import ProtocolRegistry
 from .stack import DEFAULT_CALL_COST, DEFAULT_RESPONSE_COST, Stack
 from .trace import TraceRecorder
@@ -37,6 +38,13 @@ class System:
         ``None``).
     trace_enabled:
         Disable to run pure benchmarks without trace memory overhead.
+    trace_kinds:
+        When given, only these :class:`~repro.kernel.events.TraceKind`
+        values are recorded (the shared recorder's ``keep`` filter).
+        Campaigns pass
+        :data:`~repro.kernel.events.STRUCTURAL_TRACE_KINDS` here so the
+        property checkers keep full teeth while the per-call record
+        firehose is never allocated.
     call_cost / response_cost:
         Default CPU cost of one service-call / response dispatch on every
         stack; see :class:`repro.kernel.stack.Stack`.
@@ -48,6 +56,7 @@ class System:
         seed: int = 0,
         sim: Optional[Simulator] = None,
         trace_enabled: bool = True,
+        trace_kinds: Optional[Iterable[TraceKind]] = None,
         call_cost: Duration = DEFAULT_CALL_COST,
         response_cost: Duration = DEFAULT_RESPONSE_COST,
     ) -> None:
@@ -55,7 +64,7 @@ class System:
             raise KernelError(f"a system needs at least one stack, got n={n}")
         self.n = int(n)
         self.sim = sim if sim is not None else Simulator(seed=seed)
-        self.trace = TraceRecorder(enabled=trace_enabled)
+        self.trace = TraceRecorder(enabled=trace_enabled, keep=trace_kinds)
         self.registry = ProtocolRegistry()
         self.machines: List[Machine] = [
             Machine(self.sim, i) for i in range(self.n)

@@ -1,10 +1,20 @@
 """The trace recorder shared by all stacks of a system.
 
-One :class:`TraceRecorder` collects the :class:`~repro.kernel.events.TraceEvent`
+One :class:`TraceRecorder` collects the :class:`~repro.kernel.events.TraceRecord`
 stream of an entire distributed execution (all stacks interleaved in
 global simulated-time order).  Property checkers and debugging tools then
-query it; recording can be disabled wholesale for pure benchmarking runs,
-or filtered by kind to bound memory.
+query it; recording can be disabled wholesale for pure benchmarking runs
+(:data:`NULL_TRACE` is the shared always-off sink), or filtered by kind
+to bound memory — campaigns run with
+:data:`~repro.kernel.events.STRUCTURAL_TRACE_KINDS` so the checkers keep
+their teeth while the per-call firehose is never allocated.
+
+Hot-path contract with :class:`~repro.kernel.stack.Stack`: the stack
+caches per-kind "wants" flags (see :meth:`TraceRecorder.wants`) at
+construction and re-checks only the cheap :attr:`enabled` attribute per
+call, so a trace-off dispatch pays a single attribute read instead of a
+keyword-argument pack per record.  The :attr:`keep` filter is therefore
+fixed at construction; toggle :attr:`enabled` freely.
 """
 
 from __future__ import annotations
@@ -12,13 +22,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set
 
 from ..sim.clock import Time
-from .events import TraceEvent, TraceKind
+from .events import TraceKind, TraceRecord
 
-__all__ = ["TraceRecorder"]
+__all__ = ["TraceRecorder", "NULL_TRACE"]
 
 
 class TraceRecorder:
-    """Collects, filters, and queries kernel trace events.
+    """Collects, filters, and queries kernel trace records.
 
     Parameters
     ----------
@@ -26,7 +36,10 @@ class TraceRecorder:
         When ``False`` the recorder drops everything (zero memory cost).
     keep:
         When given, only these :class:`TraceKind` values are retained.
+        Fixed at construction (stacks cache per-kind flags from it).
     """
+
+    __slots__ = ("enabled", "keep", "_events", "_by_kind", "subscribers")
 
     def __init__(
         self,
@@ -35,13 +48,24 @@ class TraceRecorder:
     ) -> None:
         self.enabled = enabled
         self.keep: Optional[Set[TraceKind]] = set(keep) if keep is not None else None
-        self._events: List[TraceEvent] = []
+        self._events: List[TraceRecord] = []
+        #: Per-kind index (mirrors ``EventLog``): ``of_kind`` and the
+        #: checkers that call it stop scanning the full stream.
+        self._by_kind: Dict[TraceKind, List[TraceRecord]] = {}
         #: Live subscribers called on each recorded event (e.g. online checkers).
-        self.subscribers: List[Callable[[TraceEvent], None]] = []
+        self.subscribers: List[Callable[[TraceRecord], None]] = []
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
+    def wants(self, kind: TraceKind) -> bool:
+        """Whether records of *kind* pass the :attr:`keep` filter.
+
+        Ignores :attr:`enabled` — callers pair a cached ``wants`` flag
+        with a live ``enabled`` check, which is the stack's fast path.
+        """
+        return self.keep is None or kind in self.keep
+
     def record(
         self,
         time: Time,
@@ -50,25 +74,38 @@ class TraceRecorder:
         service: Optional[str] = None,
         module: Optional[str] = None,
         protocol: Optional[str] = None,
+        method: Optional[str] = None,
+        call_id: Optional[str] = None,
+        event: Optional[str] = None,
         **detail: Any,
     ) -> None:
-        """Record one event (a no-op when disabled or filtered out)."""
+        """Record one event (a no-op when disabled or filtered out).
+
+        ``method``/``call_id``/``event`` land in the record's slots; any
+        remaining keyword arguments go to its :attr:`~TraceRecord.detail`
+        mapping (rare kinds only, so hot records allocate no dict).
+        """
         if not self.enabled:
             return
         if self.keep is not None and kind not in self.keep:
             return
-        event = TraceEvent(
-            time=time,
-            kind=kind,
-            stack_id=stack_id,
-            service=service,
-            module=module,
-            protocol=protocol,
-            detail=detail,
-        )
-        self._events.append(event)
+        if detail:
+            record = TraceRecord(
+                time, kind, stack_id, service, module, protocol,
+                method, call_id, event, detail,
+            )
+        else:
+            record = TraceRecord(
+                time, kind, stack_id, service, module, protocol,
+                method, call_id, event,
+            )
+        self._events.append(record)
+        index = self._by_kind.get(kind)
+        if index is None:
+            index = self._by_kind[kind] = []
+        index.append(record)
         for sub in self.subscribers:
-            sub(event)
+            sub(record)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -76,32 +113,47 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self._events)
 
-    def __iter__(self) -> Iterator[TraceEvent]:
+    def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._events)
 
     @property
-    def events(self) -> List[TraceEvent]:
-        """The raw event list (do not mutate)."""
+    def events(self) -> List[TraceRecord]:
+        """The raw record list (do not mutate)."""
         return self._events
 
-    def of_kind(self, *kinds: TraceKind) -> List[TraceEvent]:
-        """Events whose kind is one of *kinds*, in time order."""
+    def of_kind(self, *kinds: TraceKind) -> List[TraceRecord]:
+        """Records whose kind is one of *kinds*, in recording order.
+
+        Served from the per-kind index when at most one requested kind
+        is present (the common case: every checker's single-kind
+        queries, and multi-kind queries where the other kinds never
+        occurred).  When two or more requested kinds hold records, falls
+        back to one pass over the full stream — records carry no global
+        sequence number, so that scan *is* the stable merge.
+        """
+        if len(kinds) == 1:
+            return list(self._by_kind.get(kinds[0], ()))
+        streams = [s for s in (self._by_kind.get(k, []) for k in set(kinds)) if s]
+        if not streams:
+            return []
+        if len(streams) == 1:
+            return list(streams[0])
         wanted = set(kinds)
         return [e for e in self._events if e.kind in wanted]
 
-    def for_stack(self, stack_id: int) -> List[TraceEvent]:
-        """Events of a single stack, in time order."""
+    def for_stack(self, stack_id: int) -> List[TraceRecord]:
+        """Records of a single stack, in time order."""
         return [e for e in self._events if e.stack_id == stack_id]
 
-    def for_service(self, service: str) -> List[TraceEvent]:
-        """Events mentioning *service*, in time order."""
+    def for_service(self, service: str) -> List[TraceRecord]:
+        """Records mentioning *service*, in time order."""
         return [e for e in self._events if e.service == service]
 
     def crashes(self) -> Dict[int, Time]:
         """Map of ``stack_id -> crash time`` for stacks that crashed."""
         out: Dict[int, Time] = {}
-        for e in self._events:
-            if e.kind is TraceKind.CRASH and e.stack_id not in out:
+        for e in self._by_kind.get(TraceKind.CRASH, ()):
+            if e.stack_id not in out:
                 out[e.stack_id] = e.time
         return out
 
@@ -112,11 +164,52 @@ class TraceRecorder:
 
     def counts(self) -> Mapping[str, int]:
         """Histogram of event kinds (for quick diagnostics)."""
-        out: Dict[str, int] = {}
-        for e in self._events:
-            out[e.kind.value] = out.get(e.kind.value, 0) + 1
-        return out
+        return {
+            kind.value: len(records)
+            for kind, records in self._by_kind.items()
+            if records
+        }
 
     def clear(self) -> None:
         """Drop all recorded events."""
         self._events.clear()
+        self._by_kind.clear()
+
+
+class _NullTraceRecorder(TraceRecorder):
+    """The always-off sink behind :data:`NULL_TRACE`.
+
+    One instance is shared by every ``Stack(trace=False)`` in the
+    process, so it must stay inert: :attr:`enabled` is pinned ``False``
+    (assigning ``True`` raises — enable tracing by passing ``trace=True``
+    or a real recorder to the stack instead), and :meth:`wants` answers
+    ``False`` so stacks cache all-off flags and never even read
+    ``enabled`` on the hot path.
+    """
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:  # shadows the base slot
+        """Always ``False``; assigning ``True`` raises."""
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        """Reject enabling; assigning ``False`` is an idempotent no-op."""
+        if value:
+            raise ValueError(
+                "NULL_TRACE is the shared always-off sink; construct the "
+                "stack with trace=True or a TraceRecorder to record events"
+            )
+
+    def wants(self, kind: TraceKind) -> bool:
+        """Nothing is ever wanted by the null sink."""
+        return False
+
+
+#: Shared always-disabled sink: the null object behind ``Stack(trace=False)``
+#: and standalone benchmark stacks.  Inert by construction (see
+#: :class:`_NullTraceRecorder`), so sharing one instance across systems
+#: is safe.
+NULL_TRACE = _NullTraceRecorder(enabled=False)

@@ -42,12 +42,14 @@ from .library import CAMPAIGNS, SCENARIOS, get_campaign, get_scenario
 
 
 def _parse_seeds(args: argparse.Namespace) -> List[int]:
+    """The seed list: an explicit ``--seed`` or ``range(--seeds)``."""
     if args.seed is not None:
         return [args.seed]
     return list(range(args.seeds))
 
 
 def _list() -> None:
+    """Print the registered scenarios and campaigns as tables."""
     rows = [
         (spec.name, spec.n, spec.duration, len(spec.faults), len(spec.switches),
          spec.description)
@@ -70,6 +72,7 @@ def _list() -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status (see module doc)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenarios",
         description="Run fault-injection scenario campaigns with property gates.",
@@ -87,6 +90,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fan the (scenario, seed) matrix over N worker "
                              "processes (0 = one per CPU; default: 1). The "
                              "report is byte-identical for any N")
+    parser.add_argument("--trace", choices=("structural", "full", "off"),
+                        default="structural",
+                        help="kernel trace depth per run (default: structural "
+                             "— everything the property checkers consume, "
+                             "without the per-call firehose; reports are "
+                             "byte-identical to --trace full)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the JSON report here (default: stdout only "
                              "prints the summary table)")
@@ -118,7 +127,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
-    result: CampaignResult = run_campaign(campaign, seeds=seeds, jobs=args.jobs)
+    if args.trace == "off":
+        # The trace-backed checkers (stack well-formedness, protocol
+        # operationability) are vacuous over an empty trace, and the
+        # report does not record the trace depth — say so where the
+        # operator will see it rather than gating on blunted verdicts.
+        print(
+            "warning: --trace off disables the trace-backed property "
+            "checkers (their violation lists will be trivially empty)",
+            file=sys.stderr,
+        )
+    result: CampaignResult = run_campaign(
+        campaign, seeds=seeds, jobs=args.jobs, trace=args.trace
+    )
 
     print(render_table(
         ["scenario", "seed", "verdict", "sent", "ordered", "violations"],

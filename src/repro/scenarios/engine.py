@@ -17,6 +17,12 @@ across a seed matrix.  Everything serialises to **deterministic JSON**
 (sorted keys, no wall-clock timestamps): the same ``(campaign, seeds)``
 pair produces byte-identical output, which CI exploits as a regression
 gate — any diff in the report is a real behavioural change.
+
+Campaign runs default to the ``structural`` kernel-trace depth: only the
+record kinds the property checkers consume are kept, so full-stack runs
+skip the per-call trace firehose entirely while reports stay
+byte-identical to ``trace="full"`` (pinned by
+``tests/integration/test_trace_modes.py``).
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from ..dpu.properties import (
     check_weak_stack_well_formedness,
 )
 from ..errors import ScenarioError
-from ..experiments.common import GroupCommConfig, build_group_comm_system
+from ..experiments.common import TRACE_MODES, GroupCommConfig, build_group_comm_system
 from ..kernel.service import WellKnown
 from ..metrics import mean_latency
 from ..sim.faults import FaultInjector
@@ -92,6 +98,7 @@ class ScenarioResult:
 
     @property
     def violations_total(self) -> int:
+        """Total violation count across all property checkers."""
         return sum(len(v) for v in self.violations.values())
 
     def to_dict(self) -> Dict[str, Any]:
@@ -149,13 +156,16 @@ class CampaignResult:
 
     @property
     def ok(self) -> bool:
+        """Whether every run of the campaign was violation-free."""
         return all(r.ok for r in self.results)
 
     @property
     def violations_total(self) -> int:
+        """Total violation count across all runs."""
         return sum(r.violations_total for r in self.results)
 
     def to_dict(self) -> Dict[str, Any]:
+        """A plain, deterministically-serialisable dict of every run."""
         return {
             "campaign": self.campaign,
             "seeds": list(self.seeds),
@@ -208,10 +218,12 @@ def _collect_rejoined(gcs: Any) -> Dict[int, float]:
     return out
 
 
-def _config_for(spec: ScenarioSpec, seed: int) -> GroupCommConfig:
+def _config_for(spec: ScenarioSpec, seed: int, trace: str = "full") -> GroupCommConfig:
+    """The builder config for one ``(spec, seed)`` cell at *trace* depth."""
     return GroupCommConfig(
         n=spec.n,
         seed=seed,
+        trace=trace,
         load_msgs_per_sec=spec.load_msgs_per_sec,
         payload_bytes=spec.payload_bytes,
         load_stop=spec.duration,
@@ -224,10 +236,26 @@ def _config_for(spec: ScenarioSpec, seed: int) -> GroupCommConfig:
     )
 
 
-def run_scenario(spec: ScenarioSpec, seed: int = 0) -> ScenarioResult:
+def run_scenario(
+    spec: ScenarioSpec, seed: int = 0, trace: str = "structural"
+) -> ScenarioResult:
     """Run one scenario at one seed; never raises on property violations
-    (they are returned in the result, so a campaign always completes)."""
-    gcs = build_group_comm_system(_config_for(spec, seed))
+    (they are returned in the result, so a campaign always completes).
+
+    *trace* selects the kernel trace depth.  The default,
+    ``"structural"``, records exactly the kinds the property checkers
+    consume — module add/remove, bind/unbind, blocked/unblocked calls,
+    crash/recover — and skips the per-call/per-response firehose, so the
+    report is **byte-identical** to a ``"full"`` run at a fraction of the
+    dispatch cost.  ``"off"`` records nothing (pure speed; the
+    trace-based checkers then trivially pass, so only use it when the
+    report's violation fields are not the point of the run).
+    """
+    if trace not in TRACE_MODES:
+        raise ScenarioError(
+            f"unknown trace mode {trace!r}; expected one of {TRACE_MODES}"
+        )
+    gcs = build_group_comm_system(_config_for(spec, seed, trace))
     system = gcs.system
     injector = FaultInjector(
         system.sim, system.machines, network=gcs.network, name=spec.name
@@ -329,14 +357,17 @@ def run_scenario(spec: ScenarioSpec, seed: int = 0) -> ScenarioResult:
 # --------------------------------------------------------------------------- #
 # Running a campaign
 # --------------------------------------------------------------------------- #
-def _scenario_task(task: Tuple[ScenarioSpec, int]) -> ScenarioResult:
+def _scenario_task(task: Tuple[ScenarioSpec, int, str]) -> ScenarioResult:
     """Process-pool entry point: run one ``(spec, seed)`` cell."""
-    spec, seed = task
-    return run_scenario(spec, seed=seed)
+    spec, seed, trace = task
+    return run_scenario(spec, seed=seed, trace=trace)
 
 
 def run_campaign(
-    campaign: Campaign, seeds: Sequence[int] = (0,), jobs: int = 1
+    campaign: Campaign,
+    seeds: Sequence[int] = (0,),
+    jobs: int = 1,
+    trace: str = "structural",
 ) -> CampaignResult:
     """Run every scenario of *campaign* at every seed, in a fixed order.
 
@@ -345,16 +376,20 @@ def run_campaign(
     of its arguments — every run owns a private simulator and RNG
     registry — and results are merged in task-submission order, so the
     report is **byte-identical** for any ``jobs`` value; only the
-    wall-clock changes.
+    wall-clock changes.  ``trace`` is the per-cell kernel trace depth
+    (see :func:`run_scenario`); reports are byte-identical between
+    ``"structural"`` and ``"full"``.
     """
     if jobs < 0:
         raise ScenarioError(f"jobs must be >= 0, got {jobs}")
-    tasks = [(spec, seed) for spec in campaign.scenarios for seed in seeds]
+    tasks = [(spec, seed, trace) for spec in campaign.scenarios for seed in seeds]
     result = CampaignResult(campaign=campaign.name, seeds=list(seeds))
     if jobs == 0:
         jobs = os.cpu_count() or 1
     if jobs == 1 or len(tasks) <= 1:
-        result.results.extend(run_scenario(spec, seed=seed) for spec, seed in tasks)
+        result.results.extend(
+            run_scenario(spec, seed=seed, trace=trace) for spec, seed, trace in tasks
+        )
         return result
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         # Executor.map preserves input order: the deterministic merge.

@@ -51,9 +51,11 @@ class Crash:
     machine: int
 
     def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
         injector.crash_at(self.at, self.machine)
 
     def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down."""
         return (self.machine,)
 
 
@@ -65,9 +67,11 @@ class Recover:
     machine: int
 
     def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
         injector.recover_at(self.at, self.machine)
 
     def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down."""
         return (self.machine,)
 
 
@@ -79,9 +83,11 @@ class Partition:
     groups: Tuple[Tuple[int, ...], ...]
 
     def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
         injector.partition_at(self.at, *self.groups)
 
     def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down (none)."""
         return ()
 
 
@@ -92,9 +98,11 @@ class Heal:
     at: Time
 
     def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
         injector.heal_at(self.at)
 
     def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down (none)."""
         return ()
 
 
@@ -113,6 +121,7 @@ class ImpairLink:
     until: Optional[Time] = None
 
     def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
         injector.impair_link_at(
             self.at,
             self.src,
@@ -127,6 +136,7 @@ class ImpairLink:
             injector.clear_link_at(self.until, self.src, self.dst)
 
     def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down (none)."""
         return ()
 
 
@@ -139,9 +149,11 @@ class LatencySpike:
     duration: Optional[Duration] = None
 
     def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
         injector.latency_spike_at(self.at, self.extra, duration=self.duration)
 
     def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down (none)."""
         return ()
 
 
@@ -156,11 +168,13 @@ class Churn:
     cycles: int = 1
 
     def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
         injector.churn(
             self.machines, self.start, self.period, self.downtime, cycles=self.cycles
         )
 
     def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down."""
         return tuple(self.machines)
 
 
@@ -175,6 +189,7 @@ class RandomCrashes:
     recover_after: Optional[Duration] = None
 
     def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
         injector.random_crashes(
             self.count,
             self.start,
@@ -184,6 +199,7 @@ class RandomCrashes:
         )
 
     def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down (all candidates)."""
         # The concrete victims are drawn at schedule time; every candidate
         # is potentially faulty (the engine refines this with the
         # injector's actual records after the run).

@@ -93,6 +93,7 @@ class SwitchPlan:
     # Trigger wiring
     # ------------------------------------------------------------------ #
     def _arm_delivery_trigger(self, gcs: Any, step: SwitchAfterDeliveries) -> None:
+        """Fire *step* once its stack's Adelivery count reaches the target."""
         state = {"count": 0, "armed": True}
 
         def on_delivery(key: Any, stack_id: int, time: Time) -> None:
@@ -109,6 +110,7 @@ class SwitchPlan:
     def _arm_fault_trigger(
         self, gcs: Any, injector: FaultInjector, step: SwitchOnFault
     ) -> None:
+        """Fire *step* a fixed delay after its designated fault fires."""
         def on_fault(index: int, record: FaultRecord) -> None:
             if index == step.fault_index:
                 gcs.system.sim.schedule(step.delay, self._fire, gcs, step)
@@ -119,6 +121,7 @@ class SwitchPlan:
     # Firing
     # ------------------------------------------------------------------ #
     def _fire(self, gcs: Any, step: SwitchStep) -> None:
+        """Request the change (from a fallback stack if the requester died)."""
         from_stack = step.from_stack
         if gcs.system.machine(from_stack).crashed:
             alive = gcs.system.alive_ids()

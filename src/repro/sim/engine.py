@@ -114,6 +114,18 @@ class Simulator:
         """Number of events currently scheduled."""
         return len(self._queue)
 
+    def peek_time(self) -> Optional[Time]:
+        """Instant of the earliest scheduled event, or ``None`` when empty.
+
+        One heap-top read; cancelled-but-unpopped entries still count
+        (callers use this as a conservative "is anything pending at the
+        current instant" probe — e.g. the kernel's batched blocked-call
+        drain, which falls back to one-task-per-call whenever an
+        equal-time event exists).
+        """
+        heap = self._heap
+        return heap[0][0] if heap else None
+
     # ------------------------------------------------------------------ #
     # Scheduling
     # ------------------------------------------------------------------ #
@@ -174,6 +186,9 @@ class Simulator:
             raise ScheduleInPastError(
                 f"cannot schedule at {time!r}; current time is {self._now!r}"
             )
+        # NOTE: Machine.execute_packed pushes this same 5-tuple entry
+        # shape directly (one fewer call per kernel dispatch) — keep the
+        # two in sync if the heap entry layout ever changes.
         _heappush(self._heap, (time, priority, next(self._seq), callback, args))
 
     def call_soon(

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
+from heapq import heappush as _heappush
+
 from ..errors import SimulationError
 from .clock import Duration, Time
 from .engine import Simulator
-from .events import PRIORITY_CONTROL, EventHandle
+from .events import PRIORITY_CONTROL, PRIORITY_NORMAL, EventHandle
 
 __all__ = ["Machine"]
 
@@ -53,6 +55,21 @@ class Machine:
     name:
         Human-readable name (defaults to ``"m<id>"``).
     """
+
+    __slots__ = (
+        "sim",
+        "machine_id",
+        "name",
+        "_crashed_at",
+        "_busy_until",
+        "_cpu_busy_total",
+        "_tasks_executed",
+        "_epoch",
+        "_crash_count",
+        "_recovered_at",
+        "on_crash",
+        "on_recover",
+    )
 
     def __init__(self, sim: Simulator, machine_id: int, name: Optional[str] = None) -> None:
         self.sim = sim
@@ -188,14 +205,31 @@ class Machine:
             raise SimulationError(f"negative CPU cost {cost!r}")
         if self._crashed_at is not None:
             return None
+        self.execute_packed(cost, fn, args)
+
+    def execute_packed(self, cost: Duration, fn: Callable[..., Any], args: tuple) -> None:
+        """Hot-path :meth:`execute`: pre-packed args, no precondition checks.
+
+        The kernel's call/response dispatch calls this once per service
+        call, so it skips what :meth:`execute` already guarantees at its
+        own call sites — *cost* is non-negative and the machine is up —
+        and pushes the completion straight onto the simulator's
+        fire-and-forget heap.  Everything observable (completion instant,
+        CPU accounting, epoch guard) is identical to :meth:`execute`.
+        """
         sim = self.sim
-        start = sim.now
-        if self._busy_until > start:
-            start = self._busy_until
+        start = sim._now
+        busy = self._busy_until
+        if busy > start:
+            start = busy
         completion = start + cost
         self._busy_until = completion
         self._cpu_busy_total += cost
-        sim.schedule_at_fast(completion, self._run_task, self._epoch, fn, args)
+        _heappush(
+            sim._heap,
+            (completion, PRIORITY_NORMAL, next(sim._seq),
+             self._run_task, (self._epoch, fn, args)),
+        )
 
     def _run_task(self, epoch: int, fn: Callable[..., Any], args: tuple) -> None:
         if self._crashed_at is not None or epoch != self._epoch:

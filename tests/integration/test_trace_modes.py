@@ -1,0 +1,69 @@
+"""Campaign reports must not depend on the kernel trace depth.
+
+The campaign engine defaults to ``trace="structural"`` — recording only
+the kinds the property checkers consume — so full-stack runs stop paying
+one record allocation per dispatched call.  That is only sound if the
+JSON report is **byte-identical** to a full-trace run, at every ``jobs``
+fan-out.  These tests pin exactly that, plus the "off" depth for clean
+runs.
+"""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.kernel import STRUCTURAL_TRACE_KINDS, TraceKind
+from repro.scenarios import Campaign, get_scenario, run_campaign, run_scenario
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    # One small, fast scenario with a switch (n=3): enough to exercise
+    # call blocking, trace-backed checkers, and the report surface.
+    return Campaign(name="trace-mode-probe",
+                    scenarios=(get_scenario("latency-spike-switch"),))
+
+
+class TestTraceModeIdentity:
+    def test_structural_equals_full_report(self, campaign):
+        full = run_campaign(campaign, seeds=(0,), trace="full")
+        structural = run_campaign(campaign, seeds=(0,), trace="structural")
+        assert structural.to_json() == full.to_json()
+
+    def test_off_equals_full_report_on_clean_run(self, campaign):
+        # With tracing fully off the trace-backed checkers are vacuous;
+        # on a violation-free run the report bytes must still agree.
+        full = run_campaign(campaign, seeds=(0,), trace="full")
+        off = run_campaign(campaign, seeds=(0,), trace="off")
+        assert full.ok
+        assert off.to_json() == full.to_json()
+
+    def test_structural_identical_across_jobs(self, campaign):
+        serial = run_campaign(campaign, seeds=(0, 1), trace="structural", jobs=1)
+        parallel = run_campaign(campaign, seeds=(0, 1), trace="structural", jobs=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_unknown_trace_mode_rejected(self):
+        with pytest.raises(ScenarioError, match="trace mode"):
+            run_scenario(get_scenario("latency-spike-switch"), trace="verbose")
+
+
+class TestStructuralKinds:
+    def test_structural_kinds_cover_checker_inputs(self):
+        # The checkers consume exactly these kinds; dropping one would
+        # silently blunt a checker in every default campaign run.
+        needed = {
+            TraceKind.MODULE_ADDED,
+            TraceKind.MODULE_REMOVED,
+            TraceKind.BIND,
+            TraceKind.UNBIND,
+            TraceKind.CALL_BLOCKED,
+            TraceKind.CALL_UNBLOCKED,
+            TraceKind.CRASH,
+            TraceKind.RECOVER,
+        }
+        assert needed <= STRUCTURAL_TRACE_KINDS
+
+    def test_structural_kinds_drop_the_firehose(self):
+        for kind in (TraceKind.CALL, TraceKind.CALL_DISPATCHED,
+                     TraceKind.RESPONSE, TraceKind.RESPONSE_BUFFERED):
+            assert kind not in STRUCTURAL_TRACE_KINDS

@@ -1,0 +1,54 @@
+"""Keep the documentation layer in sync with the code it documents.
+
+``docs/scenarios.md`` is a hand-written catalogue of the scenario
+library; this test fails the build the moment someone registers a
+scenario or campaign without documenting it (or renames one and leaves a
+stale entry behind).  The README must keep linking the docs tree.
+"""
+
+import pathlib
+import re
+
+from repro.scenarios.library import CAMPAIGNS, SCENARIOS
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs"
+
+
+def _doc(name: str) -> str:
+    path = DOCS / name
+    assert path.is_file(), f"docs/{name} is missing"
+    return path.read_text(encoding="utf-8")
+
+
+class TestScenarioCatalogue:
+    def test_every_scenario_documented(self):
+        doc = _doc("scenarios.md")
+        missing = [name for name in SCENARIOS if f"`{name}`" not in doc]
+        assert not missing, f"scenarios missing from docs/scenarios.md: {missing}"
+
+    def test_every_campaign_documented(self):
+        doc = _doc("scenarios.md")
+        missing = [name for name in CAMPAIGNS if f"`{name}`" not in doc]
+        assert not missing, f"campaigns missing from docs/scenarios.md: {missing}"
+
+    def test_no_stale_scenario_rows(self):
+        """Every scenario-looking row in the table exists in the library."""
+        doc = _doc("scenarios.md")
+        table = doc.split("## Scenarios", 1)[1].split("## Campaigns", 1)[0]
+        documented = re.findall(r"^\| `([a-z0-9-]+)` \|", table, flags=re.M)
+        stale = [name for name in documented if name not in SCENARIOS]
+        assert not stale, f"docs/scenarios.md documents unknown scenarios: {stale}"
+        # The table (not just prose) must cover the whole library too.
+        assert set(documented) == set(SCENARIOS)
+
+
+class TestDocsTree:
+    def test_docs_exist(self):
+        for name in ("architecture.md", "kernel.md", "scenarios.md"):
+            _doc(name)
+
+    def test_readme_links_docs(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        for name in ("docs/architecture.md", "docs/kernel.md", "docs/scenarios.md"):
+            assert name in readme, f"README.md does not link {name}"

@@ -9,7 +9,8 @@ module is added.
 import pytest
 
 from repro.errors import KernelError, ModuleNotInStackError, UnknownServiceError
-from repro.kernel import Module, NOT_MINE, System, TraceKind
+from repro.kernel import Module, NOT_MINE, NULL_TRACE, Stack, System, TraceKind, TraceRecorder
+from repro.sim import Machine, Simulator
 
 
 class Echo(Module):
@@ -291,3 +292,300 @@ class TestHandlerRegistrationGuards:
         echo = Echo(stack)
         with pytest.raises(KernelError):
             echo.subscribe("other", "ev", lambda: None)
+
+
+class TestDispatchFastPath:
+    """The cached-binding fast path must be observably identical to the
+    uncached slow path: same providers, same ordering, correct
+    invalidation on every rebind/re-registration."""
+
+    def test_warm_cache_keeps_dispatching(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        for i in range(5):
+            listener.call("echo", "ping", i)
+        system.run()
+        assert echo.calls == [0, 1, 2, 3, 4]
+
+    def test_rebind_to_other_module_invalidates_cache(self, system, stack):
+        e1 = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", "first")
+        system.run()  # warm the (echo, ping) cache entry with e1
+        stack.unbind("echo")
+        e2 = stack.add_module(Echo(stack))  # binds e2
+        listener.call("echo", "ping", "second")
+        system.run()
+        assert e1.calls == ["first"]
+        assert e2.calls == ["second"]
+
+    def test_reexported_handler_replaces_cached_one(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", 1)
+        system.run()  # cache now holds the original handler
+        swapped = []
+        echo.export_call("echo", "ping", swapped.append)
+        listener.call("echo", "ping", 2)
+        system.run()
+        assert echo.calls == [1]
+        assert swapped == [2]
+
+    def test_dispatch_during_backlog_takes_slow_path(self, system):
+        """A call on a *different* service while some backlog exists must
+        still dispatch (the global blocked-counter guard is conservative,
+        not wrong)."""
+        stack = system.stack(0)
+        dormant = stack.add_module(Echo(stack), bind=False)
+        other = stack.add_module(OtherService(stack))
+        stack.issue_call(None, "echo", "ping", (0,))  # blocks (unbound)
+        system.run()
+        assert stack.blocked_call_count() == 1
+        stack.issue_call(None, "other", "go", ("x",))
+        system.run()
+        assert other.got == ["x"]  # dispatched despite the backlog
+        stack.bind("echo", dormant)
+        system.run()
+        assert dormant.calls == [0]
+
+    def test_negative_call_cost_rejected(self, system, stack):
+        stack.add_module(Echo(stack))
+        with pytest.raises(KernelError, match="negative call cost"):
+            stack.issue_call(None, "echo", "ping", (1,), cost=-1.0)
+
+    def test_dispatch_counters(self, system, stack):
+        echo = stack.add_module(Echo(stack))
+        listener = stack.add_module(Listener(stack))
+        listener.call("echo", "ping", 1)  # 1 call -> 1 response (pong)
+        system.run()
+        assert stack.calls_issued == 1
+        assert stack.responses_issued == 1
+        assert echo.calls == [1]
+
+
+class OtherService(Module):
+    PROVIDES = ("other",)
+    PROTOCOL = "other"
+
+    def __init__(self, stack):
+        super().__init__(stack)
+        self.got = []
+        self.export_call("other", "go", self.got.append)
+
+
+class TestBatchedDrain:
+    """Blocked-call backlogs drain in one 0-cost CPU task when nothing
+    else is scheduled at the release instant — and fall back to the
+    one-task-per-call chain (the exact pre-batching schedule) when an
+    equal-time event exists."""
+
+    def test_quiet_release_uses_one_task(self):
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        echo = st.add_module(Echo(st, reply=False), bind=False)
+        for i in range(5):
+            st.issue_call(None, "echo", "ping", (i,))
+        sys_.run()
+        before = st.machine.tasks_executed
+        st.bind("echo", echo)
+        sys_.run()
+        assert echo.calls == [0, 1, 2, 3, 4]
+        assert st.machine.tasks_executed - before == 1  # one batched drain
+        assert st.blocked_call_count("echo") == 0
+
+    def test_already_fired_same_instant_event_still_batches(self):
+        """A same-instant event that fires *before* the drain task does not
+        prevent batching: by the time the drain runs, the heap is quiet."""
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        echo = st.add_module(Echo(st, reply=False), bind=False)
+        for i in range(3):
+            st.issue_call(None, "echo", "ping", (i,))
+        sys_.run()
+        interleaved = []
+        sys_.sim.schedule_at(1.0, st.bind, "echo", echo)
+        sys_.sim.schedule_at(1.0, interleaved.append, "bystander")
+        before = st.machine.tasks_executed
+        sys_.run()
+        assert echo.calls == [0, 1, 2]
+        assert interleaved == ["bystander"]
+        assert st.machine.tasks_executed - before == 1  # one batched drain
+
+    def test_handler_scheduling_same_instant_work_falls_back_to_chain(self):
+        """A drained handler that schedules zero-delay work forces the
+        chain fallback for the rest of the backlog, reproducing the exact
+        pre-batching interleaving: the next backlog call is served before
+        the handler's same-instant work, the rest after it."""
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        order = []
+
+        class Noisy(Module):
+            PROVIDES = ("svc",)
+            PROTOCOL = "noisy"
+
+            def __init__(self, stack):
+                super().__init__(stack)
+                self.export_call("svc", "go", self._go)
+
+            def _go(self, value):
+                order.append(("call", value))
+                if value == 0:
+                    self.set_timer(0.0, order.append, ("timer", value))
+
+        mod = st.add_module(Noisy(st), bind=False)
+        for i in range(3):
+            st.issue_call(None, "svc", "go", (i,))
+        sys_.run()
+        before = st.machine.tasks_executed
+        st.bind("svc", mod)
+        sys_.run()
+        # Pre-batching chain order: c0 invoked, c1's drain was armed
+        # before c0's handler ran (so c1 beats the timer), then the
+        # timer, then c2 — the batch fallback must reproduce it exactly.
+        assert order == [("call", 0), ("call", 1), ("timer", 0), ("call", 2)]
+        assert st.machine.tasks_executed - before == 2  # batch + chain re-arm
+
+    def test_unbind_mid_drain_pauses_until_next_bind(self):
+        """A released handler that unbinds its own service must stop the
+        batch: the rest of the backlog waits for the next bind."""
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+
+        class SelfUnbinder(Module):
+            PROVIDES = ("svc",)
+            PROTOCOL = "selfunbinder"
+
+            def __init__(self, stack):
+                super().__init__(stack)
+                self.calls = []
+                self.export_call("svc", "go", self._go)
+
+            def _go(self, value):
+                self.calls.append(value)
+                if value == 0:
+                    self.stack.unbind("svc")
+
+        mod = st.add_module(SelfUnbinder(st), bind=False)
+        for i in range(3):
+            st.issue_call(None, "svc", "go", (i,))
+        sys_.run()
+        st.bind("svc", mod)
+        sys_.run()
+        assert mod.calls == [0]  # the handler unbound itself mid-drain
+        assert st.blocked_call_count("svc") == 2
+        st.bind("svc", mod)
+        sys_.run()
+        assert mod.calls == [0, 1, 2]
+
+    def test_cpu_occupying_handler_falls_back_to_chain(self):
+        """A drained handler that issues CPU-costing work must push the
+        rest of the backlog onto the chained schedule: the next drain
+        task starts only when the CPU frees (``busy_until``), exactly as
+        the unbatched kernel staggered it (regression: the batch kept
+        draining at the release instant, shifting every later dispatch
+        ~one call cost earlier)."""
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        events = []
+
+        class Busy(Module):
+            PROVIDES = ("svc",)
+            PROTOCOL = "busy"
+
+            def __init__(self, stack):
+                super().__init__(stack)
+                self.export_call("svc", "go", self._go)
+                self.export_call("svc", "follow", self._follow)
+
+            def _go(self, value):
+                events.append(("go", value, round(self.now * 1e6)))
+                self.call("svc", "follow", value)  # default (nonzero) cost
+
+            def _follow(self, value):
+                events.append(("follow", value, round(self.now * 1e6)))
+
+        mod = st.add_module(Busy(st), bind=False)
+        for i in range(3):
+            st.issue_call(None, "svc", "go", (i,))
+        sys_.run()
+        st.bind("svc", mod)
+        sys_.run()
+        # Timing fixed by the pre-batching kernel (call_cost = 10 us):
+        # go2 waits for go0's follow-up to occupy the CPU; the follow-ups
+        # then drain in FIFO completion order.
+        assert events == [
+            ("go", 0, 30), ("go", 1, 30), ("go", 2, 40),
+            ("follow", 0, 50), ("follow", 1, 60), ("follow", 2, 60),
+        ]
+
+    def test_crash_mid_drain_stops_batch(self):
+        """A handler that crashes the machine mid-batch must not drain the
+        rest; recovery restarts the drain in the new incarnation."""
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+
+        class Crasher(Module):
+            PROVIDES = ("svc",)
+            PROTOCOL = "crasher"
+
+            def __init__(self, stack):
+                super().__init__(stack)
+                self.calls = []
+                self.export_call("svc", "go", self._go)
+
+            def _go(self, value):
+                self.calls.append(value)
+                if value == 0:
+                    self.stack.machine.crash()
+
+        mod = st.add_module(Crasher(st), bind=False)
+        for i in range(3):
+            st.issue_call(None, "svc", "go", (i,))
+        sys_.run()
+        st.bind("svc", mod)
+        sys_.run()
+        assert mod.calls == [0]
+        assert st.blocked_call_count("svc") == 2
+        st.machine.recover()  # restart protocol re-releases the backlog
+        sys_.run()
+        assert mod.calls == [0, 1, 2]
+
+
+class TestStandaloneTraceModes:
+    def test_default_is_null_trace(self):
+        sim = Simulator(seed=0)
+        st = Stack(Machine(sim, 0))
+        assert st.trace is NULL_TRACE
+        st.issue_call(None, "nosuch", "x", ())  # blocks silently, no records
+        sim.run()
+        assert len(NULL_TRACE) == 0
+
+    def test_trace_false_is_null_trace(self):
+        sim = Simulator(seed=0)
+        assert Stack(Machine(sim, 0), trace=False).trace is NULL_TRACE
+
+    def test_trace_true_gets_private_recorder(self):
+        sim = Simulator(seed=0)
+        st = Stack(Machine(sim, 0), trace=True)
+        assert isinstance(st.trace, TraceRecorder)
+        assert st.trace is not NULL_TRACE
+        st2 = Stack(Machine(sim, 1), trace=True)
+        assert st.trace is not st2.trace
+
+    def test_keep_filtered_recorder_still_records_blocks(self):
+        """A structural recorder must keep blocked/unblocked records (and
+        their lazily-built call ids) while dropping the call firehose."""
+        sim = Simulator(seed=0)
+        machine = Machine(sim, 3)
+        recorder = TraceRecorder(keep=[TraceKind.CALL_BLOCKED, TraceKind.CALL_UNBLOCKED])
+        st = Stack(machine, trace=recorder)
+        echo = Echo(st, reply=False)
+        st.add_module(echo, bind=False)
+        st.issue_call(None, "echo", "ping", (9,))
+        sim.run()
+        st.bind("echo", echo)
+        sim.run()
+        kinds = [e.kind for e in recorder]
+        assert kinds == [TraceKind.CALL_BLOCKED, TraceKind.CALL_UNBLOCKED]
+        assert [e.call_id for e in recorder] == ["3:1", "3:1"]

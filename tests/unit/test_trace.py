@@ -1,6 +1,8 @@
-"""Unit tests: the trace recorder."""
+"""Unit tests: the trace recorder and the slotted record type."""
 
-from repro.kernel import TraceKind, TraceRecorder
+import pytest
+
+from repro.kernel import NULL_TRACE, TraceEvent, TraceKind, TraceRecord, TraceRecorder
 
 
 class TestRecording:
@@ -77,3 +79,61 @@ class TestQueries:
         tr = self._populate()
         tr.clear()
         assert len(tr) == 0
+        # The per-kind index must clear too, not serve stale records.
+        assert tr.of_kind(TraceKind.BIND) == []
+        assert tr.crashes() == {}
+
+    def test_of_kind_index_matches_scan(self):
+        tr = self._populate()
+        for kinds in ([TraceKind.BIND], [TraceKind.BIND, TraceKind.CRASH]):
+            wanted = set(kinds)
+            assert tr.of_kind(*kinds) == [e for e in tr if e.kind in wanted]
+
+    def test_wants_reflects_keep_filter(self):
+        assert TraceRecorder().wants(TraceKind.CALL)
+        filtered = TraceRecorder(keep=[TraceKind.CRASH])
+        assert filtered.wants(TraceKind.CRASH)
+        assert not filtered.wants(TraceKind.CALL)
+
+
+class TestSlottedRecords:
+    def test_hot_fields_are_slots(self):
+        tr = TraceRecorder()
+        tr.record(1.0, TraceKind.CALL, 0, service="s", method="go", call_id="0:1")
+        e = tr.events[0]
+        assert (e.method, e.call_id, e.event) == ("go", "0:1", None)
+        assert not hasattr(e, "__dict__")  # slotted: no per-record dict
+        assert dict(e.detail) == {}  # hot record: shared empty mapping
+
+    def test_get_covers_slots_and_detail(self):
+        tr = TraceRecorder()
+        tr.record(1.0, TraceKind.RECOVER, 2, epoch=3)
+        tr.record(2.0, TraceKind.RESPONSE, 2, service="s", event="pong")
+        recover, response = tr.events
+        assert recover.get("epoch") == 3
+        assert recover.get("method", "dflt") == "dflt"
+        assert response.get("event") == "pong"
+
+    def test_records_are_immutable(self):
+        tr = TraceRecorder()
+        tr.record(1.0, TraceKind.BIND, 0, service="s")
+        with pytest.raises(AttributeError):
+            tr.events[0].service = "other"
+
+    def test_trace_event_alias(self):
+        assert TraceEvent is TraceRecord
+
+
+class TestNullTrace:
+    def test_shared_and_disabled(self):
+        assert NULL_TRACE.enabled is False
+        NULL_TRACE.record(1.0, TraceKind.BIND, 0)
+        assert len(NULL_TRACE) == 0
+
+    def test_cannot_be_enabled(self):
+        """The process-wide null sink must stay inert: enabling it would
+        silently couple every trace-off stack in the process."""
+        with pytest.raises(ValueError, match="always-off sink"):
+            NULL_TRACE.enabled = True
+        NULL_TRACE.enabled = False  # idempotent no-op stays allowed
+        assert not NULL_TRACE.wants(TraceKind.CALL)
