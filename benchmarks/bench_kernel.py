@@ -18,6 +18,7 @@ from repro.sim import ConstantLatency, Machine, Simulator
 N_EVENTS = q(10_000, 1_000)
 N_TASKS = q(5_000, 500)
 N_CALLS = q(2_000, 200)
+N_QUERIES = q(20_000, 2_000)
 N_MSGS = q(500, 100)
 FULLSTACK_SIM_SECONDS = q(2.0, 0.5)
 
@@ -71,6 +72,40 @@ def test_call_dispatch_throughput(benchmark):
         return ping.count
 
     assert benchmark(run) == N_CALLS
+
+
+def run_query_loop(n_queries=None):
+    """N synchronous queries against a bound provider; returns the count.
+
+    The shape consensus rounds hammer (``is_suspected`` asking the FD for
+    its suspect list on every round): a zero-cost read through the
+    binding table, now served from the stack's ``(service, query)``
+    cache.  ``bench_core.py`` records this as the ``query_path`` metric.
+    """
+    if n_queries is None:
+        n_queries = N_QUERIES
+
+    class Oracle(Module):
+        PROVIDES = ("o",)
+        PROTOCOL = "oracle"
+
+        def __init__(self, stack):
+            super().__init__(stack)
+            self.export_query("o", "read", lambda: 42)
+
+    sys_ = System(n=1, seed=0, trace_enabled=False)
+    st = sys_.stack(0)
+    st.add_module(Oracle(st))
+    count = 0
+    for _ in range(n_queries):
+        if st.query("o", "read") == 42:
+            count += 1
+    return count
+
+
+@pytest.mark.benchmark(group="kernel-micro")
+def test_query_throughput(benchmark):
+    assert benchmark(run_query_loop) == N_QUERIES
 
 
 @pytest.mark.benchmark(group="kernel-micro")

@@ -31,6 +31,7 @@ METRICS: Dict[str, Any] = {
     "events_steady_per_sec": lambda r: _dig(r, "event_loop_steady", "events_per_sec"),
     "datagrams_per_sec": lambda r: _dig(r, "datagram_path", "datagrams_per_sec"),
     "fullstack_calls_per_sec": lambda r: _dig(r, "kernel_dispatch", "calls_per_sec"),
+    "queries_per_sec": lambda r: _dig(r, "query_path", "queries_per_sec"),
     "events_score": lambda r: r.get("events_score"),
     "calls_score": lambda r: r.get("calls_score"),
     "campaign_jobs1_seconds": lambda r: _dig(r, "campaign", "jobs1_seconds"),

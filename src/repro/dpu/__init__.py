@@ -16,6 +16,7 @@
 
 from .abcast_checker import (
     assert_abcast_properties,
+    chain_agreement_violations,
     check_all_abcast_properties,
     check_recovery_liveness,
     check_uniform_agreement,
@@ -29,19 +30,23 @@ from .generic import IndirectionModule
 from .manager import ReplacementManager, ReplacementWindow
 from .probes import AbcastProbeModule, DeliveryLog, payload_key
 from .properties import (
+    assert_chain_agreement,
     assert_strong_protocol_operationability,
     assert_strong_stack_well_formedness,
     assert_weak_protocol_operationability,
     assert_weak_stack_well_formedness,
+    check_chain_agreement,
     check_strong_protocol_operationability,
     check_strong_stack_well_formedness,
     check_weak_protocol_operationability,
     check_weak_stack_well_formedness,
+    protocol_chains,
 )
-from .repl import NEW_ABCAST, NIL, ReplAbcastModule
+from .repl import NEW_ABCAST, NIL, ReplAbcastModule, SwitchTask
 
 __all__ = [
     "ReplAbcastModule",
+    "SwitchTask",
     "NIL",
     "NEW_ABCAST",
     "IndirectionModule",
@@ -67,4 +72,8 @@ __all__ = [
     "check_all_abcast_properties",
     "assert_abcast_properties",
     "is_post_rejoin_send",
+    "protocol_chains",
+    "check_chain_agreement",
+    "assert_chain_agreement",
+    "chain_agreement_violations",
 ]

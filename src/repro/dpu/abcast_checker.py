@@ -37,6 +37,7 @@ __all__ = [
     "check_uniform_integrity",
     "check_uniform_total_order",
     "check_recovery_liveness",
+    "chain_agreement_violations",
     "check_all_abcast_properties",
     "assert_abcast_properties",
     "is_post_rejoin_send",
@@ -189,6 +190,62 @@ def check_recovery_liveness(
                 f"message {key!r} ABcast by stack {sender} at t={t_send:.6f} "
                 f"was never Adelivered by stack {r}, which re-joined at "
                 f"t={t_rejoin:.6f}"
+            )
+    return violations
+
+
+def _is_subsequence(short: Sequence[str], long: Sequence[str]) -> bool:
+    """Whether *short* appears in *long* in order (gaps allowed)."""
+    it = iter(long)
+    return all(any(x == y for y in it) for x in short)
+
+
+def chain_agreement_violations(
+    chains: Dict[int, Sequence[str]],
+    crashed: Optional[Dict[int, Time]] = None,
+) -> List[str]:
+    """**Chain agreement**: every stack traverses the identical protocol
+    chain in the identical order.
+
+    *chains* maps each stack to the ordered list of protocols it bound to
+    the replaced service (initial protocol first, then one entry per
+    completed switch) — see
+    :func:`repro.dpu.properties.protocol_chains` for the trace-side
+    extractor.  The property quantifies like the paper's: every
+    never-crashed stack must traverse exactly the same chain; an
+    ever-crashed stack may have *missed* versions (it died, or died and
+    recovered after a window passed it by), so it is held to a weaker but
+    still order-sensitive rule — its chain must be a subsequence of the
+    correct stacks' common chain.  Any divergence in order, or any
+    protocol a correct stack never bound, is a violation: under pipelined
+    replacements this is exactly the property the ``sn`` guard buys
+    (stale changes applied at unsynchronised points make two stacks walk
+    *different* chains).
+    """
+    crashed = crashed or {}
+    correct = {s: list(chains[s]) for s in sorted(chains) if s not in crashed}
+    violations: List[str] = []
+    reference: Optional[List[str]] = None
+    ref_stack: Optional[int] = None
+    for s, chain in correct.items():
+        if reference is None:
+            reference, ref_stack = chain, s
+            continue
+        if chain != reference:
+            violations.append(
+                f"stacks {ref_stack} and {s} traversed different protocol "
+                f"chains: {reference!r} vs {chain!r}"
+            )
+    if reference is None:
+        return violations  # no correct stack: nothing to anchor the chain
+    for s in sorted(chains):
+        if s not in crashed:
+            continue
+        chain = list(chains[s])
+        if not _is_subsequence(chain, reference):
+            violations.append(
+                f"ever-crashed stack {s} traversed {chain!r}, which is not a "
+                f"subsequence of the correct chain {reference!r}"
             )
     return violations
 

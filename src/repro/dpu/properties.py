@@ -22,6 +22,14 @@ Definitions implemented (quoted from the paper):
   some stack i, then all non-crashed stacks j in Π contain a module Pj";
 * **weak protocol-operationability** — "... *eventually* contain a module
   Pj".
+
+Beyond the paper's four, the file hosts the trace side of **chain
+agreement** (pipelined replacements): every stack must traverse the
+identical protocol chain in the identical order.
+:func:`protocol_chains` extracts each stack's ordered bind history for a
+service from the kernel trace; :func:`check_chain_agreement` feeds it to
+the comparison core in
+:func:`repro.dpu.abcast_checker.chain_agreement_violations`.
 """
 
 from __future__ import annotations
@@ -30,18 +38,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PropertyViolation
 from ..kernel.events import TraceKind
+from ..kernel.service import WellKnown
 from ..kernel.trace import TraceRecorder
 from ..sim.clock import Time
+from .abcast_checker import chain_agreement_violations
 
 __all__ = [
     "check_weak_stack_well_formedness",
     "check_strong_stack_well_formedness",
     "check_weak_protocol_operationability",
     "check_strong_protocol_operationability",
+    "protocol_chains",
+    "check_chain_agreement",
     "assert_weak_stack_well_formedness",
     "assert_strong_stack_well_formedness",
     "assert_weak_protocol_operationability",
     "assert_strong_protocol_operationability",
+    "assert_chain_agreement",
 ]
 
 
@@ -175,6 +188,48 @@ def check_strong_protocol_operationability(
 
 
 # --------------------------------------------------------------------------- #
+# Chain agreement (pipelined replacements)
+# --------------------------------------------------------------------------- #
+def protocol_chains(
+    trace: TraceRecorder,
+    stacks: Sequence[int],
+    service: str = WellKnown.ABCAST,
+) -> Dict[int, List[str]]:
+    """Per stack, the ordered protocol chain bound to *service*.
+
+    The first entry is the initial protocol (its bind at build time),
+    then one entry per completed replacement — the observable trajectory
+    a pipelined chain leaves in the kernel trace.  Re-binding the *same*
+    module (registry requirement resolution) still counts as a chain
+    step only when it targets *service*, which only the replacement layer
+    ever rebinds.
+    """
+    wanted = set(stacks)
+    chains: Dict[int, List[str]] = {s: [] for s in stacks}
+    for event in trace.of_kind(TraceKind.BIND):
+        if event.service == service and event.stack_id in wanted:
+            chains[event.stack_id].append(event.protocol)
+    return chains
+
+
+def check_chain_agreement(
+    trace: TraceRecorder,
+    stacks: Sequence[int],
+    crashed: Optional[Dict[int, Time]] = None,
+    service: str = WellKnown.ABCAST,
+) -> List[str]:
+    """Every stack traverses the identical protocol chain in the identical
+    order (correct stacks exactly; ever-crashed stacks as a subsequence).
+
+    See :func:`repro.dpu.abcast_checker.chain_agreement_violations` for
+    the precise quantification.
+    """
+    return chain_agreement_violations(
+        protocol_chains(trace, stacks, service=service), crashed=crashed
+    )
+
+
+# --------------------------------------------------------------------------- #
 # Assertion twins
 # --------------------------------------------------------------------------- #
 def _raise_if(prop: str, violations: List[str]) -> None:
@@ -223,4 +278,17 @@ def assert_strong_protocol_operationability(
     _raise_if(
         "strong protocol-operationability",
         check_strong_protocol_operationability(trace, protocol, stacks),
+    )
+
+
+def assert_chain_agreement(
+    trace: TraceRecorder,
+    stacks: Sequence[int],
+    crashed: Optional[Dict[int, Time]] = None,
+    service: str = WellKnown.ABCAST,
+) -> None:
+    """Raise :class:`PropertyViolation` unless the property holds."""
+    _raise_if(
+        "chain agreement",
+        check_chain_agreement(trace, stacks, crashed=crashed, service=service),
     )

@@ -129,6 +129,7 @@ class Module:
                 f"{self.name}: cannot export query on {service!r}; provides {self.provides}"
             )
         self._query_handlers[(service, query)] = fn
+        self.stack._invalidate_query(service, query)
 
     def subscribe(self, service: str, event: str, fn: ResponseHandler) -> None:
         """Declare that this module consumes response *event* of *service*."""
@@ -179,6 +180,14 @@ class Module:
     def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any):
         """Arm a timer on this stack's machine (dies with the machine)."""
         return self.stack.machine.set_timer(delay, fn, *args)
+
+    def set_timer_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Arm a never-cancelled one-shot timer (no handle allocated).
+
+        Use for self-re-arming wheels (periodic ticks, batched flushes);
+        anything that might be cancelled needs :meth:`set_timer`.
+        """
+        self.stack.machine.set_timer_fast(delay, fn, *args)
 
     # ------------------------------------------------------------------ #
     # Lifecycle hooks

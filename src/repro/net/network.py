@@ -94,6 +94,9 @@ class SimNetwork:
         self._hooks: Dict[int, DeliveryHook] = {}
         self._nic_busy_until: Dict[int, Time] = {mid: 0.0 for mid in self._machines}
         self._partitions: Set[FrozenSet[int]] = set()
+        #: Directed blocked pairs (one-way/asymmetric partitions): a
+        #: ``(src, dst)`` entry drops src→dst traffic while dst→src flows.
+        self._oneway: Set[Tuple[int, int]] = set()
         self._links: Dict[Tuple[int, int], LinkImpairment] = {}
         #: Extra one-way delay added to every delivery (latency-spike knob;
         #: deterministic, so toggling it never perturbs the RNG streams).
@@ -145,15 +148,37 @@ class SimNetwork:
                 if a != b:
                     self._partitions.add(frozenset((a, b)))
 
+    def partition_oneway(self, src_group: Set[int], dst_group: Set[int]) -> None:
+        """Drop *src_group* → *dst_group* traffic only (asymmetric split).
+
+        The reverse direction keeps flowing: ``dst_group`` members still
+        reach ``src_group``.  This is the classic half-broken switch port
+        / unidirectional-link failure mode — the affected side *hears*
+        the group (heartbeats, proposals) but its own frames (acks,
+        votes, application sends) vanish until :meth:`heal`.
+        """
+        for src in src_group:
+            for dst in dst_group:
+                if src != dst:
+                    self._oneway.add((src, dst))
+
     def heal(self) -> None:
-        """Remove every partition."""
+        """Remove every partition (symmetric and one-way)."""
         self._partitions.clear()
+        self._oneway.clear()
 
     def is_partitioned(self, a: int, b: int) -> bool:
-        """Whether traffic between *a* and *b* is currently blocked."""
-        # Early-out keeps the per-datagram path allocation-free in the
+        """Whether *a* → *b* traffic is currently blocked.
+
+        Symmetric partitions block both directions; a one-way partition
+        blocks exactly its recorded direction, so ``is_partitioned(a, b)``
+        and ``is_partitioned(b, a)`` can disagree.
+        """
+        # Early-outs keep the per-datagram path allocation-free in the
         # common no-partition case.
-        return bool(self._partitions) and frozenset((a, b)) in self._partitions
+        if self._partitions and frozenset((a, b)) in self._partitions:
+            return True
+        return bool(self._oneway) and (a, b) in self._oneway
 
     # ------------------------------------------------------------------ #
     # Per-link impairments (fault injection)

@@ -200,7 +200,9 @@ class Rp2pModule(Module):
         self._ack_pending.add(src)
         if not self._ack_timer_armed:
             self._ack_timer_armed = True
-            self.set_timer(self.ack_delay, self._flush_acks)
+            # The flush timer is one-shot and never cancelled: fast path
+            # (one fires per 1 ms ack window under load).
+            self.set_timer_fast(self.ack_delay, self._flush_acks)
 
     def _flush_acks(self) -> None:
         self._ack_timer_armed = False

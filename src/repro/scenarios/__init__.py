@@ -39,12 +39,14 @@ from .spec import (
     ImpairLink,
     LatencySpike,
     Partition,
+    PartitionOneWay,
     RandomCrashes,
     Recover,
     ScenarioSpec,
 )
 from .switchplan import (
     SwitchAfterDeliveries,
+    SwitchAfterSwitch,
     SwitchAt,
     SwitchOnFault,
     SwitchPlan,
@@ -57,6 +59,7 @@ __all__ = [
     "Crash",
     "Recover",
     "Partition",
+    "PartitionOneWay",
     "Heal",
     "ImpairLink",
     "LatencySpike",
@@ -65,6 +68,7 @@ __all__ = [
     "SwitchAt",
     "SwitchAfterDeliveries",
     "SwitchOnFault",
+    "SwitchAfterSwitch",
     "SwitchStep",
     "SwitchPlan",
     "ScenarioResult",

@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import List, Optional
 
 from ..errors import ScenarioError
 from ..viz import render_table
+from .docgen import update_doc
 from .engine import Campaign, CampaignResult, compare_reports, run_campaign
 from .library import CAMPAIGNS, SCENARIOS, get_campaign, get_scenario
 
@@ -82,6 +84,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     target.add_argument("--scenario", help="single scenario name (see --list)")
     target.add_argument("--list", action="store_true", dest="list_all",
                         help="list registered scenarios and campaigns")
+    target.add_argument("--write-docs", nargs="?", const="docs/scenarios.md",
+                        default=None, metavar="PATH",
+                        help="regenerate the scenario catalogue tables inside "
+                             "PATH (default: docs/scenarios.md) and exit")
     parser.add_argument("--seeds", type=int, default=1, metavar="N",
                         help="run seeds 0..N-1 (default: 1)")
     parser.add_argument("--seed", type=int, default=None,
@@ -110,6 +116,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_all:
         _list()
+        return 0
+
+    if args.write_docs is not None:
+        path = pathlib.Path(args.write_docs)
+        try:
+            changed = update_doc(path)
+        except (OSError, ScenarioError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{path}: {'updated' if changed else 'already up to date'}")
         return 0
 
     seeds = _parse_seeds(args)

@@ -1,0 +1,246 @@
+"""Generate the ``docs/scenarios.md`` catalogue from the live library.
+
+The scenario tables in the docs are **generated, not hand-written**: every
+registered :class:`~repro.scenarios.spec.ScenarioSpec` renders one row
+with its full fault schedule and switch plan (not just names), and every
+campaign renders its member list.  ``docs/scenarios.md`` embeds the
+output between ``BEGIN GENERATED`` / ``END GENERATED`` markers;
+``tests/unit/test_docs_sync.py`` asserts the embedded block is
+byte-identical to :func:`generated_block`, so registering, renaming or
+even re-tuning a scenario without regenerating the docs fails the build.
+
+Regenerate in place::
+
+    python -m repro.scenarios --write-docs            # docs/scenarios.md
+    python -m repro.scenarios --write-docs path.md    # elsewhere
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+from ..errors import ScenarioError
+from .spec import (
+    Churn,
+    Crash,
+    FaultAction,
+    Heal,
+    ImpairLink,
+    LatencySpike,
+    Partition,
+    PartitionOneWay,
+    RandomCrashes,
+    Recover,
+    ScenarioSpec,
+)
+from .switchplan import (
+    SwitchAfterDeliveries,
+    SwitchAfterSwitch,
+    SwitchAt,
+    SwitchOnFault,
+    SwitchStep,
+)
+
+__all__ = [
+    "describe_fault",
+    "describe_switch",
+    "generated_block",
+    "update_doc",
+    "BEGIN_MARKER",
+    "END_MARKER",
+]
+
+BEGIN_MARKER = (
+    "<!-- BEGIN GENERATED: scenario catalogue "
+    "(regenerate: python -m repro.scenarios --write-docs) -->"
+)
+END_MARKER = "<!-- END GENERATED: scenario catalogue -->"
+
+
+def _groups(groups) -> str:
+    return "\\|".join(",".join(str(m) for m in g) for g in groups)
+
+
+def describe_fault(action: FaultAction) -> str:
+    """One human-readable cell for a fault action (schedule included)."""
+    if isinstance(action, Crash):
+        return f"crash m{action.machine} at t={action.at:g}"
+    if isinstance(action, Recover):
+        return f"recover m{action.machine} at t={action.at:g}"
+    if isinstance(action, Partition):
+        return f"partition {_groups(action.groups)} at t={action.at:g}"
+    if isinstance(action, PartitionOneWay):
+        return (
+            f"one-way partition {_groups((action.src,))}→{_groups((action.dst,))} "
+            f"at t={action.at:g}"
+        )
+    if isinstance(action, Heal):
+        return f"heal at t={action.at:g}"
+    if isinstance(action, ImpairLink):
+        parts = []
+        if action.loss_rate:
+            parts.append(f"{action.loss_rate:.0%} loss")
+        if action.duplicate_rate:
+            parts.append(f"{action.duplicate_rate:.0%} dup")
+        if action.reorder_rate:
+            parts.append(
+                f"{action.reorder_rate:.0%} reorder (+{action.reorder_delay * 1e3:g} ms)"
+            )
+        if action.extra_latency:
+            parts.append(f"+{action.extra_latency * 1e3:g} ms latency")
+        until = f"–{action.until:g}" if action.until is not None else ""
+        return (
+            f"link {action.src}→{action.dst} {' '.join(parts)} "
+            f"(t={action.at:g}{until})"
+        )
+    if isinstance(action, LatencySpike):
+        dur = f" for {action.duration:g} s" if action.duration is not None else ""
+        return f"+{action.extra * 1e3:g} ms latency spike at t={action.at:g}{dur}"
+    if isinstance(action, Churn):
+        machines = ",".join(f"m{m}" for m in action.machines)
+        return (
+            f"churn {machines}: {action.cycles}× crash→recover "
+            f"(period {action.period:g} s, down {action.downtime:g} s) "
+            f"from t={action.start:g}"
+        )
+    if isinstance(action, RandomCrashes):
+        pool = (
+            ",".join(f"m{m}" for m in action.candidates)
+            if action.candidates is not None
+            else "any"
+        )
+        rec = (
+            f", recover +{action.recover_after:g} s"
+            if action.recover_after is not None
+            else ""
+        )
+        return (
+            f"{action.count} seeded-random crashes in "
+            f"[t={action.start:g}, +{action.window:g} s) of {pool}{rec}"
+        )
+    raise ScenarioError(f"undocumentable fault action {action!r}")  # pragma: no cover
+
+
+def describe_switch(step: SwitchStep) -> str:
+    """One human-readable cell for a switch step (trigger included)."""
+    if isinstance(step, SwitchAt):
+        return f"→`{step.protocol}` at t={step.at:g} (m{step.from_stack})"
+    if isinstance(step, SwitchAfterDeliveries):
+        return (
+            f"→`{step.protocol}` after {step.count} deliveries on "
+            f"m{step.on_stack} (m{step.from_stack})"
+        )
+    if isinstance(step, SwitchOnFault):
+        return (
+            f"→`{step.protocol}` {step.delay * 1e3:g} ms after fault "
+            f"#{step.fault_index} (m{step.from_stack})"
+        )
+    if isinstance(step, SwitchAfterSwitch):
+        delay = f" +{step.delay * 1e3:g} ms" if step.delay else ""
+        if step.from_stack is not None:
+            src = f"m{step.from_stack}"
+        elif step.phase == "closed":
+            src = "lowest alive"
+        else:
+            src = "phase stack"
+        return f"→`{step.protocol}` once v{step.version} {step.phase}{delay} ({src})"
+    raise ScenarioError(f"undocumentable switch step {step!r}")  # pragma: no cover
+
+
+def _spec_extras(spec: ScenarioSpec) -> List[str]:
+    """Non-default build knobs worth a mention in the faults cell."""
+    extras = []
+    if spec.loss_rate:
+        extras.append(f"{spec.loss_rate:.0%} LAN loss")
+    if spec.duplicate_rate:
+        extras.append(f"{spec.duplicate_rate:.0%} LAN dup")
+    if spec.load_burst > 1 or spec.load_jitter:
+        extras.append(
+            f"bursty load (burst={spec.load_burst}, jitter={spec.load_jitter:g})"
+        )
+    if not spec.guard_change_sn:
+        extras.append("paper-literal (sn guard off)")
+    if spec.reissue_policy != "drop":
+        extras.append(f"reissue policy `{spec.reissue_policy}`")
+    default_creation = ScenarioSpec.__dataclass_fields__["creation_cost"].default
+    if spec.creation_cost != default_creation:
+        extras.append(f"creation cost {spec.creation_cost * 1e3:g} ms")
+    if spec.expected_faulty:
+        extras.append(
+            "expected-faulty " + ",".join(f"m{m}" for m in spec.expected_faulty)
+        )
+    return extras
+
+
+def _scenario_row(spec: ScenarioSpec, campaigns: List[str]) -> str:
+    faults = "; ".join(
+        [describe_fault(a) for a in spec.faults] + _spec_extras(spec)
+    ) or "—"
+    switches = "; ".join(describe_switch(s) for s in spec.switches) or "—"
+    flags = []
+    if spec.with_gm:
+        flags.append("GM")
+    if spec.initial_protocol != ScenarioSpec.__dataclass_fields__["initial_protocol"].default:
+        flags.append(f"init `{spec.initial_protocol}`")
+    extras = f" ({', '.join(flags)})" if flags else ""
+    campaign_cell = ", ".join(f"`{c}`" for c in campaigns) or "—"
+    return (
+        f"| `{spec.name}` | {spec.n}{extras} | {faults} | {switches} | "
+        f"{campaign_cell} |"
+    )
+
+
+def generated_block() -> str:
+    """The full generated catalogue (scenario + campaign tables)."""
+    from .library import CAMPAIGNS, SCENARIOS  # late: library registers at import
+
+    lines = [
+        "## Scenarios",
+        "",
+        "| Scenario | n | Faults injected | Switch plan | Campaigns |",
+        "|---|---|---|---|---|",
+    ]
+    membership = {
+        name: [
+            c.name
+            for c in CAMPAIGNS.values()
+            if c.name != "full" and any(s.name == name for s in c.scenarios)
+        ]
+        for name in SCENARIOS
+    }
+    for name in SCENARIOS:  # registration order, like the library source
+        lines.append(_scenario_row(SCENARIOS[name], membership[name]))
+    lines += [
+        "",
+        "## Campaigns",
+        "",
+        "| Campaign | Scenarios | Description |",
+        "|---|---|---|",
+    ]
+    for name, campaign in CAMPAIGNS.items():
+        members = (
+            "every registered scenario"
+            if name == "full"
+            else ", ".join(f"`{s.name}`" for s in campaign.scenarios)
+        )
+        lines.append(f"| `{name}` | {members} | {campaign.description} |")
+    return "\n".join(lines)
+
+
+def update_doc(path: pathlib.Path) -> bool:
+    """Replace the generated block inside *path*; returns True on change."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        head, rest = text.split(BEGIN_MARKER, 1)
+        _, tail = rest.split(END_MARKER, 1)
+    except ValueError:
+        raise ScenarioError(
+            f"{path} has no generated-catalogue markers; add "
+            f"{BEGIN_MARKER!r} and {END_MARKER!r} first"
+        ) from None
+    new = head + BEGIN_MARKER + "\n" + generated_block() + "\n" + END_MARKER + tail
+    if new == text:
+        return False
+    path.write_text(new, encoding="utf-8")
+    return True

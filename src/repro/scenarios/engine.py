@@ -39,6 +39,7 @@ from ..dpu.abcast_checker import (
     is_post_rejoin_send,
 )
 from ..dpu.properties import (
+    check_chain_agreement,
     check_weak_protocol_operationability,
     check_weak_stack_well_formedness,
 )
@@ -81,6 +82,10 @@ class ScenarioResult:
     faults: List[Dict[str, Any]]
     switches_fired: List[Dict[str, Any]]
     switch_windows: List[Dict[str, Any]]
+    #: Chain-level replacement metrics: convergence instant/time,
+    #: per-version window overlaps, per-stack protocol trajectories and
+    #: the multi-version stale-discard classification.
+    switch_chain: Dict[str, Any]
     final_protocols: Dict[int, str]
     crashed: Dict[int, float]
     #: Stacks whose crash-recovery re-join handshake completed (and that
@@ -119,6 +124,7 @@ class ScenarioResult:
             "faults": self.faults,
             "switches_fired": self.switches_fired,
             "switch_windows": self.switch_windows,
+            "switch_chain": self.switch_chain,
             "final_protocols": {
                 str(k): v for k, v in sorted(self.final_protocols.items())
             },
@@ -233,6 +239,9 @@ def _config_for(spec: ScenarioSpec, seed: int, trace: str = "full") -> GroupComm
         with_gm=spec.with_gm,
         loss_rate=spec.loss_rate,
         duplicate_rate=spec.duplicate_rate,
+        guard_change_sn=spec.guard_change_sn,
+        reissue_policy=spec.reissue_policy,
+        creation_cost=spec.creation_cost,
     )
 
 
@@ -302,6 +311,9 @@ def run_scenario(
     violations["weak stack-well-formedness"] = check_weak_stack_well_formedness(
         system.trace
     )
+    violations["chain agreement"] = check_chain_agreement(
+        system.trace, stacks, crashed=crashed
+    )
     protocols_bound = {spec.initial_protocol}
     protocols_bound.update(step.protocol for step in spec.switches)
     for protocol in sorted(protocols_bound):
@@ -315,6 +327,7 @@ def run_scenario(
         delivered = gcs.log.delivered_set(stack_id)
         common = delivered if common is None else (common & delivered)
     windows = []
+    switch_chain: Dict[str, Any] = {}
     if gcs.manager is not None:
         for version in sorted(gcs.manager.windows):
             window = gcs.manager.windows[version]
@@ -326,8 +339,15 @@ def run_scenario(
                     "end": window.end,
                     "duration": window.duration,
                     "stacks_completed": len(window.completed),
+                    "overlap_with_previous": window.overlap_with_prev,
                 }
             )
+        switch_chain = gcs.manager.chain_metrics()
+        switch_chain["trajectories"] = {
+            str(sid): [[version, prot] for version, prot in traj]
+            for sid, traj in sorted(gcs.manager.protocol_trajectories().items())
+        }
+        switch_chain["stale_discards"] = gcs.manager.stale_classification()
     latency = mean_latency(gcs.log, stacks=correct) if correct else None
 
     return ScenarioResult(
@@ -343,6 +363,7 @@ def run_scenario(
         faults=[record.to_dict() for record in injector.records],
         switches_fired=list(plan.fired),
         switch_windows=windows,
+        switch_chain=switch_chain,
         final_protocols=(
             gcs.manager.current_protocols() if gcs.manager is not None else {}
         ),

@@ -5,9 +5,14 @@ ROADMAP's north star asks for: switches while the network is partitioned,
 cascading crashes during a consensus-based replacement, membership churn
 storms, lossy/duplicating/reordering links under every ABcast protocol,
 latency spikes, crash→recover incarnations, load-coupled and
-fault-coupled switch triggers, and the **crash-recovery family**
-(recover during a switch, churn with GM re-joins, a recovery storm after
-a partition heal) that exercises the restart protocol end to end.
+fault-coupled switch triggers, the **crash-recovery family** (recover
+during a switch, churn with GM re-joins, a recovery storm after a
+partition heal) that exercises the restart protocol end to end, and the
+**pipelined family**: chained replacements across protocol triples where
+the next ``changeABcast`` is issued *before the previous window closes*
+(``SwitchAfterSwitch``), under crashes, partitions — including one-way
+partitions — loss, and crash-recovery, exercising the version-chain
+switch state machine and the chain-agreement checker.
 
 Scenarios are registered by name in :data:`SCENARIOS` via
 :func:`register_scenario`; campaigns (named scenario sets, e.g. the CI
@@ -30,10 +35,16 @@ from .spec import (
     ImpairLink,
     LatencySpike,
     Partition,
+    PartitionOneWay,
     Recover,
     ScenarioSpec,
 )
-from .switchplan import SwitchAfterDeliveries, SwitchAt, SwitchOnFault
+from .switchplan import (
+    SwitchAfterDeliveries,
+    SwitchAfterSwitch,
+    SwitchAt,
+    SwitchOnFault,
+)
 
 __all__ = [
     "SCENARIOS",
@@ -309,6 +320,131 @@ register_scenario(ScenarioSpec(
 ))
 
 
+register_scenario(ScenarioSpec(
+    name="pipelined-triple-switch",
+    description="a CT→sequencer→token→CT chain where each next change is "
+                "issued the instant the first stack completes the previous "
+                "switch — the windows provably overlap (pipelined "
+                "replacement across a protocol triple)",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    switches=(
+        SwitchAt(protocol=PROTOCOL_SEQ, at=2.5, from_stack=0),
+        SwitchAfterSwitch(protocol=PROTOCOL_TOKEN, version=1, phase="completed"),
+        SwitchAfterSwitch(protocol=PROTOCOL_CT, version=2, phase="completed"),
+    ),
+    quiescence_extra=14.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="pipelined-deep-overlap",
+    description="the deepest overlap a chain allows: each next change is "
+                "requested the instant the previous switch *starts* — the "
+                "request rides the blocked-call queue through the "
+                "unbind→bind gap and still lands in version order",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    switches=(
+        SwitchAt(protocol=PROTOCOL_SEQ, at=2.5, from_stack=0),
+        SwitchAfterSwitch(protocol=PROTOCOL_TOKEN, version=1, phase="started"),
+        SwitchAfterSwitch(protocol=PROTOCOL_CT, version=2, phase="started"),
+    ),
+    quiescence_extra=14.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="pipelined-crash-inside-chain",
+    description="sequencer→token→CT pipelined chain with a machine crashing "
+                "10 ms into the first window: survivors traverse the "
+                "identical chain and converge",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    initial_protocol=PROTOCOL_SEQ,
+    faults=(
+        Crash(at=2.51, machine=4),
+    ),
+    switches=(
+        SwitchAt(protocol=PROTOCOL_TOKEN, at=2.5, from_stack=0),
+        SwitchAfterSwitch(protocol=PROTOCOL_CT, version=1, phase="completed"),
+    ),
+    quiescence_extra=14.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="pipelined-under-partition",
+    description="a CT→sequencer→CT chain requested by the 3-majority of a "
+                "3|2 split: the minority replays the whole chain after the "
+                "heal, going multi-version stale (gap ≥ 2) on the way",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=70.0,
+    faults=(
+        Partition(at=2.0, groups=((0, 1, 2), (3, 4))),
+        Heal(at=4.0),
+    ),
+    switches=(
+        SwitchAt(protocol=PROTOCOL_SEQ, at=2.5, from_stack=0),
+        SwitchAfterSwitch(protocol=PROTOCOL_CT, version=1, phase="completed"),
+    ),
+    quiescence_extra=16.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="pipelined-under-loss",
+    description="token→sequencer→CT pipelined chain over a 2%-lossy LAN: "
+                "retransmissions race the version chain",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=70.0,
+    initial_protocol=PROTOCOL_TOKEN,
+    loss_rate=0.02,
+    switches=(
+        SwitchAt(protocol=PROTOCOL_SEQ, at=2.5, from_stack=1),
+        SwitchAfterSwitch(protocol=PROTOCOL_CT, version=1, phase="completed"),
+    ),
+    quiescence_extra=16.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="pipelined-crash-recover-chain",
+    description="a machine crashes 20 ms into a CT→sequencer→CT pipelined "
+                "chain and recovers mid-chain: on_restart resumes the "
+                "pending switch chain and the GM re-join catches it up",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    with_gm=True,
+    faults=(
+        Crash(at=2.52, machine=3),
+        Recover(at=3.2, machine=3),
+    ),
+    switches=(
+        SwitchAt(protocol=PROTOCOL_SEQ, at=2.5, from_stack=0),
+        SwitchAfterSwitch(protocol=PROTOCOL_CT, version=1, phase="completed"),
+    ),
+    quiescence_extra=16.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="oneway-partition-switch",
+    description="a one-way partition (machines 3,4 can hear the majority "
+                "but their own frames vanish) brackets a CT→CT switch; "
+                "after the heal retransmissions converge everyone",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=70.0,
+    faults=(
+        PartitionOneWay(at=2.0, src=(3, 4), dst=(0, 1, 2)),
+        Heal(at=3.5),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=2.5, from_stack=0),),
+    quiescence_extra=16.0,
+))
+
+
 # --------------------------------------------------------------------------- #
 # Campaigns
 # --------------------------------------------------------------------------- #
@@ -319,10 +455,12 @@ register_campaign(
         "switch-on-crash-detection",
         "dup-storm-switch",
         "recover-during-switch",
+        "pipelined-triple-switch",
     ),
-    description="four fast scenarios for the CI gate: a latency spike, a "
-                "crash-triggered switch, a duplication storm, and a "
-                "crash-recovery restart during a replacement",
+    description="five fast scenarios for the CI gate: a latency spike, a "
+                "crash-triggered switch, a duplication storm, a "
+                "crash-recovery restart during a replacement, and a "
+                "pipelined triple-protocol switch chain",
 )
 
 register_campaign(
@@ -345,6 +483,22 @@ register_campaign(
     description="the crash-recovery restart protocol under pressure: "
                 "recover-then-switch, recover mid-switch, churn with "
                 "repeated rejoins, and a recovery storm after a heal",
+)
+
+register_campaign(
+    "pipelined",
+    (
+        "pipelined-triple-switch",
+        "pipelined-deep-overlap",
+        "pipelined-crash-inside-chain",
+        "pipelined-under-partition",
+        "pipelined-under-loss",
+        "pipelined-crash-recover-chain",
+        "oneway-partition-switch",
+    ),
+    description="chained/overlapping replacements across protocol triples: "
+                "the version-chain state machine under crashes, symmetric "
+                "and one-way partitions, loss, and crash-recovery",
 )
 
 register_campaign(

@@ -30,6 +30,7 @@ __all__ = [
     "Crash",
     "Recover",
     "Partition",
+    "PartitionOneWay",
     "Heal",
     "ImpairLink",
     "LatencySpike",
@@ -85,6 +86,28 @@ class Partition:
     def schedule(self, injector: FaultInjector) -> None:
         """Arm this action on *injector*."""
         injector.partition_at(self.at, *self.groups)
+
+    def faulty_machines(self) -> Tuple[int, ...]:
+        """The machines this action may take down (none)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class PartitionOneWay:
+    """Drop *src* → *dst* traffic only from *at* (asymmetric partition).
+
+    The reverse direction keeps flowing — the unidirectional-link
+    failure mode: the *src* side still hears the group while its own
+    frames vanish.  Healed by :class:`Heal` like symmetric splits.
+    """
+
+    at: Time
+    src: Tuple[int, ...]
+    dst: Tuple[int, ...]
+
+    def schedule(self, injector: FaultInjector) -> None:
+        """Arm this action on *injector*."""
+        injector.partition_oneway_at(self.at, self.src, self.dst)
 
     def faulty_machines(self) -> Tuple[int, ...]:
         """The machines this action may take down (none)."""
@@ -207,7 +230,15 @@ class RandomCrashes:
 
 
 FaultAction = Union[
-    Crash, Recover, Partition, Heal, ImpairLink, LatencySpike, Churn, RandomCrashes
+    Crash,
+    Recover,
+    Partition,
+    PartitionOneWay,
+    Heal,
+    ImpairLink,
+    LatencySpike,
+    Churn,
+    RandomCrashes,
 ]
 
 
@@ -234,6 +265,12 @@ class ScenarioSpec:
         Attach the group-membership module (churn scenarios want it).
     loss_rate / duplicate_rate:
         LAN-wide impairment floors (per-link bursts come via faults).
+    guard_change_sn / reissue_policy:
+        The replacement layer's stale-change handling (DESIGN.md §4).
+        ``guard_change_sn=False`` runs the **paper-literal** variant whose
+        uniform-agreement anomaly the pipelined regression tests pin.
+    creation_cost:
+        Simulated module-creation time per switch (the unbind→bind gap).
     faults:
         The fault schedule, as a tuple of fault actions.
     switches:
@@ -257,6 +294,9 @@ class ScenarioSpec:
     with_gm: bool = False
     loss_rate: float = 0.0
     duplicate_rate: float = 0.0
+    guard_change_sn: bool = True
+    reissue_policy: str = "drop"
+    creation_cost: float = 0.005
     faults: Tuple[FaultAction, ...] = ()
     switches: Tuple[SwitchStep, ...] = field(default_factory=tuple)
     expected_faulty: Tuple[int, ...] = ()

@@ -10,24 +10,42 @@ condition:
   *count* messages (load-coupled switching);
 * :class:`SwitchOnFault` — a fixed *delay* after the *fault_index*-th
   injected fault fires (switch-on-fault-detection: the operator reacting
-  to trouble by moving to a sturdier protocol).
+  to trouble by moving to a sturdier protocol);
+* :class:`SwitchAfterSwitch` — a *delay* after an earlier switch
+  *version* reaches a phase, which is how plans express **back-to-back
+  and deliberately overlapping (pipelined) replacement chains**:
+  ``phase="completed"`` fires when the *first* stack completes the
+  version (the rest of the group is typically still creating modules, so
+  the next change lands squarely inside the open window),
+  ``phase="started"`` fires when the first stack merely *starts* it
+  (deeper overlap: the next change is requested while the requester's
+  abcast service is still unbound and rides the blocked-call queue), and
+  ``phase="closed"`` fires once every non-crashed stack completed it (a
+  strict back-to-back chain).
 
 :class:`SwitchPlan` arms the steps against a built system: it wires the
-time/delivery/fault sources, falls back to the lowest-ranked alive stack
-when the requesting stack is down at firing time, and records every
-switch that actually fired for the campaign report.
+time/delivery/fault/version sources, falls back to the lowest-ranked
+alive stack when the requesting stack is down at firing time, and
+records every switch that actually fired for the campaign report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import ScenarioError
 from ..sim.clock import Duration, Time
 from ..sim.faults import FaultInjector, FaultRecord
 
-__all__ = ["SwitchAt", "SwitchAfterDeliveries", "SwitchOnFault", "SwitchStep", "SwitchPlan"]
+__all__ = [
+    "SwitchAt",
+    "SwitchAfterDeliveries",
+    "SwitchOnFault",
+    "SwitchAfterSwitch",
+    "SwitchStep",
+    "SwitchPlan",
+]
 
 
 @dataclass(frozen=True)
@@ -59,7 +77,42 @@ class SwitchOnFault:
     from_stack: int = 0
 
 
-SwitchStep = Union[SwitchAt, SwitchAfterDeliveries, SwitchOnFault]
+@dataclass(frozen=True)
+class SwitchAfterSwitch:
+    """Switch to *protocol* a *delay* after switch *version* reaches *phase*.
+
+    ``phase`` is one of ``"started"`` (first stack began the version's
+    switch), ``"completed"`` (first stack bound the new module — the
+    pipelining trigger: the rest of the window is still open) or
+    ``"closed"`` (every non-crashed stack completed — back-to-back).
+    ``from_stack=None`` (the default) requests the change from the stack
+    that reached the phase — the only stack *guaranteed* to stamp the
+    request with the fresh version's sequence number, which is what
+    makes a pipelined chain land cleanly.  (For ``"closed"`` no single
+    stack reaches the phase — a crash may close the window — so the
+    default is the lowest-ranked alive stack.)  Pass an explicit rank to
+    deliberately issue the change from a stack that may still be behind
+    (its request goes out under a stale sn and exercises the guard /
+    paper-literal anomaly machinery).
+    """
+
+    protocol: str
+    version: int = 1
+    phase: str = "completed"
+    delay: Duration = 0.0
+    from_stack: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.phase not in ("started", "completed", "closed"):
+            raise ScenarioError(
+                f"SwitchAfterSwitch phase must be 'started', 'completed' or "
+                f"'closed', got {self.phase!r}"
+            )
+        if self.version < 1:
+            raise ScenarioError("SwitchAfterSwitch chains off version >= 1")
+
+
+SwitchStep = Union[SwitchAt, SwitchAfterDeliveries, SwitchOnFault, SwitchAfterSwitch]
 
 
 class SwitchPlan:
@@ -86,6 +139,8 @@ class SwitchPlan:
                 self._arm_delivery_trigger(gcs, step)
             elif isinstance(step, SwitchOnFault):
                 self._arm_fault_trigger(gcs, injector, step)
+            elif isinstance(step, SwitchAfterSwitch):
+                self._arm_version_trigger(gcs, step)
             else:  # pragma: no cover - defensive
                 raise ScenarioError(f"unknown switch step {step!r}")
 
@@ -117,23 +172,65 @@ class SwitchPlan:
 
         injector.on_fault.append(on_fault)
 
+    def _arm_version_trigger(self, gcs: Any, step: SwitchAfterSwitch) -> None:
+        """Fire *step* once switch *version* reaches the requested phase.
+
+        The chained request defaults to the stack that reached the phase
+        (the one whose ``seq_number`` provably matches the new version);
+        an explicit ``from_stack`` overrides that — including the
+        deliberately-stale case.  Each trigger fires at most once.
+        """
+        manager = gcs.manager
+        state = {"armed": True}
+
+        def fire_from(stack_id: Optional[int]) -> None:
+            if not state["armed"]:
+                return
+            state["armed"] = False
+            from_stack = step.from_stack if step.from_stack is not None else stack_id
+            # from_stack may still be None ("closed" has no phase stack);
+            # _fire then resolves it to the lowest-ranked alive stack.
+            gcs.system.sim.schedule(step.delay, self._fire, gcs, step, from_stack)
+
+        if step.phase == "started":
+            manager.on_version_started.append(
+                lambda version, prot, stack_id, at: (
+                    fire_from(stack_id) if version == step.version else None
+                )
+            )
+        elif step.phase == "completed":
+            manager.on_version_first_complete.append(
+                lambda version, prot, stack_id, at: (
+                    fire_from(stack_id) if version == step.version else None
+                )
+            )
+        else:  # "closed"
+            manager.on_version_closed.append(
+                lambda version, prot, at: (
+                    fire_from(None) if version == step.version else None
+                )
+            )
+
     # ------------------------------------------------------------------ #
     # Firing
     # ------------------------------------------------------------------ #
-    def _fire(self, gcs: Any, step: SwitchStep) -> None:
+    def _fire(self, gcs: Any, step: SwitchStep, from_stack: Optional[int] = None) -> None:
         """Request the change (from a fallback stack if the requester died)."""
-        from_stack = step.from_stack
-        if gcs.system.machine(from_stack).crashed:
+        if from_stack is None:
+            from_stack = getattr(step, "from_stack", None)
+        if from_stack is None or gcs.system.machine(from_stack).crashed:
             alive = gcs.system.alive_ids()
             if not alive:
                 return  # nobody left to request the switch
             from_stack = alive[0]
         gcs.manager.request_change(step.protocol, from_stack=from_stack)
-        self.fired.append(
-            {
-                "trigger": type(step).__name__,
-                "protocol": step.protocol,
-                "from_stack": from_stack,
-                "time": gcs.system.sim.now,
-            }
-        )
+        record = {
+            "trigger": type(step).__name__,
+            "protocol": step.protocol,
+            "from_stack": from_stack,
+            "time": gcs.system.sim.now,
+        }
+        if isinstance(step, SwitchAfterSwitch):
+            record["after_version"] = step.version
+            record["phase"] = step.phase
+        self.fired.append(record)

@@ -150,8 +150,23 @@ class FaultInjector:
                 network.partition(a, b)
         self._record("partition", *[tuple(sorted(g)) for g in sets])
 
+    def partition_oneway(
+        self, src_side: Sequence[int], dst_side: Sequence[int]
+    ) -> None:
+        """Asymmetric split: drop *src_side* → *dst_side* traffic only.
+
+        The reverse direction keeps flowing (a unidirectional-link /
+        half-broken-port failure): *src_side* still hears everything but
+        its own frames toward *dst_side* vanish until :meth:`heal`.
+        """
+        network = self._need_network()
+        network.partition_oneway(set(src_side), set(dst_side))
+        self._record(
+            "partition-oneway", tuple(sorted(src_side)), tuple(sorted(dst_side))
+        )
+
     def heal(self) -> None:
-        """Remove every partition."""
+        """Remove every partition (symmetric and one-way)."""
         self._need_network().heal()
         self._record("heal")
 
@@ -254,6 +269,12 @@ class FaultInjector:
     def partition_at(self, time: Time, *groups: Sequence[int]) -> None:
         """Schedule a partition into *groups* at *time*."""
         self._at(time, self.partition, *[tuple(g) for g in groups])
+
+    def partition_oneway_at(
+        self, time: Time, src_side: Sequence[int], dst_side: Sequence[int]
+    ) -> None:
+        """Schedule a one-way partition (*src_side* → *dst_side*) at *time*."""
+        self._at(time, self.partition_oneway, tuple(src_side), tuple(dst_side))
 
     def heal_at(self, time: Time) -> None:
         """Schedule a full heal at *time*."""

@@ -253,6 +253,21 @@ class Machine:
             return None
         return self.sim.schedule(delay, self._run_timer, self._epoch, fn, args)
 
+    def set_timer_fast(self, delay: Duration, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`set_timer`: no cancellable handle.
+
+        The one-shot variant for timers that are **never cancelled** —
+        periodic wheels that re-arm themselves (FD ticks, ack flushes)
+        are the canonical case: each firing allocates a fresh
+        :class:`~repro.sim.events.EventHandle` on the ordinary path
+        purely to drop it.  Ordering, crash suppression and the
+        incarnation-epoch guard are identical to :meth:`set_timer`; the
+        only difference is that the caller cannot cancel it.
+        """
+        if self._crashed_at is not None:
+            return
+        self.sim.schedule_fast(delay, self._run_timer, self._epoch, fn, args)
+
     def _run_timer(self, epoch: int, fn: Callable[..., Any], args: tuple) -> None:
         if self._crashed_at is not None or epoch != self._epoch:
             return

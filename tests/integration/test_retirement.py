@@ -90,3 +90,23 @@ class TestBufferCap:
         sys_.run()
         assert stack.buffered_response_count("e") == 5
         assert stack.buffered_responses_dropped == 7
+
+
+class TestRetireBeforeBound:
+    def test_retire_delay_shorter_than_creation_defers_until_bound(self):
+        """A retirement due inside the unbind→bind gap must not reclaim
+        the module the stack is still switching away from mid-window;
+        it defers past the creation and then retires normally (and the
+        task's chain state reflects it)."""
+        gcs = build_with_retirement(retire_after=0.002)  # < creation_cost (5 ms)
+        gcs.manager.request_change(PROTOCOL_CT, from_stack=0, at=3.0)
+        gcs.run(until=8.0)
+        gcs.run_to_quiescence()
+        for s in range(4):
+            module = gcs.manager.module(s)
+            assert len(gcs.system.stack(s).modules_providing(WellKnown.ABCAST)) == 1
+            assert module.counters.get("retired_modules") == 1
+            (task,) = module.switch_chain
+            assert task.state == "retired"
+            assert task.retired_at > task.bound_at
+        assert_abcast_properties(gcs.log, {}, [0, 1, 2, 3])

@@ -136,3 +136,50 @@ class TestAssertAll:
         )
         with pytest.raises(PropertyViolation, match="total order"):
             assert_abcast_properties(log, {}, [0, 1, 2])
+
+
+class TestChainAgreement:
+    def test_identical_chains_pass(self):
+        from repro.dpu import chain_agreement_violations
+
+        chains = {s: ["ct", "seq", "ct"] for s in range(3)}
+        assert chain_agreement_violations(chains) == []
+
+    def test_diverging_correct_stacks_flagged(self):
+        from repro.dpu import chain_agreement_violations
+
+        chains = {0: ["ct", "seq"], 1: ["ct", "token"], 2: ["ct", "seq"]}
+        violations = chain_agreement_violations(chains)
+        assert len(violations) == 1
+        assert "different protocol chains" in violations[0]
+
+    def test_reordered_chain_flagged(self):
+        from repro.dpu import chain_agreement_violations
+
+        chains = {0: ["ct", "seq", "token"], 1: ["ct", "token", "seq"]}
+        assert chain_agreement_violations(chains)
+
+    def test_crashed_stack_may_miss_versions_but_not_reorder(self):
+        from repro.dpu import chain_agreement_violations
+
+        chains = {0: ["ct", "seq", "token"], 1: ["ct", "seq", "token"],
+                  2: ["ct", "token"]}
+        assert chain_agreement_violations(chains, crashed={2: 1.0}) == []
+        chains[2] = ["ct", "token", "seq"]  # out of order: not a subsequence
+        violations = chain_agreement_violations(chains, crashed={2: 1.0})
+        assert len(violations) == 1
+        assert "subsequence" in violations[0]
+
+    def test_trace_side_extractor(self):
+        """protocol_chains reads BIND events of the replaced service only."""
+        from repro.dpu import protocol_chains
+        from repro.kernel import TraceKind
+        from repro.kernel.trace import TraceRecorder
+
+        trace = TraceRecorder()
+        trace.record(0.0, TraceKind.BIND, 0, service="abcast", protocol="ct")
+        trace.record(0.0, TraceKind.BIND, 0, service="rp2p", protocol="rp2p")
+        trace.record(1.0, TraceKind.BIND, 0, service="abcast", protocol="seq")
+        trace.record(1.1, TraceKind.BIND, 1, service="abcast", protocol="ct")
+        chains = protocol_chains(trace, [0, 1], service="abcast")
+        assert chains == {0: ["ct", "seq"], 1: ["ct"]}

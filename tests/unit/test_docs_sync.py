@@ -1,14 +1,16 @@
 """Keep the documentation layer in sync with the code it documents.
 
-``docs/scenarios.md`` is a hand-written catalogue of the scenario
-library; this test fails the build the moment someone registers a
-scenario or campaign without documenting it (or renames one and leaves a
-stale entry behind).  The README must keep linking the docs tree.
+The scenario/campaign tables in ``docs/scenarios.md`` are **generated**
+from the live library (``python -m repro.scenarios --write-docs``); the
+tests here assert the embedded block is byte-identical to the
+generator's output, so registering, renaming or even re-tuning a
+scenario's fault schedule or switch plan without regenerating the page
+fails the build.  The README must keep linking the docs tree.
 """
 
 import pathlib
-import re
 
+from repro.scenarios.docgen import BEGIN_MARKER, END_MARKER, generated_block
 from repro.scenarios.library import CAMPAIGNS, SCENARIOS
 
 REPO = pathlib.Path(__file__).resolve().parents[2]
@@ -21,7 +23,27 @@ def _doc(name: str) -> str:
     return path.read_text(encoding="utf-8")
 
 
+def _embedded_block() -> str:
+    doc = _doc("scenarios.md")
+    assert BEGIN_MARKER in doc and END_MARKER in doc, (
+        "docs/scenarios.md lost its generated-catalogue markers"
+    )
+    return doc.split(BEGIN_MARKER, 1)[1].split(END_MARKER, 1)[0].strip("\n")
+
+
 class TestScenarioCatalogue:
+    def test_generated_block_is_current(self):
+        """The embedded tables must match the library byte-for-byte.
+
+        This covers names *and* content: every scenario's fault schedule
+        and switch plan, and every campaign's member list.  Regenerate
+        with ``python -m repro.scenarios --write-docs``.
+        """
+        assert _embedded_block() == generated_block(), (
+            "docs/scenarios.md is stale; run "
+            "`python -m repro.scenarios --write-docs`"
+        )
+
     def test_every_scenario_documented(self):
         doc = _doc("scenarios.md")
         missing = [name for name in SCENARIOS if f"`{name}`" not in doc]
@@ -32,15 +54,13 @@ class TestScenarioCatalogue:
         missing = [name for name in CAMPAIGNS if f"`{name}`" not in doc]
         assert not missing, f"campaigns missing from docs/scenarios.md: {missing}"
 
-    def test_no_stale_scenario_rows(self):
-        """Every scenario-looking row in the table exists in the library."""
-        doc = _doc("scenarios.md")
-        table = doc.split("## Scenarios", 1)[1].split("## Campaigns", 1)[0]
-        documented = re.findall(r"^\| `([a-z0-9-]+)` \|", table, flags=re.M)
-        stale = [name for name in documented if name not in SCENARIOS]
-        assert not stale, f"docs/scenarios.md documents unknown scenarios: {stale}"
-        # The table (not just prose) must cover the whole library too.
-        assert set(documented) == set(SCENARIOS)
+    def test_generator_covers_whole_library(self):
+        """Every registered scenario/campaign renders exactly one row."""
+        block = generated_block()
+        for name in SCENARIOS:
+            assert f"| `{name}` |" in block
+        for name in CAMPAIGNS:
+            assert f"| `{name}` |" in block
 
 
 class TestDocsTree:

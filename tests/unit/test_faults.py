@@ -244,3 +244,34 @@ class TestOverlappingSpikes:
         inj.clear_latency_spikes()
         sim.run(until=2.0)
         assert net.extra_latency == 0.0
+
+
+class TestOneWayPartitionFaults:
+    def test_partition_oneway_blocks_and_records(self):
+        sim, machines, net = make_world(n=4)
+        inj = FaultInjector(sim, machines, network=net)
+        inj.partition_oneway_at(1.0, (2, 3), (0, 1))
+        sim.run(until=1.5)
+        assert net.is_partitioned(2, 0)
+        assert net.is_partitioned(3, 1)
+        assert not net.is_partitioned(0, 2)
+        assert not net.is_partitioned(1, 3)
+        record = inj.records[0]
+        assert record.kind == "partition-oneway"
+        assert record.detail == ((2, 3), (0, 1))
+        assert record.to_dict()["detail"] == [(2, 3), (0, 1)]
+
+    def test_heal_clears_oneway(self):
+        sim, machines, net = make_world(n=3)
+        inj = FaultInjector(sim, machines, network=net)
+        inj.partition_oneway_at(1.0, (0,), (1, 2))
+        inj.heal_at(2.0)
+        sim.run(until=2.5)
+        assert not net.is_partitioned(0, 1)
+        assert [r.kind for r in inj.records] == ["partition-oneway", "heal"]
+
+    def test_requires_network(self):
+        sim, machines, _net = make_world()
+        inj = FaultInjector(sim, machines, network=None)
+        with pytest.raises(SimulationError):
+            inj.partition_oneway((0,), (1,))

@@ -165,3 +165,33 @@ class TestRecovery:
         sim.run()
         assert machine.crashed and machine.crash_count == 2
         assert machine.crashed_at == 3.0
+
+
+class TestSetTimerFast:
+    def test_fires_like_set_timer(self, sim, machine):
+        fired = []
+        machine.set_timer_fast(0.5, fired.append, "fast")
+        machine.set_timer(0.5, fired.append, "slow")
+        sim.run()
+        assert fired == ["fast", "slow"]  # scheduling order preserved
+        assert sim.now == pytest.approx(0.5)
+
+    def test_dies_with_the_epoch(self, sim, machine):
+        fired = []
+        machine.set_timer_fast(1.0, fired.append, "old")
+        machine.crash()
+        machine.recover()
+        machine.set_timer_fast(1.0, fired.append, "new")
+        sim.run()
+        assert fired == ["new"]
+
+    def test_noop_on_crashed_machine(self, sim, machine):
+        fired = []
+        machine.crash()
+        machine.set_timer_fast(0.1, fired.append, "never")
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self, sim, machine):
+        with pytest.raises(SimulationError):
+            machine.set_timer_fast(-0.1, lambda: None)

@@ -281,3 +281,44 @@ class TestLinkImpairments:
         sim.run()
         assert len(received) == 2
         assert all(arrival >= 0.050 for _msg, arrival in received)
+
+
+class TestOneWayPartitions:
+    def test_blocks_only_the_recorded_direction(self, sim):
+        machines, net = make_net(sim)
+        fwd, back = [], []
+        net.attach(1, lambda m, t: fwd.append(m.payload))
+        net.attach(0, lambda m, t: back.append(m.payload))
+        net.partition_oneway({0}, {1})
+        net.send(NetMessage(0, 1, "lost", 10))
+        net.send(NetMessage(1, 0, "heard", 10))
+        sim.run()
+        assert fwd == []
+        assert back == ["heard"]
+        assert net.stats()["dropped_partition"] == 1
+
+    def test_is_partitioned_is_directional(self, sim):
+        machines, net = make_net(sim)
+        net.partition_oneway({0, 2}, {1})
+        assert net.is_partitioned(0, 1)
+        assert net.is_partitioned(2, 1)
+        assert not net.is_partitioned(1, 0)
+        assert not net.is_partitioned(1, 2)
+        assert not net.is_partitioned(0, 2)
+
+    def test_heal_clears_oneway_too(self, sim):
+        machines, net = make_net(sim)
+        net.partition_oneway({0}, {1, 2})
+        net.partition({0}, {2})
+        net.heal()
+        got = []
+        net.attach(1, lambda m, t: got.append(m.payload))
+        net.send(NetMessage(0, 1, "post-heal", 10))
+        sim.run()
+        assert got == ["post-heal"]
+
+    def test_symmetric_partition_still_blocks_both_ways(self, sim):
+        machines, net = make_net(sim)
+        net.partition({0}, {1})
+        assert net.is_partitioned(0, 1)
+        assert net.is_partitioned(1, 0)

@@ -366,3 +366,160 @@ class TestDedupOption:
         sys_.run()
         assert app.delivered == ["m"]
         assert repl.counters.get("dedup_suppressed") == 1
+
+
+class TestSwitchChain:
+    """The per-version SwitchTask state machine and version chain."""
+
+    def test_single_switch_task_lifecycle(self):
+        sys_, st, fake, repl, app = build(creation_cost=0.050)
+        assert repl.switch_chain == []
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run(until=0.010)
+        (task,) = repl.switch_chain
+        assert (task.version, task.protocol, task.state) == (1, "fake-abcast", "creating")
+        assert task.ordered_at == task.creating_at  # started immediately
+        sys_.run()
+        assert task.state == "reissued"
+        assert task.bound_at == task.reissued_at
+        assert task.bound_at == pytest.approx(task.creating_at + 0.050)
+        assert repl.protocol_trajectory() == [(0, "fake-abcast"), (1, "fake-abcast")]
+
+    def test_status_exposes_chain(self):
+        sys_, st, fake, repl, app = build()
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run()
+        status = st.query(WellKnown.R_ABCAST, "status")
+        assert status["pending_chain"] == 0
+        assert [t["state"] for t in status["chain"]] == ["reissued"]
+        assert status["chain"][0]["version"] == 1
+
+    def test_paper_literal_pipelined_chain_queues_and_completes_in_order(self):
+        """Guard off + a stale change mid-gap: the second task waits in
+        state ``ordered`` behind the creating one, then the chain runs
+        both — per-task version tags, not the live seq_number."""
+        sys_, st, fake, repl, app = build(guard=False, creation_cost=0.050)
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run(until=0.010)
+        # Second change (stale sn=0) delivered by the still-running old
+        # module inside the creation gap.
+        fake.deliver(1, (NEW_ABCAST, 0, (2, 0), "fake-abcast"))
+        sys_.run(until=0.011)
+        assert repl.seq_number == 2            # line 11 ran at ordering time
+        states = [t.state for t in repl.switch_chain]
+        assert states == ["creating", "ordered"]  # pipelined, serialised
+        sys_.run()
+        assert [t.state for t in repl.switch_chain] == ["reissued", "reissued"]
+        v2 = repl.switch_chain[1]
+        assert v2.creating_at > 0.049  # queued behind v1's creation
+        assert v2.ordered_at < v2.creating_at
+        # The bound module carries the *task's* version tag, v2 not v1.
+        bound = st.bound_module(WellKnown.ABCAST)
+        assert bound.name in st.modules
+        assert repl.protocol_trajectory() == [
+            (0, "fake-abcast"), (1, "fake-abcast"), (2, "fake-abcast")
+        ]
+
+    def test_crash_mid_chain_restart_resumes_whole_chain(self):
+        """A crash while v1 is creating (with v2 already ordered) must
+        resume the *chain*: v1's creation re-arms, v2 follows."""
+        sys_, st, fake, repl, app = build(guard=False, creation_cost=0.050)
+        fake.deliver(1, (NEW_ABCAST, 0, (1, 0), "fake-abcast"))
+        sys_.run(until=0.010)
+        fake.deliver(1, (NEW_ABCAST, 0, (2, 0), "fake-abcast"))
+        sys_.run(until=0.020)
+        assert [t.state for t in repl.switch_chain] == ["creating", "ordered"]
+        st.machine.crash()
+        sys_.run(until=0.200)
+        # Dead incarnation: nothing moved, abcast still unbound.
+        assert [t.state for t in repl.switch_chain] == ["creating", "ordered"]
+        assert st.bound_module(WellKnown.ABCAST) is None
+        st.machine.recover()
+        sys_.run(until=0.200 + 0.049)
+        assert [t.state for t in repl.switch_chain] == ["creating", "ordered"]
+        sys_.run()
+        assert [t.state for t in repl.switch_chain] == ["reissued", "reissued"]
+        assert st.bound_module(WellKnown.ABCAST) is not None
+        assert repl.seq_number == 2
+
+    def test_multi_version_stale_classification(self):
+        sys_, st, fake, repl, app = build()
+        repl.seq_number = 3
+        fake.deliver(1, (NIL, 2, (1, 0), "one-behind", 64))
+        fake.deliver(1, (NIL, 1, (1, 1), "two-behind", 64))
+        fake.deliver(1, (NIL, 5, (1, 2), "from-the-future", 64))
+        sys_.run()
+        assert repl.counters.get("stale_messages_discarded") == 3
+        assert repl.counters.get("stale_multi_version") == 2
+        assert repl.stale_gaps == {1: 1, 2: 1, -2: 1}
+
+    def test_task_transitions_are_forward_only(self):
+        from repro.dpu import SwitchTask
+        task = SwitchTask(1, "p", (0, 0), 0.0)
+        task.advance("creating", 1.0)
+        task.advance("bound", 2.0)
+        with pytest.raises(ReplacementError):
+            task.advance("creating", 3.0)
+        assert task.to_dict()["state"] == "bound"
+
+
+class TestPipelinedAnomaly:
+    """The paper-literal anomaly *under pipelining* (ISSUE 5 satellite):
+    two overlapping changes, the second landing inside stack B's
+    creation gap — B's chain genuinely pipelines (ordered behind
+    creating) and uniform agreement still breaks without the guard,
+    while the guarded variant stays consistent."""
+
+    def _run(self, guard):
+        (sysA, stA, fakeA, replA, appA) = build(guard=guard, creation_cost=0.050)
+        (sysB, stB, fakeB, replB, appB) = build(guard=guard, creation_cost=0.050)
+        # A's message m rides v0; c1 and c2 are concurrent changes (both
+        # stamped sn=0; c2 ordered after c1 in v0's total order).
+        appA.call(WellKnown.R_ABCAST, "abcast", "m", 64)
+        sysA.run()
+        c1 = (NEW_ABCAST, 0, (1, 0), "fake-abcast")
+        c2 = (NEW_ABCAST, 0, (0, 99), "fake-abcast")
+
+        # Both stacks process c1 and complete the v1 switch; A re-issues
+        # m under sn=1.
+        for sys_, fake in ((sysA, fakeA), (sysB, fakeB)):
+            fake.deliver(1, c1)
+            sys_.run()
+        newA = stA.bound_module(WellKnown.ABCAST)
+        newB = stB.bound_module(WellKnown.ABCAST)
+        m_reissue = [f for f in newA.sent if f[0] == NIL][0]
+        assert m_reissue[1] == 1
+
+        # A delivers the re-issued m, THEN processes the stale c2.
+        newA.deliver(0, m_reissue)
+        sysA.run()
+        newA.deliver(0, c2)
+        sysA.run()
+
+        # B processes the stale c2 FIRST — and (pipelining) the re-issued
+        # m arrives while B is still creating the v2 module.
+        newB.deliver(0, c2)
+        sysB.run(until=sysB.sim.now + 0.010)
+        if not guard:
+            # The genuine pipelined shape: with a second change accepted
+            # mid-window, B's v1 instance keeps delivering (unbound) but
+            # the chain serialises v2 behind it.
+            assert replB.seq_number == 2
+        newB.deliver(0, m_reissue)
+        sysB.run()
+        sysA.run()
+        return appA, appB, replA, replB
+
+    def test_literal_variant_loses_m_under_pipelining(self):
+        appA, appB, replA, replB = self._run(guard=False)
+        assert replA.seq_number == replB.seq_number == 2
+        assert appA.delivered == ["m"]
+        assert appB.delivered == []  # uniform agreement violated
+        # B classified the lost copy as a stale discard.
+        assert replB.counters.get("stale_messages_discarded") >= 1
+
+    def test_guard_prevents_the_pipelined_anomaly(self):
+        appA, appB, replA, replB = self._run(guard=True)
+        assert replA.seq_number == replB.seq_number == 1
+        assert appA.delivered == ["m"]
+        assert appB.delivered == ["m"]  # agreement preserved

@@ -589,3 +589,49 @@ class TestStandaloneTraceModes:
         kinds = [e.kind for e in recorder]
         assert kinds == [TraceKind.CALL_BLOCKED, TraceKind.CALL_UNBLOCKED]
         assert [e.call_id for e in recorder] == ["3:1", "3:1"]
+
+
+class TestQueryFastPath:
+    """The (service, query) resolution cache (PR 5 kernel follow-up)."""
+
+    def _stack(self):
+        sys_ = System(n=1, seed=0)
+        st = sys_.stack(0)
+        echo = st.add_module(Echo(st))
+        return sys_, st, echo
+
+    def test_cached_query_returns_live_data(self):
+        sys_, st, echo = self._stack()
+        assert st.query("echo", "count") == 0
+        st.issue_call(None, "echo", "ping", ("a",))
+        sys_.run()
+        # The cached handler reads the provider's live state.
+        assert st.query("echo", "count") == 1
+        assert ("echo", "count") in st._query_cache
+
+    def test_bind_unbind_invalidate(self):
+        sys_, st, echo = self._stack()
+        st.query("echo", "count")
+        st.unbind("echo")
+        assert st._query_cache == {}
+        with pytest.raises(UnknownServiceError):
+            st.query("echo", "count")
+        # Re-bind a *different* provider: the query must resolve to it.
+        other = Echo(st)
+        st.add_module(other, bind=False)
+        st.bind("echo", other)
+        st.issue_call(None, "echo", "ping", ("b",))
+        sys_.run()
+        assert st.query("echo", "count") == 1  # other's count, not echo's
+        assert echo.calls == []
+
+    def test_reexport_invalidates_single_entry(self):
+        sys_, st, echo = self._stack()
+        assert st.query("echo", "count") == 0
+        echo.export_query("echo", "count", lambda: 999)
+        assert st.query("echo", "count") == 999
+
+    def test_unknown_query_still_raises(self):
+        sys_, st, echo = self._stack()
+        with pytest.raises(KernelError):
+            st.query("echo", "no-such-query")
