@@ -298,6 +298,10 @@ def run_all(quick: bool, campaign_jobs: int = 4) -> Dict[str, Any]:
     kernel_dispatch = bench_kernel_dispatch()
     record: Dict[str, Any] = {
         "schema": 2,
+        # Which runtime backend produced the numbers.  Everything here
+        # measures the discrete-event twin; a future wall-clock bench
+        # would stamp "realtime" so trajectory tooling never mixes them.
+        "backend": "sim",
         "quick": quick,
         "pyops_per_sec": pyops,
         "event_loop": event_loop,

@@ -56,6 +56,10 @@ class TraceKind(enum.Enum):
     CRASH = "crash"
     #: The machine recovered and the stack restarted its modules.
     RECOVER = "recover"
+    #: The restart protocol finished: every module re-armed in the new
+    #: incarnation epoch (the kernel-level "re-join" marker scenarios
+    #: without a GM use for recovery-liveness narrowing).
+    RESTART_COMPLETE = "restart_complete"
 
 
 #: The kinds the property checkers consume (everything except the

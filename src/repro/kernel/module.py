@@ -178,8 +178,15 @@ class Module:
         return self.stack.query(service, query, *args)
 
     def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any):
-        """Arm a timer on this stack's machine (dies with the machine)."""
-        return self.stack.machine.set_timer(delay, fn, *args)
+        """Arm a timer on this stack's node (dies with the node).
+
+        Routed through the stack's runtime backend (the
+        :class:`~repro.runtime.api.NodeBackend` seam), so the same
+        module runs unchanged on the simulator and on wall-clock
+        backends.  Returns a handle for :meth:`cancel_timer`, or
+        ``None`` when the node is already down.
+        """
+        return self.stack.backend.set_timer(delay, fn, *args)
 
     def set_timer_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Arm a never-cancelled one-shot timer (no handle allocated).
@@ -187,7 +194,17 @@ class Module:
         Use for self-re-arming wheels (periodic ticks, batched flushes);
         anything that might be cancelled needs :meth:`set_timer`.
         """
-        self.stack.machine.set_timer_fast(delay, fn, *args)
+        self.stack.backend.set_timer_fast(delay, fn, *args)
+
+    def cancel_timer(self, handle: Any) -> None:
+        """Cancel a timer handle returned by :meth:`set_timer`.
+
+        No-op once the timer fired.  This is the only sanctioned way for
+        module code to disarm a timer — going to the engine directly
+        (``self.sim.cancel``) would weld the module to the simulation
+        backend.
+        """
+        self.stack.backend.cancel(handle)
 
     # ------------------------------------------------------------------ #
     # Lifecycle hooks
@@ -214,12 +231,14 @@ class Module:
     # Convenience ------------------------------------------------------- #
     @property
     def sim(self):
-        """The simulator this module's machine runs on."""
+        """The scheduler this module's node runs on (the
+        :class:`~repro.runtime.api.Scheduler` seam: the simulator in the
+        discrete-event backend, a wall-clock scheduler in realtime)."""
         return self.stack.sim
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
+        """Current runtime time (simulated or wall-clock seconds)."""
         return self.stack.sim.now
 
     @property

@@ -60,15 +60,15 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from ..errors import KernelError, ModuleNotInStackError, UnknownServiceError
+from ..runtime.api import NodeBackend
 from ..sim.clock import Duration, us
-from ..sim.process import Machine
 from .binding import BindingTable
 from .events import TraceKind
 from .module import Module, NOT_MINE
 from .trace import NULL_TRACE, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..sim.engine import Simulator
+    from ..runtime.api import Scheduler
 
 __all__ = ["Stack", "DEFAULT_CALL_COST", "DEFAULT_RESPONSE_COST"]
 
@@ -109,6 +109,9 @@ class Stack:
 
     __slots__ = (
         "machine",
+        "backend",
+        "restart_completed_at",
+        "restart_completed_epoch",
         "trace",
         "call_cost",
         "response_cost",
@@ -139,13 +142,23 @@ class Stack:
 
     def __init__(
         self,
-        machine: Machine,
+        machine: NodeBackend,
         trace: Union[TraceRecorder, bool, None] = None,
         call_cost: Duration = DEFAULT_CALL_COST,
         response_cost: Duration = DEFAULT_RESPONSE_COST,
         max_buffered_responses: Optional[int] = None,
     ) -> None:
         self.machine = machine
+        #: The runtime seam modules reach timers through (``Module.set_timer``
+        #: routes here).  Today the backend *is* the machine — the alias
+        #: exists so kernel and module code never name the concrete class.
+        self.backend: NodeBackend = machine
+        #: Instant / incarnation epoch of the last *completed* restart
+        #: protocol (``None`` until the stack has restarted once).  The
+        #: kernel-level "re-join" marker: scenarios without a group
+        #: membership module use it to narrow recovery-liveness exemptions.
+        self.restart_completed_at: Optional[float] = None
+        self.restart_completed_epoch: Optional[int] = None
         if trace is None or trace is False:
             trace = NULL_TRACE
         elif trace is True:
@@ -197,8 +210,9 @@ class Stack:
         return self.machine.machine_id
 
     @property
-    def sim(self) -> "Simulator":
-        """The simulator the hosting machine runs on."""
+    def sim(self) -> "Scheduler":
+        """The scheduler the hosting node runs on (the simulator in the
+        discrete-event backend, a wall-clock scheduler in realtime)."""
         return self._sim
 
     @property
@@ -749,6 +763,19 @@ class Stack:
             module.on_restart()
         for service in [s for s, queue in self._blocked_calls.items() if queue]:
             self._release_blocked_calls(service)
+        # Kernel-level "restart complete" marker: every module re-armed
+        # in the new epoch and every surviving drain restarted.  Bare
+        # scenarios (no GM re-join handshake) use this to narrow the
+        # recovery-liveness exemption; GM-based scenarios keep using the
+        # stronger group-level handshake instant.
+        self.restart_completed_at = self._sim.now
+        self.restart_completed_epoch = self.machine.epoch
+        self.trace.record(
+            self._sim.now,
+            TraceKind.RESTART_COMPLETE,
+            self.stack_id,
+            epoch=self.machine.epoch,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -31,6 +31,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 import numpy as np
 
 from ..errors import NetworkError, UnknownDestinationError
+from ..runtime.api import Transport
 from ..sim.clock import Duration, Time
 from ..sim.engine import Simulator
 from ..sim.process import Machine
@@ -79,8 +80,14 @@ class LinkImpairment:
 DeliveryHook = Callable[[NetMessage, Time], None]
 
 
-class SimNetwork:
-    """A switched LAN connecting the machines of one system."""
+class SimNetwork(Transport):
+    """A switched LAN connecting the machines of one system.
+
+    ``SimNetwork`` is the simulation's implementation of the
+    :class:`~repro.runtime.api.Transport` contract (the runtime seam);
+    :class:`~repro.runtime.realtime.RealtimeUdpTransport` is its
+    real-socket twin.
+    """
 
     def __init__(
         self,

@@ -133,7 +133,7 @@ class Rp2pModule(Module):
     def _disarm_timer(self, dst: int) -> None:
         handle = self._retx_timer.pop(dst, None)
         if handle is not None:
-            self.sim.cancel(handle)
+            self.cancel_timer(handle)
         self._cur_rto[dst] = self.rto
 
     def _on_timeout(self, dst: int) -> None:

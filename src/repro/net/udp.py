@@ -19,9 +19,9 @@ from typing import Any, Optional
 from ..kernel.module import Module
 from ..kernel.service import WellKnown
 from ..kernel.stack import Stack
+from ..runtime.api import Transport
 from ..sim.clock import Duration, Time, us
 from .message import UDP_HEADER_BYTES, NetMessage
-from .network import SimNetwork
 
 __all__ = ["UdpModule"]
 
@@ -32,7 +32,9 @@ DEFAULT_SEND_COST: Duration = us(10.0)
 
 
 class UdpModule(Module):
-    """Kernel module providing the ``udp`` service over a :class:`SimNetwork`."""
+    """Kernel module providing the ``udp`` service over any
+    :class:`~repro.runtime.api.Transport` (the simulated LAN or the
+    realtime UDP-socket transport — same module, same semantics)."""
 
     PROVIDES = (WellKnown.UDP,)
     REQUIRES = ()
@@ -41,7 +43,7 @@ class UdpModule(Module):
     def __init__(
         self,
         stack: Stack,
-        network: SimNetwork,
+        network: Transport,
         recv_cost: Duration = DEFAULT_RECV_COST,
         send_cost: Duration = DEFAULT_SEND_COST,
         name: Optional[str] = None,
@@ -72,7 +74,7 @@ class UdpModule(Module):
             return
         # The send-side CPU cost was already charged by the kernel call
         # dispatch; the explicit extra below models the syscall + copy.
-        self.stack.machine.execute(self.send_cost, self.network.send, message)
+        self.stack.backend.execute(self.send_cost, self.network.send, message)
 
     # ------------------------------------------------------------------ #
     # Inbound

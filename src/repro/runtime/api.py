@@ -1,0 +1,273 @@
+"""The runtime seam: the surface modules may touch, as explicit ABCs.
+
+Protocol modules historically reached time, timers and datagram I/O
+*concretely* — through :class:`~repro.sim.engine.Simulator`,
+:class:`~repro.sim.process.Machine` and
+:class:`~repro.net.network.SimNetwork`.  That worked, but it welded the
+whole stack to the discrete-event world: the paper's claim is about a
+*running system*, and a runnable system needs the same modules on real
+sockets and wall-clock timers.
+
+This module names the seam.  Three narrow contracts cover everything a
+module (or the kernel on its behalf) actually uses:
+
+* :class:`Scheduler` — ``now``, the ``schedule*`` family, ``cancel``,
+  ``peek_time``, seeded rng streams.  Implemented natively by
+  :class:`~repro.sim.engine.Simulator` and by
+  :class:`~repro.runtime.realtime.RealtimeScheduler` (asyncio
+  wall-clock timers).
+* :class:`NodeBackend` — the per-node surface: epoch-guarded timers,
+  CPU execution, crash/recover state and hooks.  Implemented by
+  :class:`~repro.sim.process.Machine` and
+  :class:`~repro.runtime.realtime.RealtimeNode`.
+* :class:`Transport` — datagram I/O between nodes: ``attach`` /
+  ``detach`` delivery hooks, ``send`` / ``send_local``, counters.
+  Implemented by :class:`~repro.net.network.SimNetwork` and
+  :class:`~repro.runtime.realtime.RealtimeUdpTransport`.
+
+:class:`Backend` bundles the three into one bootable cluster runtime;
+:class:`~repro.runtime.sim_backend.SimBackend` and
+:class:`~repro.runtime.realtime.RealtimeBackend` are the two
+implementations (the deterministic twin and the deployable one).
+
+Design constraints
+------------------
+* Every ABC is ``__slots__ = ()`` and import-cycle-free, so the hot
+  simulation classes can inherit them without growing a ``__dict__``
+  or paying any per-call cost — the seam is a *naming* of the existing
+  surface, not an indirection layer.
+* The kernel's dispatch fast path reads two node internals directly
+  (``_crashed_at`` and ``_busy_until``); they are part of this contract
+  (see :class:`NodeBackend`), not private details of ``Machine``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["Scheduler", "NodeBackend", "Transport", "Backend"]
+
+
+class Scheduler(ABC):
+    """Time and timers: the engine-level half of the runtime seam.
+
+    Implementations must also expose two non-method members:
+
+    * ``rng`` — a :class:`~repro.sim.random.RngRegistry`; modules draw
+      named, seeded streams from it (``sim.rng.stream("workload.3")``),
+    * ``at_end`` — a mutable list of zero-argument callbacks invoked
+      when the run winds down.
+
+    Equal-deadline ordering must be FIFO in scheduling order — the
+    determinism contract protocol code relies on (both the simulator's
+    sequence counter and asyncio's ``call_later`` guarantee it).
+    """
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current runtime time in seconds (simulated or wall-clock)."""
+
+    @property
+    @abstractmethod
+    def events_processed(self) -> int:
+        """Total callbacks fired so far (budget checks, soak metrics)."""
+
+    @abstractmethod
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any,
+                 priority: int = 0) -> Any:
+        """Fire ``callback(*args)`` after *delay* seconds; returns a
+        cancellable handle (pass it to :meth:`cancel`)."""
+
+    @abstractmethod
+    def schedule_fast(self, delay: float, callback: Callable[..., Any], *args: Any,
+                      priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, never cancelled."""
+
+    @abstractmethod
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any,
+                    priority: int = 0) -> Any:
+        """Fire ``callback(*args)`` at absolute instant *time*."""
+
+    @abstractmethod
+    def schedule_at_fast(self, time: float, callback: Callable[..., Any], *args: Any,
+                         priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule_at`."""
+
+    @abstractmethod
+    def call_soon(self, callback: Callable[..., Any], *args: Any,
+                  priority: int = 0) -> Any:
+        """Fire ``callback(*args)`` as soon as possible, after anything
+        already queued for the current instant."""
+
+    @abstractmethod
+    def cancel(self, handle: Any) -> None:
+        """Cancel a handle returned by the non-fast scheduling calls
+        (no-op once it fired)."""
+
+    @abstractmethod
+    def peek_time(self) -> Optional[float]:
+        """Deadline of the earliest pending event, or ``None`` when that
+        is unknowable (real time) or nothing is pending.
+
+        The kernel uses this as a conservative "is anything pending at
+        the current instant" probe; returning ``None`` is always safe.
+        """
+
+
+class NodeBackend(ABC):
+    """One node's runtime surface: timers, execution, crash state.
+
+    Beyond the abstract methods, implementations expose:
+
+    * ``sim`` — the node's :class:`Scheduler`,
+    * ``machine_id`` / ``name`` — rank (doubles as the transport
+      address) and human-readable name,
+    * ``on_crash`` / ``on_recover`` — hook lists invoked with the
+      crash/recovery instant (the kernel's restart protocol hangs off
+      ``on_recover``),
+    * ``_crashed_at`` / ``_busy_until`` — the two internals the kernel
+      dispatch fast path reads directly: crash instant (``None`` while
+      up) and the CPU-drain instant (any value ``<= sim.now`` means
+      idle; backends without a modelled CPU keep it at ``0.0``).
+
+    Timers and executed work are **epoch-guarded**: work scheduled
+    before a crash must never fire in a later incarnation.
+    """
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def crashed(self) -> bool:
+        """Whether the node is currently down."""
+
+    @property
+    @abstractmethod
+    def ever_crashed(self) -> bool:
+        """Whether the node has crashed at least once (even if back up)."""
+
+    @property
+    @abstractmethod
+    def crash_count(self) -> int:
+        """How many times the node has crashed so far."""
+
+    @property
+    @abstractmethod
+    def epoch(self) -> int:
+        """Current incarnation epoch (increments at every crash)."""
+
+    @abstractmethod
+    def execute(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` after the node's CPU spent *cost* seconds
+        on it (backends without a modelled CPU may ignore *cost* but
+        must still defer the invocation — callers rely on not being
+        re-entered synchronously)."""
+
+    @abstractmethod
+    def execute_packed(self, cost: float, fn: Callable[..., Any], args: tuple) -> None:
+        """Hot-path :meth:`execute`: pre-packed args, preconditions
+        (non-negative cost, node up) already checked by the caller."""
+
+    @abstractmethod
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Optional[Any]:
+        """Fire ``fn(*args)`` after *delay* seconds unless the node
+        crashes first; returns a cancellable handle (``None`` when the
+        node is already down)."""
+
+    @abstractmethod
+    def set_timer_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`set_timer` (periodic wheels that
+        re-arm themselves and are never cancelled)."""
+
+    @abstractmethod
+    def cancel(self, handle: Any) -> None:
+        """Cancel a handle returned by :meth:`set_timer`."""
+
+    @abstractmethod
+    def crash(self) -> None:
+        """Take the node down now (idempotent); pending timers and work
+        die with the incarnation."""
+
+    @abstractmethod
+    def recover(self) -> None:
+        """Bring a crashed node back up as a new incarnation (no-op
+        while up); the ``on_recover`` hooks then run the restart
+        protocol."""
+
+
+class Transport(ABC):
+    """Datagram I/O between nodes: the network half of the seam.
+
+    Hooks are called as ``hook(message, arrival_time)`` with a
+    :class:`~repro.net.message.NetMessage`.  Crash semantics are part of
+    the contract: datagrams from crashed senders are never sent, and
+    datagrams to crashed receivers are dropped at delivery time (the
+    receiver may crash while a datagram is in flight).
+    """
+
+    __slots__ = ()
+
+    @abstractmethod
+    def attach(self, machine_id: int, hook: Callable[..., None]) -> None:
+        """Register the delivery hook for node *machine_id* (its doorway
+        module, normally :class:`~repro.net.udp.UdpModule`)."""
+
+    @abstractmethod
+    def detach(self, machine_id: int) -> None:
+        """Remove the delivery hook of node *machine_id*."""
+
+    @abstractmethod
+    def send(self, message: Any) -> None:
+        """Send one datagram (unreliable, unordered: whatever the
+        substrate does)."""
+
+    @abstractmethod
+    def send_local(self, message: Any) -> None:
+        """Loopback delivery to the sender's own hook (no wire, no
+        latency model, but still asynchronous)."""
+
+    @abstractmethod
+    def stats(self) -> Dict[str, int]:
+        """Datagram counters (``sent``, ``bytes_sent``, drop reasons,
+        ...) as a plain dict."""
+
+
+class Backend(ABC):
+    """One bootable cluster runtime: a scheduler, *n* nodes, a transport.
+
+    The lifecycle is ``start()`` → build stacks on :attr:`nodes` →
+    ``run(duration)`` (repeatable) → ``stop()``.  ``start()`` comes
+    *first* because module ``on_start`` hooks arm timers and send
+    datagrams immediately — the transport must already be bound.
+
+    Implementations expose ``nodes`` (list of :class:`NodeBackend`,
+    index = rank), ``transport`` (:class:`Transport`) and ``sim`` (the
+    shared :class:`Scheduler`).
+    """
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of nodes."""
+
+    @abstractmethod
+    def start(self) -> None:
+        """Bind the transport and make the scheduler ready (idempotent)."""
+
+    @abstractmethod
+    def run(self, duration: float) -> None:
+        """Advance the runtime by *duration* seconds (blocking)."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Tear the runtime down; :attr:`Scheduler.at_end` hooks run here."""
+
+    def node(self, i: int) -> NodeBackend:
+        """Node of rank *i*."""
+        return self.nodes[i]  # type: ignore[attr-defined]

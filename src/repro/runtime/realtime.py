@@ -1,0 +1,516 @@
+"""The realtime backend: asyncio UDP sockets and wall-clock timers.
+
+The deployable half of the runtime twin.  Everything the modules see —
+``now``, ``set_timer``, datagram delivery, crash/recover hooks — has the
+same semantics as the simulation backend, except that time is the
+event loop's monotonic clock and datagrams travel through real
+``AF_INET`` UDP sockets on localhost:
+
+* :class:`RealtimeScheduler` — the :class:`~repro.runtime.api.Scheduler`
+  contract on ``loop.call_later`` / ``loop.call_soon``.  asyncio's timer
+  wheel is FIFO for equal deadlines, preserving the determinism contract
+  modules rely on (to the extent wall-clock equality ever happens).
+* :class:`RealtimeNode` — the :class:`~repro.runtime.api.NodeBackend`
+  contract without a modelled CPU: ``execute`` ignores the declared cost
+  (real CPUs charge for themselves) but still defers the invocation
+  through the loop, so kernel dispatch keeps its asynchronous shape.
+  Crash/recover are *software* crash-stop — a crashed node stops
+  processing timers and datagrams (epoch-guarded, exactly like
+  :class:`~repro.sim.process.Machine`) — which is what chaos-testing a
+  single-process soak needs.
+* :class:`RealtimeUdpTransport` — one UDP socket per node, bound to an
+  OS-assigned port on localhost; the node-rank → address map is shared
+  in-process.  Payloads are pickled on the wire.  **Trust boundary**:
+  pickle is not safe against hostile peers — this transport is for
+  loopback/lab deployments where every socket belongs to the same
+  operator, not for open networks.
+* :class:`RealtimeBackend` — bundles the three behind the
+  :class:`~repro.runtime.api.Backend` lifecycle and doubles as the
+  duck-typed "system" (``stacks`` / ``machine(i)`` / ``sim`` /
+  ``registry``) that :class:`~repro.dpu.manager.ReplacementManager`
+  and the property checkers already consume, so the *unmodified*
+  dpu/gm/fd/abcast modules run on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..sim.random import RngRegistry
+from .api import Backend, NodeBackend, Scheduler, Transport
+
+__all__ = [
+    "RealtimeScheduler",
+    "RealtimeNode",
+    "RealtimeUdpTransport",
+    "RealtimeBackend",
+]
+
+
+class RealtimeScheduler(Scheduler):
+    """Wall-clock :class:`~repro.runtime.api.Scheduler` on an asyncio loop.
+
+    Parameters
+    ----------
+    loop:
+        The event loop to schedule on (owned by the backend).
+    seed:
+        Root seed for the rng streams (workload jitter etc. stays
+        reproducible even when timing is not).
+    """
+
+    __slots__ = ("_loop", "_t0", "rng", "at_end", "_events_processed")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, seed: int = 0) -> None:
+        self._loop = loop
+        self._t0 = loop.time()
+        self.rng = RngRegistry(seed=seed)
+        #: Callbacks the backend invokes at :meth:`RealtimeBackend.stop`.
+        self.at_end: List[Callable[[], None]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Seconds of wall-clock time since the scheduler was created."""
+        return self._loop.time() - self._t0
+
+    @property
+    def events_processed(self) -> int:
+        """Total scheduled callbacks fired so far."""
+        return self._events_processed
+
+    def _fire(self, callback: Callable[..., Any], args: tuple) -> None:
+        self._events_processed += 1
+        callback(*args)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any,
+                 priority: int = 0) -> asyncio.TimerHandle:
+        """Fire ``callback(*args)`` after *delay* wall-clock seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._loop.call_later(delay, self._fire, callback, args)
+
+    def schedule_fast(self, delay: float, callback: Callable[..., Any], *args: Any,
+                      priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule` (the handle is discarded)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._loop.call_later(delay, self._fire, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any,
+                    priority: int = 0) -> asyncio.TimerHandle:
+        """Fire at absolute instant *time* (clock of :attr:`now`); an
+        already-past instant fires as soon as possible — wall-clock
+        backends cannot refuse the past, they can only be late."""
+        return self._loop.call_later(max(0.0, time - self.now), self._fire,
+                                     callback, args)
+
+    def schedule_at_fast(self, time: float, callback: Callable[..., Any], *args: Any,
+                         priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule_at`."""
+        self._loop.call_later(max(0.0, time - self.now), self._fire, callback, args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any,
+                  priority: int = 0) -> asyncio.Handle:
+        """Fire on the next loop iteration (after everything queued)."""
+        return self._loop.call_soon(self._fire, callback, args)
+
+    def cancel(self, handle: Any) -> None:
+        """Cancel an asyncio handle (no-op once it fired)."""
+        handle.cancel()
+
+    def peek_time(self) -> Optional[float]:
+        """Always ``None``: real time has no inspectable event heap.
+
+        The kernel treats ``None`` as "nothing pending at this instant",
+        which selects its batched blocked-call drain — safe, because
+        wall-clock timing carries no determinism contract to preserve.
+        """
+        return None
+
+
+class RealtimeNode(NodeBackend):
+    """A :class:`~repro.runtime.api.NodeBackend` on wall-clock time.
+
+    Mirrors :class:`~repro.sim.process.Machine`'s observable surface —
+    including the ``_crashed_at`` / ``_busy_until`` internals the kernel
+    fast path reads — minus the serial-CPU queue: declared costs are
+    ignored and work runs on the next loop iteration.
+
+    Parameters
+    ----------
+    sim:
+        The shared :class:`RealtimeScheduler`.
+    machine_id:
+        Rank; doubles as the transport address.
+    name:
+        Human-readable name (defaults to ``"m<id>"``).
+    """
+
+    __slots__ = (
+        "sim",
+        "machine_id",
+        "name",
+        "_crashed_at",
+        "_busy_until",
+        "_epoch",
+        "_crash_count",
+        "_recovered_at",
+        "_tasks_executed",
+        "on_crash",
+        "on_recover",
+    )
+
+    def __init__(self, sim: RealtimeScheduler, machine_id: int,
+                 name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.machine_id = int(machine_id)
+        self.name = name if name is not None else f"m{machine_id}"
+        self._crashed_at: Optional[float] = None
+        #: Kernel-contract internal; no modelled CPU, so always "idle".
+        self._busy_until: float = 0.0
+        self._epoch = 0
+        self._crash_count = 0
+        self._recovered_at: Optional[float] = None
+        self._tasks_executed = 0
+        #: Hooks invoked with the crash time when :meth:`crash` fires.
+        self.on_crash: List[Callable[[float], None]] = []
+        #: Hooks invoked with the recovery time when :meth:`recover` fires.
+        self.on_recover: List[Callable[[float], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Failure model
+    # ------------------------------------------------------------------ #
+    @property
+    def crashed(self) -> bool:
+        """Whether the node is currently down (software crash-stop)."""
+        return self._crashed_at is not None
+
+    @property
+    def crashed_at(self) -> Optional[float]:
+        """The crash instant, or ``None`` while the node is up."""
+        return self._crashed_at
+
+    @property
+    def crash_count(self) -> int:
+        """How many times the node has crashed so far."""
+        return self._crash_count
+
+    @property
+    def ever_crashed(self) -> bool:
+        """Whether the node crashed at least once (even if back up)."""
+        return self._crash_count > 0
+
+    @property
+    def epoch(self) -> int:
+        """Current incarnation epoch (increments at every crash)."""
+        return self._epoch
+
+    @property
+    def last_recovered_at(self) -> Optional[float]:
+        """Instant of the most recent recovery (``None`` if never)."""
+        return self._recovered_at
+
+    def crash(self) -> None:
+        """Take the node down now (idempotent); its timers and queued
+        work are suppressed by the incarnation-epoch guard."""
+        if self._crashed_at is not None:
+            return
+        self._crashed_at = self.sim.now
+        self._crash_count += 1
+        self._epoch += 1
+        for hook in list(self.on_crash):
+            hook(self.sim.now)
+
+    def recover(self) -> None:
+        """Bring a crashed node back up (no-op while up); the
+        ``on_recover`` hooks then run the kernel's restart protocol."""
+        if self._crashed_at is None:
+            return
+        self._crashed_at = None
+        self._recovered_at = self.sim.now
+        for hook in list(self.on_recover):
+            hook(self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @property
+    def busy_until(self) -> float:
+        """Always :attr:`Scheduler.now`: no modelled CPU queue."""
+        return self.sim.now
+
+    @property
+    def tasks_executed(self) -> int:
+        """Number of executed work items completed so far."""
+        return self._tasks_executed
+
+    def execute(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` on the next loop iteration (cost ignored:
+        the real CPU charges for itself); dropped if the node is down."""
+        if cost < 0:
+            raise SimulationError(f"negative CPU cost {cost!r}")
+        if self._crashed_at is not None:
+            return
+        self.execute_packed(cost, fn, args)
+
+    def execute_packed(self, cost: float, fn: Callable[..., Any], args: tuple) -> None:
+        """Hot-path :meth:`execute`: pre-packed args, no checks."""
+        self.sim.call_soon(self._run_task, self._epoch, fn, args)
+
+    def _run_task(self, epoch: int, fn: Callable[..., Any], args: tuple) -> None:
+        if self._crashed_at is not None or epoch != self._epoch:
+            return
+        self._tasks_executed += 1
+        fn(*args)
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any
+                  ) -> Optional[asyncio.TimerHandle]:
+        """Fire ``fn(*args)`` after *delay* seconds unless the node
+        crashes first; ``None`` when already down."""
+        if self._crashed_at is not None:
+            return None
+        return self.sim.schedule(delay, self._run_timer, self._epoch, fn, args)
+
+    def set_timer_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`set_timer`."""
+        if self._crashed_at is not None:
+            return
+        self.sim.schedule_fast(delay, self._run_timer, self._epoch, fn, args)
+
+    def _run_timer(self, epoch: int, fn: Callable[..., Any], args: tuple) -> None:
+        if self._crashed_at is not None or epoch != self._epoch:
+            return
+        fn(*args)
+
+    def cancel(self, handle: Any) -> None:
+        """Cancel a timer handle returned by :meth:`set_timer`."""
+        self.sim.cancel(handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"crashed@{self._crashed_at:.3f}" if self.crashed else "up"
+        return f"<RealtimeNode {self.name} id={self.machine_id} {state}>"
+
+
+class _NodeDatagramProtocol(asyncio.DatagramProtocol):
+    """Per-node receive protocol: forwards raw datagrams to the transport."""
+
+    def __init__(self, owner: "RealtimeUdpTransport", node_id: int) -> None:
+        self._owner = owner
+        self._node_id = node_id
+
+    def datagram_received(self, data: bytes, addr: Any) -> None:
+        """asyncio callback: one raw datagram arrived on this node's socket."""
+        self._owner._on_datagram(self._node_id, data)
+
+
+class RealtimeUdpTransport(Transport):
+    """Datagram I/O over real UDP sockets, one per node, on localhost.
+
+    Sockets bind to OS-assigned ports (``port 0``), and the rank →
+    ``(host, port)`` map is shared in-process, so N stacks coexist in
+    one process with zero port configuration.  Wire format is
+    ``pickle((src, dst, payload, size_bytes))`` — see the module
+    docstring for the trust boundary.
+
+    Crash semantics match :class:`~repro.net.network.SimNetwork`:
+    datagrams from crashed senders are never sent; datagrams to crashed
+    receivers are dropped at delivery time.
+    """
+
+    def __init__(self, sim: RealtimeScheduler, nodes: List[RealtimeNode],
+                 host: str = "127.0.0.1") -> None:
+        self.sim = sim
+        self.host = host
+        self._nodes: Dict[int, RealtimeNode] = {n.machine_id: n for n in nodes}
+        self._hooks: Dict[int, Callable[..., None]] = {}
+        self._endpoints: Dict[int, asyncio.DatagramTransport] = {}
+        #: Rank -> bound (host, port); filled by :meth:`open`.
+        self.addresses: Dict[int, Any] = {}
+        self._c_sent = 0
+        self._c_bytes_sent = 0
+        self._c_received = 0
+        self._c_dropped_crashed = 0
+        self._c_dropped_unknown = 0
+        self._c_dropped_decode = 0
+
+    async def open(self) -> None:
+        """Bind one UDP socket per node (must run inside the loop)."""
+        loop = asyncio.get_running_loop()
+        for node_id in sorted(self._nodes):
+            if node_id in self._endpoints:
+                continue
+            transport, _protocol = await loop.create_datagram_endpoint(
+                lambda node_id=node_id: _NodeDatagramProtocol(self, node_id),
+                local_addr=(self.host, 0),
+            )
+            self._endpoints[node_id] = transport
+            self.addresses[node_id] = transport.get_extra_info("sockname")
+
+    def close(self) -> None:
+        """Close every socket (idempotent)."""
+        for transport in self._endpoints.values():
+            transport.close()
+        self._endpoints.clear()
+        self.addresses.clear()
+
+    # ------------------------------------------------------------------ #
+    # Transport contract
+    # ------------------------------------------------------------------ #
+    def attach(self, machine_id: int, hook: Callable[..., None]) -> None:
+        """Register node *machine_id*'s delivery hook."""
+        self._hooks[machine_id] = hook
+
+    def detach(self, machine_id: int) -> None:
+        """Remove node *machine_id*'s delivery hook."""
+        self._hooks.pop(machine_id, None)
+
+    def send(self, message: Any) -> None:
+        """Send one datagram through the sender's real socket."""
+        sender = self._nodes.get(message.src)
+        if sender is None or sender._crashed_at is not None:
+            self._c_dropped_crashed += 1
+            return
+        addr = self.addresses.get(message.dst)
+        endpoint = self._endpoints.get(message.src)
+        if addr is None or endpoint is None:
+            self._c_dropped_unknown += 1
+            return
+        data = pickle.dumps(
+            (message.src, message.dst, message.payload, message.size_bytes),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        endpoint.sendto(data, addr)
+        self._c_sent += 1
+        self._c_bytes_sent += len(data)
+
+    def send_local(self, message: Any) -> None:
+        """Loopback: skip the socket, deliver on the next loop iteration."""
+        self.sim.call_soon(self._deliver, message.dst, message.src,
+                           message.payload, message.size_bytes)
+
+    def _on_datagram(self, node_id: int, data: bytes) -> None:
+        try:
+            src, dst, payload, size_bytes = pickle.loads(data)
+        except Exception:
+            self._c_dropped_decode += 1
+            return
+        self._deliver(node_id, src, payload, size_bytes)
+
+    def _deliver(self, dst: int, src: int, payload: Any, size_bytes: int) -> None:
+        receiver = self._nodes.get(dst)
+        if receiver is None or receiver._crashed_at is not None:
+            self._c_dropped_crashed += 1
+            return
+        hook = self._hooks.get(dst)
+        if hook is None:
+            self._c_dropped_unknown += 1
+            return
+        from ..net.message import NetMessage
+
+        self._c_received += 1
+        hook(NetMessage(src=src, dst=dst, payload=payload,
+                        size_bytes=size_bytes), self.sim.now)
+
+    def stats(self) -> Dict[str, int]:
+        """Datagram counters, dict-shaped like ``SimNetwork.stats()``."""
+        return {
+            "sent": self._c_sent,
+            "bytes_sent": self._c_bytes_sent,
+            "received": self._c_received,
+            "dropped_crashed": self._c_dropped_crashed,
+            "dropped_unknown": self._c_dropped_unknown,
+            "dropped_decode": self._c_dropped_decode,
+        }
+
+
+class RealtimeBackend(Backend):
+    """A bootable wall-clock cluster: scheduler + *n* nodes + UDP sockets.
+
+    Also exposes the duck-typed "system" surface
+    (``stacks``/``machine(i)``/``sim``/``registry``/``network``) the
+    replacement manager and experiment helpers consume, so the builder
+    code for realtime stacks mirrors the simulated one
+    (see :mod:`repro.runtime.soak`).
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    seed:
+        Root seed for the rng streams.
+    host:
+        Interface to bind the node sockets on (loopback by default).
+    """
+
+    def __init__(self, n: int, seed: int = 0, host: str = "127.0.0.1") -> None:
+        if n < 1:
+            raise SimulationError(f"a backend needs at least one node, got n={n}")
+        self._loop = asyncio.new_event_loop()
+        self.sim = RealtimeScheduler(self._loop, seed=seed)
+        self.nodes: List[RealtimeNode] = [
+            RealtimeNode(self.sim, i) for i in range(n)
+        ]
+        self.transport = RealtimeUdpTransport(self.sim, self.nodes, host=host)
+        #: Stacks built on the nodes (filled by the harness builder).
+        self.stacks: List[Any] = []
+        #: Protocol registry (filled by the harness builder).
+        self.registry: Any = None
+        #: Alias for experiment helpers that expect ``system.network``.
+        self.network = self.transport
+        self._started = False
+        self._stopped = False
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    def machine(self, i: int) -> RealtimeNode:
+        """Node *i* (system-compatible accessor)."""
+        return self.nodes[i]
+
+    def stack(self, i: int):
+        """Stack of node *i* (system-compatible accessor)."""
+        return self.stacks[i]
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The owned event loop (for harness extras, e.g. health servers)."""
+        return self._loop
+
+    def start(self) -> None:
+        """Bind every node's socket (idempotent).  Call *before* building
+        stacks: module ``on_start`` hooks send datagrams immediately."""
+        if self._started:
+            return
+        self._loop.run_until_complete(self.transport.open())
+        self._started = True
+
+    def run(self, duration: float) -> None:
+        """Run the event loop for *duration* wall-clock seconds."""
+        if not self._started:
+            raise SimulationError("RealtimeBackend.run() before start()")
+        self._loop.run_until_complete(asyncio.sleep(duration))
+
+    def run_coro(self, coro: Any) -> Any:
+        """Run one coroutine to completion on the owned loop."""
+        return self._loop.run_until_complete(coro)
+
+    def stop(self) -> None:
+        """Run the ``at_end`` hooks, close the sockets and the loop."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for hook in self.sim.at_end:
+            hook()
+        self.transport.close()
+        # One last spin so asyncio processes the transport closes.
+        self._loop.run_until_complete(asyncio.sleep(0))
+        self._loop.close()

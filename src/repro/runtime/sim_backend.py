@@ -1,0 +1,127 @@
+"""The simulation backend: the existing engine behind the Backend API.
+
+:class:`SimBackend` bundles the discrete-event pieces — one
+:class:`~repro.sim.engine.Simulator`, *n*
+:class:`~repro.sim.process.Machine` instances with their kernel
+:class:`~repro.kernel.stack.Stack`\\ s, and one
+:class:`~repro.net.network.SimNetwork` over a
+:class:`~repro.net.topology.SwitchedLan` — behind the exact lifecycle
+and accessor surface :class:`~repro.runtime.realtime.RealtimeBackend`
+exposes, so harness code (the soak builder, the conformance tests) is
+written once against :class:`~repro.runtime.api.Backend` and runs on
+either twin.
+
+It is a *bundler*, not a reimplementation: the wrapped objects are the
+unmodified engine classes, so everything built through ``SimBackend`` is
+bit-identical to a hand-assembled ``System`` + ``SimNetwork`` with the
+same parameters (the golden-report pins in
+``tests/integration/test_golden_reports.py`` hold this to account).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from ..kernel.events import TraceKind
+from ..kernel.stack import DEFAULT_CALL_COST, DEFAULT_RESPONSE_COST
+from ..kernel.system import System
+from ..net.network import SimNetwork
+from ..net.topology import SwitchedLan
+from ..sim.clock import Duration
+from ..sim.latency import lan_latency
+from .api import Backend
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(Backend):
+    """The deterministic discrete-event twin of the runtime pair.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    seed:
+        Root seed for all randomness of the run.
+    lan:
+        Link model for the simulated network; a default 100 Mb/s
+        switched LAN when ``None``.
+    trace_enabled, trace_kinds, call_cost, response_cost:
+        Forwarded to :class:`~repro.kernel.system.System` unchanged.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        seed: int = 0,
+        lan: Optional[SwitchedLan] = None,
+        trace_enabled: bool = True,
+        trace_kinds: Optional[Iterable[TraceKind]] = None,
+        call_cost: Duration = DEFAULT_CALL_COST,
+        response_cost: Duration = DEFAULT_RESPONSE_COST,
+    ) -> None:
+        self.system = System(
+            n=n,
+            seed=seed,
+            trace_enabled=trace_enabled,
+            trace_kinds=trace_kinds,
+            call_cost=call_cost,
+            response_cost=response_cost,
+        )
+        if lan is None:
+            lan = SwitchedLan(bandwidth_bps=100e6, latency=lan_latency())
+        self.transport = SimNetwork(self.system.sim, self.system.machines, lan)
+        self.system.network = self.transport
+        #: Alias: harness code reads ``backend.network`` on either twin.
+        self.network = self.transport
+
+    # ------------------------------------------------------------------ #
+    # Backend contract
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.system.n
+
+    @property
+    def nodes(self) -> List[Any]:
+        """The simulated machines (each a NodeBackend)."""
+        return self.system.machines
+
+    @property
+    def sim(self):
+        """The shared :class:`~repro.sim.engine.Simulator`."""
+        return self.system.sim
+
+    @property
+    def stacks(self) -> List[Any]:
+        """The kernel stacks, one per node."""
+        return self.system.stacks
+
+    @property
+    def registry(self):
+        """The shared protocol registry."""
+        return self.system.registry
+
+    @property
+    def trace(self):
+        """The shared trace recorder."""
+        return self.system.trace
+
+    def machine(self, i: int):
+        """Node *i* (system-compatible accessor)."""
+        return self.system.machines[i]
+
+    def stack(self, i: int):
+        """Stack of node *i* (system-compatible accessor)."""
+        return self.system.stacks[i]
+
+    def start(self) -> None:
+        """No-op: the simulated network needs no binding step."""
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time by *duration* seconds."""
+        self.system.sim.run(until=self.system.sim.now + duration)
+
+    def stop(self) -> None:
+        """No-op: ``Simulator.run`` already fires the ``at_end`` hooks."""

@@ -1,0 +1,377 @@
+"""Soak harness: the Figure 4 stack on real sockets, switching live.
+
+``python -m repro.runtime.soak`` boots *n* complete group-communication
+stacks — UDP, RP2P, heartbeat FD, reliable broadcast, consensus, ABcast,
+and the replacement layer, all the *same unmodified module classes* the
+simulator runs — on a :class:`~repro.runtime.realtime.RealtimeBackend`:
+real asyncio UDP sockets on localhost, wall-clock timers.  It then
+drives constant client traffic through a mid-run protocol-switch chain
+(the paper's experiment, but live), drains to quiescence, checks the
+four ABcast properties on the delivery log, and exits non-zero on any
+violation or incomplete switch.
+
+While running it serves a JSON health/metrics endpoint
+(``--health-port``; port 0 picks a free one) reporting uptime, event
+and datagram counters, per-node delivery counts, and switch progress —
+the kind of surface a long soak is watched through.
+
+The builder is written against the :class:`~repro.runtime.api.Backend`
+surface, so the conformance tests boot the identical stack set on
+:class:`~repro.runtime.sim_backend.SimBackend` with the same code path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..dpu import AbcastProbeModule, DeliveryLog, ReplacementManager, ReplAbcastModule
+from ..dpu.abcast_checker import check_all_abcast_properties
+from ..dpu.probes import is_workload_key
+from ..experiments.common import (
+    GroupCommConfig,
+    PROTOCOL_CT,
+    PROTOCOL_SEQ,
+    PROTOCOL_TOKEN,
+    register_standard_protocols,
+)
+from ..fd import HeartbeatFd
+from ..kernel import WellKnown
+from ..kernel.registry import ProtocolRegistry
+from ..kernel.stack import Stack
+from ..kernel.trace import TraceRecorder
+from ..net import Rp2pModule, UdpModule
+from ..rbcast import RbcastModule
+from ..sim.clock import ms
+from ..workload import FixedPayload, LoadGeneratorModule
+from .api import Backend
+from .realtime import RealtimeBackend
+
+__all__ = ["SoakConfig", "SoakSystem", "build_soak_system", "run_soak", "main"]
+
+#: Default mid-run switch chain: one hop to each other protocol family.
+DEFAULT_PLAN: Tuple[Tuple[float, str], ...] = (
+    (0.25, PROTOCOL_SEQ),
+    (0.5, PROTOCOL_TOKEN),
+    (0.75, PROTOCOL_CT),
+)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Knobs of one soak run.
+
+    Timer-ish durations are in seconds of backend time (wall-clock on
+    the realtime backend).  The failure-detector calibration is much
+    coarser than the simulated default because wall-clock scheduling
+    jitter on a loaded CI box would otherwise produce false suspicions.
+    """
+
+    nodes: int = 3
+    duration: float = 20.0
+    seed: int = 0
+    #: Aggregate client rate over all nodes (messages per second).
+    rate_per_sec: float = 60.0
+    payload_bytes: int = 256
+    initial_protocol: str = PROTOCOL_CT
+    #: Switch chain as ``(fraction_of_duration, protocol)`` pairs.
+    plan: Tuple[Tuple[float, str], ...] = DEFAULT_PLAN
+    host: str = "127.0.0.1"
+    #: Health endpoint port (``0`` = OS-assigned, ``None`` = no server).
+    health_port: Optional[int] = 0
+    fd_period: float = 0.25
+    fd_timeout: float = 2.0
+    creation_cost: float = 5e-3
+    #: Post-load budget to drain in-flight messages to quiescence.
+    drain_extra: float = 5.0
+    drain_step: float = 0.25
+
+
+@dataclass
+class SoakSystem:
+    """A built soak: the backend plus its measurement handles."""
+
+    config: SoakConfig
+    backend: Backend
+    log: DeliveryLog
+    manager: ReplacementManager
+    generators: List[LoadGeneratorModule]
+    #: ``(absolute_instant, protocol)`` switch plan (resolved from fractions).
+    switch_times: List[Tuple[float, str]] = field(default_factory=list)
+    health_address: Optional[Tuple[str, int]] = None
+    _health_server: Any = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-able health/metrics snapshot of the running soak."""
+        backend = self.backend
+        versions = {
+            v: self.manager.replacement_complete(v)
+            for v in sorted(self.manager.windows)
+        }
+        return {
+            "now": backend.sim.now,
+            "nodes": backend.n,
+            "events_processed": backend.sim.events_processed,
+            "sends": len(self.log.sends),
+            "deliveries": {
+                s: len(self.log.delivered_set(s)) for s in range(backend.n)
+            },
+            "protocols": self.manager.current_protocols(),
+            "switches_complete": versions,
+            "transport": backend.network.stats(),
+        }
+
+
+def build_soak_system(config: SoakConfig, backend: Backend) -> SoakSystem:
+    """Assemble the Figure 4 stack set on an already-started *backend*.
+
+    Mirrors :func:`repro.experiments.common.build_group_comm_system`
+    module for module, but reaches the runtime only through the
+    :class:`~repro.runtime.api.Backend` surface — the same builder boots
+    the simulated and the real-socket twin.
+    """
+    group = list(range(backend.n))
+    if getattr(backend, "registry", None) is None:
+        backend.registry = ProtocolRegistry()
+    if not getattr(backend, "stacks", None):
+        trace = TraceRecorder(enabled=False)
+        backend.stacks = [Stack(node, trace) for node in backend.nodes]
+
+    gc_config = GroupCommConfig(
+        n=backend.n, seed=config.seed, token_idle_hold=ms(1.0)
+    )
+    register_standard_protocols(backend, group, gc_config)
+
+    log = DeliveryLog()
+    generators: List[LoadGeneratorModule] = []
+    needs_consensus = config.initial_protocol == PROTOCOL_CT
+
+    for stack in backend.stacks:
+        stack.add_module(UdpModule(stack, backend.network))
+        stack.add_module(Rp2pModule(stack))
+        stack.add_module(
+            HeartbeatFd(
+                stack, group, period=config.fd_period, timeout=config.fd_timeout
+            )
+        )
+        stack.add_module(RbcastModule(stack, group))
+        if needs_consensus:
+            from ..consensus import CtConsensusModule
+
+            stack.add_module(CtConsensusModule(stack, group))
+        info = backend.registry.info(config.initial_protocol)
+        stack.add_module(info.factory(stack))
+        stack.add_module(
+            ReplAbcastModule(
+                stack,
+                backend.registry,
+                initial_protocol=config.initial_protocol,
+                creation_cost=config.creation_cost,
+            )
+        )
+        stack.add_module(
+            AbcastProbeModule(
+                stack, log, service=WellKnown.R_ABCAST, key_filter=is_workload_key
+            )
+        )
+        generator = LoadGeneratorModule(
+            stack,
+            log,
+            rate_per_sec=config.rate_per_sec / backend.n,
+            start_at=0.1 + stack.stack_id * (1.0 / config.rate_per_sec),
+            stop_at=config.duration,
+            service=WellKnown.R_ABCAST,
+            payload=FixedPayload(config.payload_bytes),
+        )
+        stack.add_module(generator)
+        generators.append(generator)
+
+    manager = ReplacementManager(backend)
+    switch_times = [
+        (fraction * config.duration, protocol) for fraction, protocol in config.plan
+    ]
+    return SoakSystem(
+        config=config,
+        backend=backend,
+        log=log,
+        manager=manager,
+        generators=generators,
+        switch_times=switch_times,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Health endpoint
+# --------------------------------------------------------------------- #
+def _start_health_server(soak: SoakSystem, backend: RealtimeBackend) -> None:
+    """Serve ``soak.snapshot()`` as JSON over HTTP on the backend's loop."""
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            await reader.readline()  # request line; any path serves metrics
+            body = json.dumps(soak.snapshot(), sort_keys=True).encode()
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def open_server() -> None:
+        server = await asyncio.start_server(
+            handle, soak.config.host, soak.config.health_port
+        )
+        soak._health_server = server
+        soak.health_address = server.sockets[0].getsockname()[:2]
+
+    backend.run_coro(open_server())
+
+
+def _probe_health(soak: SoakSystem, backend: RealtimeBackend) -> bool:
+    """GET the health endpoint through a real TCP connection; parse it."""
+    if soak.health_address is None:
+        return False
+    host, port = soak.health_address
+
+    async def fetch() -> bool:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        return head.startswith(b"HTTP/1.1 200") and "sends" in json.loads(body)
+
+    try:
+        return bool(backend.run_coro(fetch()))
+    except Exception:
+        return False
+
+
+# --------------------------------------------------------------------- #
+# Driving
+# --------------------------------------------------------------------- #
+def _drain(soak: SoakSystem) -> bool:
+    """Run past the load window until every node delivered every send."""
+    backend = soak.backend
+    deadline = backend.sim.now + soak.config.drain_extra
+    while backend.sim.now < deadline:
+        backend.run(soak.config.drain_step)
+        targets = set(soak.log.sends)
+        if all(
+            targets <= soak.log.delivered_set(s) for s in range(backend.n)
+        ):
+            return True
+    return False
+
+
+def run_soak(config: SoakConfig) -> Dict[str, Any]:
+    """Run one full soak on a fresh realtime backend; return the report."""
+    backend = RealtimeBackend(config.nodes, seed=config.seed, host=config.host)
+    backend.start()
+    soak = build_soak_system(config, backend)
+    if config.health_port is not None:
+        _start_health_server(soak, backend)
+    for at, protocol in soak.switch_times:
+        soak.manager.request_change(protocol, from_stack=0, at=at)
+
+    wall_start = time.monotonic()
+    backend.run(config.duration)
+    drained = _drain(soak)
+    wall_elapsed = time.monotonic() - wall_start
+
+    health_ok = (
+        _probe_health(soak, backend) if config.health_port is not None else None
+    )
+    snapshot = soak.snapshot()
+    violations = check_all_abcast_properties(
+        soak.log, crashed={}, stacks=list(range(backend.n))
+    )
+    switches_ok = all(snapshot["switches_complete"].values()) and len(
+        snapshot["switches_complete"]
+    ) == len(soak.switch_times)
+
+    if soak._health_server is not None:
+        soak._health_server.close()
+    backend.stop()
+
+    ok = (
+        drained
+        and switches_ok
+        and not any(violations.values())
+        and health_ok is not False
+    )
+    return {
+        "ok": ok,
+        "backend": "realtime",
+        "wall_elapsed": wall_elapsed,
+        "drained": drained,
+        "switches_ok": switches_ok,
+        "health_ok": health_ok,
+        "violations": {k: v for k, v in violations.items() if v},
+        **snapshot,
+    }
+
+
+def _parse_plan(text: str, default: Tuple[Tuple[float, str], ...]
+                ) -> Tuple[Tuple[float, str], ...]:
+    """Parse ``"0.25:abcast-seq,0.5:abcast-token"`` into a switch plan."""
+    if not text:
+        return default
+    plan: List[Tuple[float, str]] = []
+    for part in text.split(","):
+        fraction, _, protocol = part.partition(":")
+        plan.append((float(fraction), protocol.strip()))
+    return tuple(plan)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run a soak, print the JSON report, exit 0/1."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.soak", description=__doc__
+    )
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="load window in wall-clock seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rate", type=float, default=60.0,
+                        help="aggregate client messages per second")
+    parser.add_argument("--payload-bytes", type=int, default=256)
+    parser.add_argument("--plan", type=str, default="",
+                        help="switch chain, e.g. '0.25:abcast-seq,0.5:abcast-ct'"
+                        " (fractions of --duration)")
+    parser.add_argument("--health-port", type=int, default=0,
+                        help="health endpoint port (0 = auto, -1 = off)")
+    parser.add_argument("--out", type=str, default="",
+                        help="also write the JSON report to this file")
+    args = parser.parse_args(argv)
+
+    config = SoakConfig(
+        nodes=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        rate_per_sec=args.rate,
+        payload_bytes=args.payload_bytes,
+        plan=_parse_plan(args.plan, DEFAULT_PLAN),
+        health_port=None if args.health_port < 0 else args.health_port,
+    )
+    report = run_soak(config)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -219,6 +219,25 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="bare-recover-kernel-marker",
+    description="crash-recovery without GM, held to the narrowed "
+                "recovery-liveness obligations via the kernel-level "
+                "restart-complete marker: once its modules re-arm, the "
+                "recovered stack must deliver everything sent after that "
+                "instant, and its own post-restart sends bind everyone",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=80.0,
+    kernel_rejoin_marker=True,
+    faults=(
+        Crash(at=2.0, machine=2),
+        Recover(at=3.5, machine=2),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=4.0, from_stack=0),),
+    quiescence_extra=12.0,
+))
+
+register_scenario(ScenarioSpec(
     name="recover-during-switch",
     description="a machine crashes, a CT→CT replacement fires while it is "
                 "down, and it recovers mid-switch: the restart protocol "
@@ -476,6 +495,7 @@ register_campaign(
     "recovery",
     (
         "crash-recover-switch",
+        "bare-recover-kernel-marker",
         "recover-during-switch",
         "churn-with-rejoin",
         "recovery-storm-after-heal",

@@ -271,6 +271,12 @@ class ScenarioSpec:
         uniform-agreement anomaly the pipelined regression tests pin.
     creation_cost:
         Simulated module-creation time per switch (the unbind→bind gap).
+    kernel_rejoin_marker:
+        Treat the kernel-level "restart complete" marker (every module
+        re-armed in the new incarnation) as the re-join instant for
+        recovered stacks that have no GM handshake.  Gives bare (no-GM)
+        recovery scenarios the narrowed recovery-liveness obligations;
+        GM handshakes, when present, still take precedence.
     faults:
         The fault schedule, as a tuple of fault actions.
     switches:
@@ -297,6 +303,7 @@ class ScenarioSpec:
     guard_change_sn: bool = True
     reissue_policy: str = "drop"
     creation_cost: float = 0.005
+    kernel_rejoin_marker: bool = False
     faults: Tuple[FaultAction, ...] = ()
     switches: Tuple[SwitchStep, ...] = field(default_factory=tuple)
     expected_faulty: Tuple[int, ...] = ()

@@ -34,6 +34,7 @@ from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, List, Optional
 
 from ..errors import ScheduleInPastError, SimulationError
+from ..runtime.api import Scheduler
 from .clock import Duration, Time
 from .events import PRIORITY_NORMAL, EventHandle, EventQueue
 from .random import RngRegistry
@@ -41,8 +42,14 @@ from .random import RngRegistry
 __all__ = ["Simulator"]
 
 
-class Simulator:
+class Simulator(Scheduler):
     """A deterministic discrete-event simulator.
+
+    ``Simulator`` is the native implementation of the
+    :class:`~repro.runtime.api.Scheduler` contract (the runtime seam);
+    :class:`~repro.runtime.realtime.RealtimeScheduler` is its
+    wall-clock twin.  The base class is pure interface (``__slots__ =
+    ()``), so nothing changes on the dispatch hot path.
 
     Parameters
     ----------

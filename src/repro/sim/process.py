@@ -36,6 +36,7 @@ from typing import Any, Callable, List, Optional
 from heapq import heappush as _heappush
 
 from ..errors import SimulationError
+from ..runtime.api import NodeBackend
 from .clock import Duration, Time
 from .engine import Simulator
 from .events import PRIORITY_CONTROL, PRIORITY_NORMAL, EventHandle
@@ -43,8 +44,14 @@ from .events import PRIORITY_CONTROL, PRIORITY_NORMAL, EventHandle
 __all__ = ["Machine"]
 
 
-class Machine:
+class Machine(NodeBackend):
     """One simulated host with a serial CPU and crash-stop semantics.
+
+    ``Machine`` is the simulation's implementation of the
+    :class:`~repro.runtime.api.NodeBackend` contract (the runtime seam);
+    :class:`~repro.runtime.realtime.RealtimeNode` is its wall-clock
+    twin.  The base class is pure interface (``__slots__ = ()``), so
+    inheriting it costs nothing on the hot paths.
 
     Parameters
     ----------
@@ -272,6 +279,15 @@ class Machine:
         if self._crashed_at is not None or epoch != self._epoch:
             return
         fn(*args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a timer handle returned by :meth:`set_timer`.
+
+        Delegates to the simulator; part of the
+        :class:`~repro.runtime.api.NodeBackend` contract so module code
+        never needs a direct engine reference to disarm its timers.
+        """
+        self.sim.cancel(handle)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = f"crashed@{self._crashed_at:.6f}" if self.crashed else "up"

@@ -1,0 +1,188 @@
+"""Backend conformance: the sim and realtime twins obey one contract.
+
+Every test runs twice — once on :class:`SimBackend`, once on
+:class:`RealtimeBackend` (real asyncio UDP sockets, wall-clock timers) —
+asserting the behavioural clauses module code relies on: timer ordering,
+cancellation, crash suppression with epoch guards across recovery,
+deferred execution, and datagram delivery semantics around crashes.
+Realtime delays are tens of milliseconds, so the whole file stays
+CI-fast while leaving generous jitter margins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.message import NetMessage
+from repro.runtime import Backend, NodeBackend, RealtimeBackend, Scheduler, SimBackend, Transport
+
+# Base timer quantum: long enough that wall-clock jitter cannot reorder
+# distinct multiples, short enough to keep the suite quick.
+TICK = 0.02
+
+
+@pytest.fixture(params=["sim", "realtime"])
+def backend(request):
+    """A started two-node backend of each flavour (stopped on teardown)."""
+    if request.param == "sim":
+        b = SimBackend(n=2, seed=7, trace_enabled=False)
+    else:
+        b = RealtimeBackend(n=2, seed=7)
+    b.start()
+    yield b
+    b.stop()
+
+
+def run_ticks(backend, ticks: float) -> None:
+    """Advance backend time far enough for *ticks* quanta to elapse."""
+    backend.run(ticks * TICK + TICK)
+
+
+def test_implements_the_api(backend):
+    isinstance_checks = [
+        isinstance(backend, Backend),
+        isinstance(backend.sim, Scheduler),
+        isinstance(backend.nodes[0], NodeBackend),
+        isinstance(backend.network, Transport),
+    ]
+    assert all(isinstance_checks)
+    assert backend.n == 2
+    assert backend.machine(0) is backend.nodes[0]
+
+
+def test_timer_ordering(backend):
+    fired = []
+    node = backend.nodes[0]
+    node.set_timer(3 * TICK, fired.append, "c")
+    node.set_timer(1 * TICK, fired.append, "a")
+    node.set_timer(2 * TICK, fired.append, "b")
+    run_ticks(backend, 4)
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_delay_timers_fire_in_arming_order(backend):
+    fired = []
+    node = backend.nodes[0]
+    for tag in ("first", "second", "third"):
+        node.set_timer_fast(TICK, fired.append, tag)
+    run_ticks(backend, 2)
+    assert fired == ["first", "second", "third"]
+
+
+def test_cancel_prevents_fire_and_is_idempotent_after_fire(backend):
+    fired = []
+    node = backend.nodes[0]
+    cancelled = node.set_timer(TICK, fired.append, "cancelled")
+    kept = node.set_timer(TICK, fired.append, "kept")
+    node.cancel(cancelled)
+    run_ticks(backend, 2)
+    assert fired == ["kept"]
+    # Cancelling a handle whose timer already fired must be a no-op.
+    node.cancel(kept)
+    run_ticks(backend, 1)
+    assert fired == ["kept"]
+
+
+def test_crash_suppresses_timers_across_recovery(backend):
+    fired = []
+    node = backend.nodes[0]
+    node.set_timer(4 * TICK, fired.append, "old-epoch")
+    run_ticks(backend, 1)  # advances ~2 ticks: still before the deadline
+    node.crash()
+    assert node.crashed and node.ever_crashed and node.crash_count == 1
+    # While down: arming is refused (None handle, nothing scheduled).
+    assert node.set_timer(TICK, fired.append, "while-down") is None
+    node.recover()
+    assert not node.crashed
+    # The pre-crash timer belongs to the dead epoch: it must never fire,
+    # even though the node is back up when its deadline passes.
+    run_ticks(backend, 3)
+    assert fired == []
+    # The new incarnation's timers work.
+    node.set_timer(TICK, fired.append, "new-epoch")
+    run_ticks(backend, 2)
+    assert fired == ["new-epoch"]
+
+
+def test_crash_and_recover_hooks_fire(backend):
+    events = []
+    node = backend.nodes[1]
+    node.on_crash.append(lambda t: events.append(("crash", t >= 0)))
+    node.on_recover.append(lambda t: events.append(("recover", t >= 0)))
+    node.crash()
+    node.crash()  # idempotent: second call must not re-fire hooks
+    node.recover()
+    assert events == [("crash", True), ("recover", True)]
+    assert node.epoch == 1
+
+
+def test_execute_defers(backend):
+    ran = []
+    node = backend.nodes[0]
+    node.execute(0.0, ran.append, "deferred")
+    assert ran == []  # must not run synchronously inside execute()
+    run_ticks(backend, 1)
+    assert ran == ["deferred"]
+
+
+def test_execute_dropped_on_crashed_node(backend):
+    ran = []
+    node = backend.nodes[0]
+    node.crash()
+    node.execute(0.0, ran.append, "never")
+    run_ticks(backend, 1)
+    assert ran == []
+
+
+def _attach_sink(backend, machine_id):
+    got = []
+    backend.network.attach(
+        machine_id, lambda message, at: got.append(message.payload)
+    )
+    return got
+
+
+def test_datagram_delivery(backend):
+    got = _attach_sink(backend, 1)
+    backend.network.send(NetMessage(src=0, dst=1, payload=("hello", 42), size_bytes=64))
+    run_ticks(backend, 2)
+    assert got == [("hello", 42)]
+
+
+def test_datagram_dropped_when_sender_crashed(backend):
+    got = _attach_sink(backend, 1)
+    backend.nodes[0].crash()
+    backend.network.send(NetMessage(src=0, dst=1, payload="x", size_bytes=64))
+    run_ticks(backend, 2)
+    assert got == []
+
+
+def test_datagram_dropped_when_receiver_crashed(backend):
+    got = _attach_sink(backend, 1)
+    backend.nodes[1].crash()
+    backend.network.send(NetMessage(src=0, dst=1, payload="x", size_bytes=64))
+    run_ticks(backend, 2)
+    assert got == []
+    # After recovery, fresh datagrams flow again (crash-stop, not drop-forever).
+    backend.nodes[1].recover()
+    backend.network.send(NetMessage(src=0, dst=1, payload="y", size_bytes=64))
+    run_ticks(backend, 2)
+    assert got == ["y"]
+
+
+def test_send_local_loopback(backend):
+    got = _attach_sink(backend, 0)
+    backend.network.send_local(NetMessage(src=0, dst=0, payload="self", size_bytes=16))
+    run_ticks(backend, 1)
+    assert got == ["self"]
+
+
+def test_scheduler_clock_and_counters(backend):
+    sim = backend.sim
+    t0 = sim.now
+    e0 = sim.events_processed
+    sim.schedule_fast(TICK, lambda: None)
+    run_ticks(backend, 1)
+    assert sim.now >= t0 + TICK
+    assert sim.events_processed > e0
+    assert sim.peek_time() is None or sim.peek_time() >= sim.now
