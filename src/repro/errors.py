@@ -19,6 +19,7 @@ __all__ = [
     "RequirementError",
     "NetworkError",
     "UnknownDestinationError",
+    "CodecError",
     "ReplacementError",
     "PropertyViolation",
     "ScenarioError",
@@ -86,6 +87,15 @@ class NetworkError(ReproError):
 
 class UnknownDestinationError(NetworkError):
     """A message was addressed to a machine the network does not know."""
+
+
+class CodecError(NetworkError):
+    """A wire datagram could not be encoded or decoded.
+
+    On the receive path this is the *only* exception the realtime
+    transport's decoder raises — malformed datagrams from the network
+    are counted and dropped, never propagated into the event loop.
+    """
 
 
 # --------------------------------------------------------------------------- #

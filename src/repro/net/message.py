@@ -58,6 +58,26 @@ class NetMessage:
             raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
 
 
+# Register NetMessage with the realtime wire codec so an envelope nested
+# *inside* a payload (e.g. a diagnostic frame quoting the original
+# message) survives the safe codec instead of failing encode.  The wire
+# envelope itself is the codec's fixed header, not this registration.
+def _register_wire_type() -> None:
+    from ..runtime.codec import register_wire_type
+
+    register_wire_type(
+        "net.NetMessage",
+        NetMessage,
+        lambda m: (m.src, m.dst, m.payload, m.size_bytes, m.msg_id),
+        lambda f: NetMessage(
+            src=f[0], dst=f[1], payload=f[2], size_bytes=f[3], msg_id=f[4]
+        ),
+    )
+
+
+_register_wire_type()
+
+
 def estimate_payload_size(obj: Any, default: int = 64) -> int:
     """A rough, deterministic wire-size estimate for a Python payload.
 

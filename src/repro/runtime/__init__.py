@@ -28,6 +28,11 @@ __all__ = [
     "RealtimeNode",
     "RealtimeScheduler",
     "RealtimeUdpTransport",
+    "RealtimeFaultInjector",
+    "encode_datagram",
+    "decode_datagram",
+    "register_wire_type",
+    "WIRE_VERSION",
 ]
 
 _LAZY = {
@@ -36,6 +41,11 @@ _LAZY = {
     "RealtimeNode": "realtime",
     "RealtimeScheduler": "realtime",
     "RealtimeUdpTransport": "realtime",
+    "RealtimeFaultInjector": "chaos",
+    "encode_datagram": "codec",
+    "decode_datagram": "codec",
+    "register_wire_type": "codec",
+    "WIRE_VERSION": "codec",
 }
 
 

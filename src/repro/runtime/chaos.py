@@ -1,0 +1,93 @@
+"""Realtime chaos: the sim fault-injection surface on a live cluster.
+
+:class:`RealtimeFaultInjector` ports :class:`repro.sim.faults.
+FaultInjector` — ``crash``/``recover``, ``partition``/
+``partition_oneway``/``heal``, ``impair_link``, ``latency_spike``,
+``random_crashes``, ``churn``, and the :class:`~repro.sim.faults.
+FaultRecord` log — onto :class:`~repro.runtime.realtime.RealtimeBackend`.
+
+It is deliberately thin.  The sim injector only ever touches three
+seam-level surfaces, all of which the realtime backend already provides
+with identical semantics:
+
+* a scheduler with ``schedule_at`` / ``now`` / ``rng.stream`` —
+  :class:`~repro.runtime.realtime.RealtimeScheduler` (faults fire at
+  wall-clock instants instead of simulated ones);
+* machines with ``crashed`` / ``crash()`` / ``recover()`` —
+  :class:`~repro.runtime.realtime.RealtimeNode` (software crash-stop
+  with the same incarnation-epoch guard as the simulated ``Machine``);
+* a duck-typed network with ``partition`` / ``partition_oneway`` /
+  ``heal`` / ``impair_link`` / ``clear_link(s)`` / ``extra_latency`` —
+  :class:`~repro.runtime.realtime.RealtimeUdpTransport`, whose chaos
+  surface enforces partitions on both the send and the receive path and
+  applies loss/duplication/reorder/latency at delivery time.
+
+Because the surface is shared, scenario fault plans
+(:class:`repro.scenarios.spec.FaultAction` subclasses) schedule
+unchanged against a live cluster: ``action.schedule(injector)`` works on
+either injector.  :meth:`RealtimeFaultInjector.schedule_plan` is the
+loop that does so, and is what ``repro.runtime.soak --chaos`` uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from ..sim.faults import FaultInjector, FaultRecord
+
+__all__ = ["RealtimeFaultInjector", "FaultRecord"]
+
+
+class RealtimeFaultInjector(FaultInjector):
+    """A :class:`~repro.sim.faults.FaultInjector` bound to a realtime
+    backend: faults fire at wall-clock instants against live nodes and
+    the UDP transport's chaos surface.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`~repro.runtime.realtime.RealtimeBackend` to degrade.
+    name:
+        Names the injector's RNG stream (``faults.<name>``), exactly as
+        in the sim, so randomised schedules (``random_crashes``,
+        ``churn``) are reproducible from the root seed even though their
+        firing *effects* race real timing.
+    """
+
+    def __init__(self, backend: Any, name: str = "chaos") -> None:
+        super().__init__(
+            backend.sim, backend.nodes, network=backend.transport, name=name
+        )
+        self.backend = backend
+
+    # ------------------------------------------------------------------ #
+    # Plans and reporting
+    # ------------------------------------------------------------------ #
+    def schedule_plan(self, actions: Iterable[Any]) -> int:
+        """Schedule every scenario :class:`~repro.scenarios.spec.
+        FaultAction` in *actions* against this injector.
+
+        Returns the number of actions scheduled.  Times inside the
+        actions are absolute instants on the backend's clock (seconds of
+        wall-clock since the scheduler was created).
+        """
+        count = 0
+        for action in actions:
+            action.schedule(self)
+            count += 1
+        return count
+
+    def counters(self) -> Dict[str, int]:
+        """Per-kind counts over the faults that actually fired.
+
+        JSON-shaped for the soak health endpoint: ``{"crash": 1,
+        "heal": 1, ...}``, deterministic key order (sorted).
+        """
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.kind] = out.get(record.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def records_as_dicts(self) -> List[Dict[str, Any]]:
+        """The fault log as plain dicts (for the health snapshot)."""
+        return [record.to_dict() for record in self.records]

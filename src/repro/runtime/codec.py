@@ -1,0 +1,354 @@
+"""Safe, versioned wire codec for the realtime datagram path.
+
+The realtime transport used to pickle ``(src, dst, payload, size_bytes)``
+onto the wire, which has two failure modes the chaos layer cares about:
+
+* **trust** — ``pickle.loads`` on bytes from a UDP socket executes
+  arbitrary constructors; one hostile datagram owns the process.  A
+  loopback lab can shrug at that; anything beyond localhost cannot.
+* **robustness** — a truncated or corrupted datagram raises out of the
+  decode into the asyncio loop.  A soak that must "run non-stop" cannot
+  afford an unhandled exception per garbage frame.
+
+This module replaces pickle with a small explicit codec:
+
+* a fixed :data:`HEADER` — magic (``RW``), a **version byte**
+  (:data:`WIRE_VERSION`), a flags byte (reserved, must be zero), the
+  envelope ints ``src`` / ``dst`` / ``size_bytes`` — followed by
+* a **restricted-tag, length-prefixed value encoding** of the payload.
+  Exactly the shapes the protocol modules actually put on the wire are
+  representable: ``None``, ``bool``, ``int``, ``float``, ``str``,
+  ``bytes``, ``tuple``, ``list``, ``dict``, ``set``, ``frozenset`` —
+  plus explicitly *registered* message classes (see
+  :func:`register_wire_type`; :class:`~repro.net.message.NetMessage`
+  registers itself).  Nothing else encodes, and — the point — nothing
+  else **decodes**: there is no tag whose decoding calls a constructor
+  the receiver did not register first.
+
+Every malformation — bad magic, unknown version, non-zero flags,
+unknown tag, length prefix past the end of the datagram, trailing
+garbage, containers nested past :data:`MAX_DEPTH` — raises
+:class:`~repro.errors.CodecError` from :func:`decode_datagram`.  The
+transport catches exactly that (plus nothing else), counts the drop,
+and moves on; see ``RealtimeUdpTransport._on_datagram``.
+
+The codec is deliberately *not* self-describing beyond its tags: it is
+a wire format for this stack's frames, not a general serialisation
+library.  Determinism: encoding is a pure function of the value (dict
+and set iteration order is preserved as given), so equal frames encode
+to equal bytes within one process.
+"""
+
+from __future__ import annotations
+
+import operator
+import struct
+from typing import Any, Callable, Dict, Tuple
+
+from ..errors import CodecError
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_DEPTH",
+    "encode_value",
+    "decode_value",
+    "encode_datagram",
+    "decode_datagram",
+    "register_wire_type",
+    "registered_wire_types",
+]
+
+#: Version byte stamped into every datagram header.  Receivers drop
+#: datagrams from other versions (counted, never raised) so rolling a
+#: codec change through a live cluster degrades to partition, not crash.
+WIRE_VERSION = 1
+
+#: Two magic bytes: "repro wire".  Catches cross-talk from unrelated
+#: processes that happen to hit our port.
+MAGIC = b"RW"
+
+#: Maximum container nesting the decoder will follow.  The stack's real
+#: frames nest ~6 deep; 32 leaves headroom while bounding the recursion
+#: a hostile datagram can force.
+MAX_DEPTH = 32
+
+#: Header: magic(2s) version(B) flags(B) src(i) dst(i) size_bytes(i).
+HEADER = struct.Struct("!2sBBiii")
+
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+_U32 = struct.Struct("!I")
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+# Registered message classes: name -> (cls, pack, unpack); cls -> name.
+_WIRE_TYPES: Dict[str, Tuple[type, Callable[[Any], tuple], Callable[[tuple], Any]]] = {}
+_WIRE_TYPE_BY_CLS: Dict[type, str] = {}
+
+
+def register_wire_type(
+    name: str,
+    cls: type,
+    pack: Callable[[Any], tuple],
+    unpack: Callable[[tuple], Any],
+) -> None:
+    """Register message class *cls* under wire tag *name*.
+
+    ``pack(obj)`` must return a tuple of codec-encodable fields;
+    ``unpack(fields)`` rebuilds the instance.  Registration is what
+    makes a class decodable — an unregistered name in an incoming
+    datagram is a :class:`~repro.errors.CodecError`, not an import or a
+    constructor call.  Re-registering the same name for the same class
+    is idempotent; re-using a name for a different class is an error
+    (two modules fighting over a tag is a deployment bug).
+    """
+    existing = _WIRE_TYPES.get(name)
+    if existing is not None and existing[0] is not cls:
+        raise CodecError(
+            f"wire type name {name!r} already registered for {existing[0].__name__}"
+        )
+    _WIRE_TYPES[name] = (cls, pack, unpack)
+    _WIRE_TYPE_BY_CLS[cls] = name
+
+
+def registered_wire_types() -> Tuple[str, ...]:
+    """The currently registered wire-type names (sorted)."""
+    return tuple(sorted(_WIRE_TYPES))
+
+
+# --------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------- #
+def _encode_into(out: list, value: Any, depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise CodecError(f"value nests deeper than MAX_DEPTH={MAX_DEPTH}")
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif type(value) is int:
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(b"i")
+            out.append(_I64.pack(value))
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+            out.append(b"I")
+            out.append(_U32.pack(len(raw)))
+            out.append(raw)
+    elif type(value) is float:
+        out.append(b"f")
+        out.append(_F64.pack(value))
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(b"s")
+        out.append(_U32.pack(len(raw)))
+        out.append(raw)
+    elif type(value) is bytes:
+        out.append(b"b")
+        out.append(_U32.pack(len(value)))
+        out.append(value)
+    elif type(value) is tuple:
+        out.append(b"t")
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode_into(out, item, depth + 1)
+    elif type(value) is list:
+        out.append(b"l")
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode_into(out, item, depth + 1)
+    elif type(value) is dict:
+        out.append(b"d")
+        out.append(_U32.pack(len(value)))
+        for k, v in value.items():
+            _encode_into(out, k, depth + 1)
+            _encode_into(out, v, depth + 1)
+    elif type(value) is set:
+        out.append(b"e")
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode_into(out, item, depth + 1)
+    elif type(value) is frozenset:
+        out.append(b"z")
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode_into(out, item, depth + 1)
+    else:
+        name = _WIRE_TYPE_BY_CLS.get(type(value))
+        if name is None:
+            # Numeric look-alikes (int/float subclasses, numpy scalars)
+            # encode as their exact plain value; everything else refuses.
+            if isinstance(value, bool):
+                out.append(b"T" if value else b"F")
+                return
+            if isinstance(value, float):
+                out.append(b"f")
+                out.append(_F64.pack(float(value)))
+                return
+            try:
+                _encode_into(out, int(operator.index(value)), depth)
+                return
+            except TypeError:
+                pass
+            raise CodecError(
+                f"type {type(value).__name__} is not wire-encodable; register "
+                f"it with register_wire_type or restrict the payload"
+            )
+        _, pack, _unpack = _WIRE_TYPES[name]
+        raw_name = name.encode("utf-8")
+        out.append(b"x")
+        out.append(_U32.pack(len(raw_name)))
+        out.append(raw_name)
+        fields = pack(value)
+        if type(fields) is not tuple:
+            raise CodecError(f"wire type {name!r}: pack() must return a tuple")
+        _encode_into(out, fields, depth + 1)
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one payload value (raises :class:`CodecError` on
+    unencodable types or excessive nesting)."""
+    out: list = []
+    _encode_into(out, value, 0)
+    return b"".join(out)
+
+
+def encode_datagram(src: int, dst: int, payload: Any, size_bytes: int) -> bytes:
+    """Encode one wire datagram: header + payload value."""
+    return HEADER.pack(MAGIC, WIRE_VERSION, 0, src, dst, size_bytes) + encode_value(
+        payload
+    )
+
+
+# --------------------------------------------------------------------- #
+# Decoding
+# --------------------------------------------------------------------- #
+def _need(data: bytes, offset: int, count: int) -> int:
+    end = offset + count
+    if end > len(data):
+        raise CodecError(
+            f"truncated datagram: need {count} bytes at offset {offset}, "
+            f"have {len(data) - offset}"
+        )
+    return end
+
+
+def _decode_at(data: bytes, offset: int, depth: int) -> Tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise CodecError(f"value nests deeper than MAX_DEPTH={MAX_DEPTH}")
+    end = _need(data, offset, 1)
+    tag = data[offset:end]
+    offset = end
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag == b"i":
+        end = _need(data, offset, 8)
+        return _I64.unpack_from(data, offset)[0], end
+    if tag == b"f":
+        end = _need(data, offset, 8)
+        return _F64.unpack_from(data, offset)[0], end
+    if tag in (b"I", b"s", b"b"):
+        end = _need(data, offset, 4)
+        length = _U32.unpack_from(data, offset)[0]
+        offset = end
+        end = _need(data, offset, length)
+        raw = data[offset:end]
+        if tag == b"I":
+            return int.from_bytes(raw, "big", signed=True), end
+        if tag == b"s":
+            try:
+                return raw.decode("utf-8"), end
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"invalid utf-8 in string: {exc}") from exc
+        return bytes(raw), end
+    if tag in (b"t", b"l", b"e", b"z"):
+        end = _need(data, offset, 4)
+        count = _U32.unpack_from(data, offset)[0]
+        offset = end
+        items = []
+        for _ in range(count):
+            # Every item consumes >= 1 byte, so count is implicitly
+            # bounded by the datagram length via the truncation check.
+            item, offset = _decode_at(data, offset, depth + 1)
+            items.append(item)
+        if tag == b"t":
+            return tuple(items), offset
+        if tag == b"l":
+            return items, offset
+        if tag == b"e":
+            return set(items), offset
+        return frozenset(items), offset
+    if tag == b"d":
+        end = _need(data, offset, 4)
+        count = _U32.unpack_from(data, offset)[0]
+        offset = end
+        mapping: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, offset = _decode_at(data, offset, depth + 1)
+            value, offset = _decode_at(data, offset, depth + 1)
+            mapping[key] = value
+        return mapping, offset
+    if tag == b"x":
+        end = _need(data, offset, 4)
+        length = _U32.unpack_from(data, offset)[0]
+        offset = end
+        end = _need(data, offset, length)
+        try:
+            name = data[offset:end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid utf-8 in wire type name: {exc}") from exc
+        offset = end
+        entry = _WIRE_TYPES.get(name)
+        if entry is None:
+            raise CodecError(f"unknown wire type {name!r}")
+        fields, offset = _decode_at(data, offset, depth + 1)
+        if type(fields) is not tuple:
+            raise CodecError(f"wire type {name!r}: fields must decode to a tuple")
+        _cls, _pack, unpack = entry
+        try:
+            return unpack(fields), offset
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CodecError(f"wire type {name!r}: unpack failed: {exc}") from exc
+    raise CodecError(f"unknown tag byte {tag!r} at offset {offset - 1}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one payload value; the whole buffer must be consumed."""
+    value, offset = _decode_at(data, 0, 0)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def decode_datagram(data: bytes) -> Tuple[int, int, Any, int]:
+    """Decode one wire datagram into ``(src, dst, payload, size_bytes)``.
+
+    Raises :class:`~repro.errors.CodecError` — and only that — on any
+    malformation, so callers have exactly one thing to catch.
+    """
+    if len(data) < HEADER.size:
+        raise CodecError(
+            f"datagram shorter than header: {len(data)} < {HEADER.size}"
+        )
+    magic, version, flags, src, dst, size_bytes = HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise CodecError(f"unsupported wire version {version}")
+    if flags != 0:
+        raise CodecError(f"reserved flags byte is non-zero: {flags:#x}")
+    if size_bytes < 0:
+        raise CodecError(f"negative declared size {size_bytes}")
+    payload, offset = _decode_at(data, HEADER.size, 0)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after payload")
+    return src, dst, payload, size_bytes

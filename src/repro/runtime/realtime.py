@@ -20,10 +20,16 @@ event loop's monotonic clock and datagrams travel through real
   single-process soak needs.
 * :class:`RealtimeUdpTransport` — one UDP socket per node, bound to an
   OS-assigned port on localhost; the node-rank → address map is shared
-  in-process.  Payloads are pickled on the wire.  **Trust boundary**:
-  pickle is not safe against hostile peers — this transport is for
-  loopback/lab deployments where every socket belongs to the same
-  operator, not for open networks.
+  in-process.  The wire format is the safe, versioned codec of
+  :mod:`repro.runtime.codec` (struct header + restricted-tag payload
+  encoding).  **Trust boundary**: decoding never executes anything —
+  unknown tags, unknown wire versions, and truncated or corrupted
+  datagrams are counted (``malformed`` in :meth:`~RealtimeUdpTransport.
+  stats`) and dropped, never raised into the event loop.  The transport
+  also carries the chaos layer's fault surface (partitions, per-link
+  impairments, latency spikes) so :class:`~repro.runtime.chaos.
+  RealtimeFaultInjector` can degrade a live cluster the way
+  :class:`~repro.net.network.SimNetwork` degrades a simulated one.
 * :class:`RealtimeBackend` — bundles the three behind the
   :class:`~repro.runtime.api.Backend` lifecycle and doubles as the
   duck-typed "system" (``stacks`` / ``machine(i)`` / ``sim`` /
@@ -35,12 +41,14 @@ event loop's monotonic clock and datagrams travel through real
 from __future__ import annotations
 
 import asyncio
-import pickle
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..errors import SimulationError
+from ..errors import CodecError, SimulationError, UnknownDestinationError
+from ..net.message import NetMessage
+from ..net.network import LinkImpairment
 from ..sim.random import RngRegistry
 from .api import Backend, NodeBackend, Scheduler, Transport
+from .codec import decode_datagram, encode_datagram
 
 __all__ = [
     "RealtimeScheduler",
@@ -315,13 +323,27 @@ class RealtimeUdpTransport(Transport):
 
     Sockets bind to OS-assigned ports (``port 0``), and the rank →
     ``(host, port)`` map is shared in-process, so N stacks coexist in
-    one process with zero port configuration.  Wire format is
-    ``pickle((src, dst, payload, size_bytes))`` — see the module
-    docstring for the trust boundary.
+    one process with zero port configuration.  Wire format is the safe
+    codec of :mod:`repro.runtime.codec` — header + restricted-tag
+    payload; malformed datagrams are counted and dropped at
+    :meth:`_on_datagram`, never raised.
 
     Crash semantics match :class:`~repro.net.network.SimNetwork`:
     datagrams from crashed senders are never sent; datagrams to crashed
     receivers are dropped at delivery time.
+
+    **Chaos surface** (duck-type compatible with ``SimNetwork``, which
+    is what lets one :class:`~repro.sim.faults.FaultInjector` contract
+    drive both): :meth:`partition` / :meth:`partition_oneway` /
+    :meth:`heal` maintain directed partition tables honoured on *both*
+    the send and the receive path (the receive check is the one that
+    matters beyond localhost — a partitioned peer cannot be stopped
+    from transmitting, only ignored); :meth:`impair_link` attaches a
+    per-direction :class:`~repro.net.network.LinkImpairment` whose
+    loss / duplication / reorder / extra-latency act at delivery time
+    (drop/dup/delay on :meth:`_deliver`); :attr:`extra_latency` is the
+    network-wide latency-spike knob.  Loopback (:meth:`send_local`)
+    bypasses impairments, exactly like the simulated network.
     """
 
     def __init__(self, sim: RealtimeScheduler, nodes: List[RealtimeNode],
@@ -333,12 +355,26 @@ class RealtimeUdpTransport(Transport):
         self._endpoints: Dict[int, asyncio.DatagramTransport] = {}
         #: Rank -> bound (host, port); filled by :meth:`open`.
         self.addresses: Dict[int, Any] = {}
+        # Chaos state (mirrors SimNetwork's fault surface).
+        self._partitions: Set[FrozenSet[int]] = set()
+        self._oneway: Set[Tuple[int, int]] = set()
+        self._links: Dict[Tuple[int, int], LinkImpairment] = {}
+        #: Extra one-way delay added to every non-loopback delivery.
+        self.extra_latency: float = 0.0
+        #: Rng stream for impairment draws (own stream: chaos draws
+        #: never perturb workload randomness, same rule as the sim).
+        self._impair_rng = sim.rng.stream("net.realtime.impairments")
         self._c_sent = 0
         self._c_bytes_sent = 0
         self._c_received = 0
         self._c_dropped_crashed = 0
         self._c_dropped_unknown = 0
-        self._c_dropped_decode = 0
+        self._c_malformed = 0
+        self._c_dropped_partition = 0
+        self._c_dropped_loss = 0
+        self._c_duplicated = 0
+        self._c_reordered = 0
+        self._c_delayed = 0
 
     async def open(self) -> None:
         """Bind one UDP socket per node (must run inside the loop)."""
@@ -371,39 +407,149 @@ class RealtimeUdpTransport(Transport):
         """Remove node *machine_id*'s delivery hook."""
         self._hooks.pop(machine_id, None)
 
+    # ------------------------------------------------------------------ #
+    # Chaos surface (mirrors SimNetwork's fault-injection API)
+    # ------------------------------------------------------------------ #
+    def partition(self, group_a: Set[int], group_b: Set[int]) -> None:
+        """Drop all traffic between *group_a* and *group_b* until healed."""
+        for a in group_a:
+            for b in group_b:
+                if a != b:
+                    self._partitions.add(frozenset((a, b)))
+
+    def partition_oneway(self, src_group: Set[int], dst_group: Set[int]) -> None:
+        """Drop *src_group* → *dst_group* traffic only (asymmetric split)."""
+        for src in src_group:
+            for dst in dst_group:
+                if src != dst:
+                    self._oneway.add((src, dst))
+
+    def heal(self) -> None:
+        """Remove every partition (symmetric and one-way)."""
+        self._partitions.clear()
+        self._oneway.clear()
+
+    def is_partitioned(self, a: int, b: int) -> bool:
+        """Whether *a* → *b* traffic is currently blocked (directional)."""
+        if self._partitions and frozenset((a, b)) in self._partitions:
+            return True
+        return bool(self._oneway) and (a, b) in self._oneway
+
+    def impair_link(
+        self,
+        src: int,
+        dst: int,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_delay: float = 0.0,
+        extra_latency: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Attach a :class:`LinkImpairment` to *src→dst* (and the reverse
+        direction when *symmetric*), replacing any previous one."""
+        for machine_id in (src, dst):
+            if machine_id not in self._nodes:
+                raise UnknownDestinationError(f"no machine with id {machine_id}")
+        impairment = LinkImpairment(
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            reorder_rate=reorder_rate,
+            reorder_delay=reorder_delay,
+            extra_latency=extra_latency,
+        )
+        self._links[(src, dst)] = impairment
+        if symmetric:
+            self._links[(dst, src)] = impairment
+
+    def clear_link(self, src: int, dst: int, symmetric: bool = True) -> None:
+        """Remove the impairment on *src→dst* (and reverse if *symmetric*)."""
+        self._links.pop((src, dst), None)
+        if symmetric:
+            self._links.pop((dst, src), None)
+
+    def clear_links(self) -> None:
+        """Remove every per-link impairment."""
+        self._links.clear()
+
+    def link_impairment(self, src: int, dst: int) -> Optional[LinkImpairment]:
+        """The impairment currently on *src→dst*, if any."""
+        return self._links.get((src, dst))
+
+    # ------------------------------------------------------------------ #
+    # Datagram path
+    # ------------------------------------------------------------------ #
     def send(self, message: Any) -> None:
         """Send one datagram through the sender's real socket."""
         sender = self._nodes.get(message.src)
         if sender is None or sender._crashed_at is not None:
             self._c_dropped_crashed += 1
             return
+        if self.is_partitioned(message.src, message.dst):
+            self._c_dropped_partition += 1
+            return
         addr = self.addresses.get(message.dst)
         endpoint = self._endpoints.get(message.src)
         if addr is None or endpoint is None:
             self._c_dropped_unknown += 1
             return
-        data = pickle.dumps(
-            (message.src, message.dst, message.payload, message.size_bytes),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        data = encode_datagram(message.src, message.dst, message.payload,
+                               message.size_bytes)
         endpoint.sendto(data, addr)
         self._c_sent += 1
         self._c_bytes_sent += len(data)
 
     def send_local(self, message: Any) -> None:
-        """Loopback: skip the socket, deliver on the next loop iteration."""
-        self.sim.call_soon(self._deliver, message.dst, message.src,
+        """Loopback: skip the socket — and the chaos surface, exactly like
+        ``SimNetwork.send_local`` (no loss, no partition, no latency)."""
+        self.sim.call_soon(self._deliver_now, message.dst, message.src,
                            message.payload, message.size_bytes)
 
     def _on_datagram(self, node_id: int, data: bytes) -> None:
         try:
-            src, dst, payload, size_bytes = pickle.loads(data)
-        except Exception:
-            self._c_dropped_decode += 1
+            src, dst, payload, size_bytes = decode_datagram(data)
+        except CodecError:
+            self._c_malformed += 1
             return
         self._deliver(node_id, src, payload, size_bytes)
 
     def _deliver(self, dst: int, src: int, payload: Any, size_bytes: int) -> None:
+        """Apply the chaos surface, then hand off to :meth:`_deliver_now`.
+
+        Receive-side enforcement: a real peer beyond localhost cannot be
+        stopped from *transmitting* into a partition, so the drop has to
+        happen here, on arrival.  Loss / duplication / reorder-delay draws
+        likewise act at delivery — the sender's socket already did its
+        (un-impaired) work.
+        """
+        if self.is_partitioned(src, dst):
+            self._c_dropped_partition += 1
+            return
+        link = self._links.get((src, dst)) if self._links else None
+        delay = self.extra_latency
+        if link is not None:
+            if link.loss_rate > 0.0 and self._impair_rng.random() < link.loss_rate:
+                self._c_dropped_loss += 1
+                return
+            delay += link.extra_latency
+            if (link.reorder_rate > 0.0
+                    and self._impair_rng.random() < link.reorder_rate):
+                delay += self._impair_rng.random() * link.reorder_delay
+                self._c_reordered += 1
+            if (link.duplicate_rate > 0.0
+                    and self._impair_rng.random() < link.duplicate_rate):
+                self._c_duplicated += 1
+                self.sim.schedule_fast(delay, self._deliver_now, dst, src,
+                                       payload, size_bytes)
+        if delay > 0.0:
+            self._c_delayed += 1
+            self.sim.schedule_fast(delay, self._deliver_now, dst, src,
+                                   payload, size_bytes)
+            return
+        self._deliver_now(dst, src, payload, size_bytes)
+
+    def _deliver_now(self, dst: int, src: int, payload: Any,
+                     size_bytes: int) -> None:
         receiver = self._nodes.get(dst)
         if receiver is None or receiver._crashed_at is not None:
             self._c_dropped_crashed += 1
@@ -412,8 +558,6 @@ class RealtimeUdpTransport(Transport):
         if hook is None:
             self._c_dropped_unknown += 1
             return
-        from ..net.message import NetMessage
-
         self._c_received += 1
         hook(NetMessage(src=src, dst=dst, payload=payload,
                         size_bytes=size_bytes), self.sim.now)
@@ -426,7 +570,12 @@ class RealtimeUdpTransport(Transport):
             "received": self._c_received,
             "dropped_crashed": self._c_dropped_crashed,
             "dropped_unknown": self._c_dropped_unknown,
-            "dropped_decode": self._c_dropped_decode,
+            "malformed": self._c_malformed,
+            "dropped_partition": self._c_dropped_partition,
+            "dropped_loss": self._c_dropped_loss,
+            "duplicated": self._c_duplicated,
+            "reordered": self._c_reordered,
+            "delayed": self._c_delayed,
         }
 
 

@@ -1,0 +1,109 @@
+"""Chaos soak acceptance: graceful degradation on real UDP sockets.
+
+The tentpole end-to-end check of the realtime chaos layer, in both
+directions:
+
+* the **guarded** chaos soak — crash → recover → partition → heal
+  through a two-hop protocol-switch chain, with GM expel/re-join —
+  completes with zero property violations, a full drain, and the forged
+  stale-change probe *discarded*;
+* the **unguarded** (paper-literal) variant accepts the forged stale
+  change and must FAIL the chain-agreement check — the teeth proof that
+  a bad run cannot slip through the chaos gate.
+
+Durations are scaled down from the CLI defaults to keep CI wall-clock
+reasonable while preserving the calibration that matters: the crash
+outage exceeds the failure-detector timeout (re-join exercised), the
+partition window stays under it (no false suspicion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import PROTOCOL_SEQ, PROTOCOL_TOKEN
+from repro.runtime.soak import CHAOS_PLAN, SoakConfig, run_soak
+
+
+def _chaos_config(**overrides):
+    defaults = dict(
+        nodes=3,
+        duration=10.0,
+        seed=0,
+        rate_per_sec=45.0,
+        payload_bytes=128,
+        plan=CHAOS_PLAN,
+        health_port=None,
+        chaos=True,
+        drain_extra=8.0,
+    )
+    defaults.update(overrides)
+    return SoakConfig(**defaults)
+
+
+@pytest.mark.slow
+def test_chaos_soak_degrades_gracefully_and_recovers():
+    report = run_soak(_chaos_config())
+    assert report["violations"] == {}
+    assert report["drained"], report["drain_pending"]
+    assert report["switches_ok"] and report["rejoin_ok"]
+    assert report["ok"]
+
+    # The fault plan actually ran: every fault kind fired and the
+    # transport saw partition drops and impairment losses.
+    counters = report["chaos"]["counters"]
+    for kind in ("crash", "recover", "partition", "heal", "impair-link",
+                 "latency-spike"):
+        assert counters.get(kind, 0) >= 1, counters
+    assert report["transport"]["dropped_partition"] > 0
+    assert report["transport"]["dropped_crashed"] > 0
+
+    # The victim re-joined through the GM state transfer.
+    assert list(report["chaos"]["rejoined"]) == ["2"]
+
+    # The switch chain completed on the survivors and caught the victim
+    # up: everyone ends on the final protocol.
+    assert set(report["protocols"].values()) == {PROTOCOL_TOKEN}
+
+    # The forged stale change was discarded by Algorithm 1's guard.
+    assert report["chaos"]["stale_changes_discarded"] >= 1
+
+    # Wall-clock latency percentiles are reported and sane.
+    latency = report["latency"]
+    assert latency["count"] > 0
+    assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+
+
+@pytest.mark.slow
+def test_unguarded_chaos_soak_fails_chain_agreement():
+    report = run_soak(_chaos_config(guard_change_sn=False, seed=0))
+    assert not report["ok"]
+    assert report["violations"].get("chain agreement"), report["violations"]
+    # The diverging stack is the probe's target (stack 1): its chain
+    # grew an extra hop the others never traversed.
+    assert any("ct" in v or "different" in v
+               for v in report["violations"]["chain agreement"])
+
+
+@pytest.mark.slow
+def test_plain_soak_still_passes_with_gm_riding_along():
+    # Chaos off, GM on: the membership module must be load-bearing but
+    # inert when nothing crashes.
+    report = run_soak(
+        SoakConfig(
+            nodes=3,
+            duration=3.0,
+            seed=5,
+            rate_per_sec=45.0,
+            payload_bytes=128,
+            plan=((0.3, PROTOCOL_SEQ), (0.6, PROTOCOL_TOKEN)),
+            health_port=None,
+            with_gm=True,
+            drain_extra=6.0,
+        )
+    )
+    assert report["ok"], {
+        k: report[k] for k in ("drained", "drain_pending", "switches_ok",
+                               "violations")
+    }
+    assert report["latency"]["count"] > 0

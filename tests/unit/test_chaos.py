@@ -1,0 +1,180 @@
+"""Realtime chaos layer units: injector surface and transport faults.
+
+Covers the :class:`RealtimeFaultInjector` contract on a live (loopback)
+:class:`RealtimeBackend` — crash/recover with records, partitions both
+symmetric and one-way, link impairments, latency spikes, scenario
+fault-plan scheduling — plus the transport-level trust boundary: garbage
+bytes arriving on a *real* bound UDP socket are counted and dropped,
+never raised into the event loop.
+
+Wall-clock delays are tens of milliseconds with generous margins, so the
+file stays CI-fast.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.net.message import NetMessage
+from repro.runtime import RealtimeBackend, RealtimeFaultInjector
+from repro.runtime.codec import encode_datagram
+from repro.scenarios.spec import Crash, Heal, ImpairLink, LatencySpike, Partition, Recover
+
+TICK = 0.02
+
+
+@pytest.fixture
+def backend():
+    b = RealtimeBackend(n=3, seed=11)
+    b.start()
+    yield b
+    b.stop()
+
+
+def _sink(backend, machine_id):
+    got = []
+    backend.network.attach(machine_id, lambda m, at: got.append(m.payload))
+    return got
+
+
+def _send(backend, src, dst, payload):
+    backend.network.send(
+        NetMessage(src=src, dst=dst, payload=payload, size_bytes=32)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Satellite pin: garbage bytes on a live socket
+# --------------------------------------------------------------------- #
+def test_garbage_datagram_on_live_socket_is_counted_not_raised(backend):
+    got = _sink(backend, 0)
+    address = backend.network.addresses[0]
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        probe.sendto(b"", address)                      # empty
+        probe.sendto(b"\x80\x04garbage", address)       # pickle-ish junk
+        probe.sendto(b"RW" + b"\xff" * 20, address)     # right magic, junk rest
+    finally:
+        probe.close()
+    backend.run(5 * TICK)
+    stats = backend.network.stats()
+    assert stats["malformed"] == 3
+    assert got == []
+    # The loop survived: a well-formed datagram still delivers.
+    _send(backend, 1, 0, "still-alive")
+    backend.run(5 * TICK)
+    assert got == ["still-alive"]
+    assert backend.network.stats()["malformed"] == 3
+
+
+def test_valid_codec_datagram_from_foreign_socket_delivers(backend):
+    # The wire format is the codec, not the socket: any peer that speaks
+    # it is accepted (there is no authentication, only safe decoding).
+    got = _sink(backend, 2)
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        probe.sendto(
+            encode_datagram(0, 2, ("external", 1), 16),
+            backend.network.addresses[2],
+        )
+    finally:
+        probe.close()
+    backend.run(5 * TICK)
+    assert got == [("external", 1)]
+
+
+# --------------------------------------------------------------------- #
+# Injector surface
+# --------------------------------------------------------------------- #
+def test_injector_crash_recover_records_and_node_state(backend):
+    injector = RealtimeFaultInjector(backend)
+    injector.crash(1)
+    assert backend.nodes[1].crashed
+    injector.crash(1)  # idempotent: no duplicate record
+    injector.recover(1)
+    assert not backend.nodes[1].crashed and backend.nodes[1].epoch == 1
+    assert [r.kind for r in injector.records] == ["crash", "recover"]
+    assert injector.counters() == {"crash": 1, "recover": 1}
+    assert injector.crashed_ever() == {1: injector.records[0].time}
+
+
+def test_injector_partition_blocks_and_heal_restores(backend):
+    injector = RealtimeFaultInjector(backend)
+    got0, got1 = _sink(backend, 0), _sink(backend, 1)
+    injector.partition([0], [1, 2])
+    _send(backend, 0, 1, "a-to-b")
+    _send(backend, 1, 0, "b-to-a")
+    backend.run(5 * TICK)
+    assert got0 == [] and got1 == []
+    injector.heal()
+    _send(backend, 0, 1, "healed")
+    backend.run(5 * TICK)
+    assert got1 == ["healed"]
+    assert backend.network.stats()["dropped_partition"] == 2
+
+
+def test_injector_oneway_partition_blocks_one_direction(backend):
+    injector = RealtimeFaultInjector(backend)
+    got0, got1 = _sink(backend, 0), _sink(backend, 1)
+    injector.partition_oneway([0], [1])
+    _send(backend, 0, 1, "silenced")
+    _send(backend, 1, 0, "heard")
+    backend.run(5 * TICK)
+    assert got1 == [] and got0 == ["heard"]
+    injector.heal()
+
+
+def test_injector_impair_link_full_loss_and_clear(backend):
+    injector = RealtimeFaultInjector(backend)
+    got1 = _sink(backend, 1)
+    injector.impair_link(0, 1, loss_rate=1.0)
+    _send(backend, 0, 1, "lost")
+    backend.run(5 * TICK)
+    assert got1 == []
+    assert backend.network.stats()["dropped_loss"] == 1
+    injector.clear_links()
+    _send(backend, 0, 1, "through")
+    backend.run(5 * TICK)
+    assert got1 == ["through"]
+    kinds = [r.kind for r in injector.records]
+    assert kinds == ["impair-link", "clear-links"]
+
+
+def test_injector_latency_spike_delays_then_reverts(backend):
+    injector = RealtimeFaultInjector(backend)
+    got1 = _sink(backend, 1)
+    injector.latency_spike(10 * TICK, duration=20 * TICK)
+    assert backend.network.extra_latency == pytest.approx(10 * TICK)
+    _send(backend, 0, 1, "delayed")
+    backend.run(3 * TICK)
+    assert got1 == []  # still in the delay window
+    backend.run(30 * TICK)
+    assert got1 == ["delayed"]
+    assert backend.network.extra_latency == 0.0  # spike reverted itself
+    assert backend.network.stats()["delayed"] == 1
+
+
+def test_scenario_fault_plan_schedules_against_realtime(backend):
+    injector = RealtimeFaultInjector(backend)
+    count = injector.schedule_plan([
+        Crash(at=2 * TICK, machine=2),
+        Recover(at=6 * TICK, machine=2),
+        Partition(at=8 * TICK, groups=((0, 1), (2,))),
+        ImpairLink(at=8 * TICK, src=0, dst=1, loss_rate=0.5, until=10 * TICK),
+        Heal(at=10 * TICK),
+        LatencySpike(at=10 * TICK, extra=TICK, duration=2 * TICK),
+    ])
+    assert count == 6
+    backend.run(16 * TICK)
+    counters = injector.counters()
+    assert counters["crash"] == 1 and counters["recover"] == 1
+    assert counters["partition"] == 1 and counters["heal"] == 1
+    assert counters["impair-link"] == 1 and counters["clear-link"] == 1
+    assert counters["latency-spike"] == 2  # begin + auto-revert
+    assert not backend.nodes[2].crashed
+    assert backend.network.extra_latency == 0.0
+    # The record log is JSON-able for the health endpoint.
+    dicts = injector.records_as_dicts()
+    assert all(set(d) == {"time", "kind", "detail"} for d in dicts)

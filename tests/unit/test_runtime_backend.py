@@ -14,7 +14,16 @@ from __future__ import annotations
 import pytest
 
 from repro.net.message import NetMessage
-from repro.runtime import Backend, NodeBackend, RealtimeBackend, Scheduler, SimBackend, Transport
+from repro.runtime import (
+    Backend,
+    NodeBackend,
+    RealtimeBackend,
+    RealtimeFaultInjector,
+    Scheduler,
+    SimBackend,
+    Transport,
+)
+from repro.sim.faults import FaultInjector
 
 # Base timer quantum: long enough that wall-clock jitter cannot reorder
 # distinct multiples, short enough to keep the suite quick.
@@ -186,3 +195,69 @@ def test_scheduler_clock_and_counters(backend):
     assert sim.now >= t0 + TICK
     assert sim.events_processed > e0
     assert sim.peek_time() is None or sim.peek_time() >= sim.now
+
+
+# --------------------------------------------------------------------- #
+# Fault-surface contract: one FaultInjector behaviour on both twins
+# --------------------------------------------------------------------- #
+def make_injector(backend):
+    """The right injector flavour for *backend* (same contract either way)."""
+    if isinstance(backend, RealtimeBackend):
+        return RealtimeFaultInjector(backend)
+    return FaultInjector(backend.sim, backend.nodes, network=backend.network)
+
+
+def test_injector_crash_suppresses_timers_and_recover_rearms(backend):
+    injector = make_injector(backend)
+    fired = []
+    node = backend.nodes[0]
+    node.set_timer(3 * TICK, fired.append, "old-epoch")
+    injector.crash(0)
+    run_ticks(backend, 4)
+    assert fired == []  # pre-crash timer died with its epoch
+    injector.recover(0)
+    node.set_timer(TICK, fired.append, "new-epoch")
+    run_ticks(backend, 2)
+    assert fired == ["new-epoch"]  # the recovered incarnation re-arms
+    assert [record.kind for record in injector.records] == ["crash", "recover"]
+
+
+def test_injector_partition_blocks_both_directions(backend):
+    injector = make_injector(backend)
+    got0, got1 = _attach_sink(backend, 0), _attach_sink(backend, 1)
+    injector.partition([0], [1])
+    backend.network.send(NetMessage(src=0, dst=1, payload="a", size_bytes=32))
+    backend.network.send(NetMessage(src=1, dst=0, payload="b", size_bytes=32))
+    run_ticks(backend, 3)
+    assert got0 == [] and got1 == []
+    injector.heal()
+    backend.network.send(NetMessage(src=0, dst=1, payload="healed", size_bytes=32))
+    run_ticks(backend, 3)
+    assert got1 == ["healed"]  # heal restores delivery
+
+
+def test_injector_oneway_partition_blocks_exactly_one_direction(backend):
+    injector = make_injector(backend)
+    got0, got1 = _attach_sink(backend, 0), _attach_sink(backend, 1)
+    injector.partition_oneway([0], [1])
+    backend.network.send(NetMessage(src=0, dst=1, payload="blocked", size_bytes=32))
+    backend.network.send(NetMessage(src=1, dst=0, payload="flows", size_bytes=32))
+    run_ticks(backend, 3)
+    assert got1 == [] and got0 == ["flows"]
+    assert backend.network.is_partitioned(0, 1)
+    assert not backend.network.is_partitioned(1, 0)
+    injector.heal()
+
+
+def test_injector_full_loss_link_drops_until_cleared(backend):
+    injector = make_injector(backend)
+    got1 = _attach_sink(backend, 1)
+    injector.impair_link(0, 1, loss_rate=1.0)
+    backend.network.send(NetMessage(src=0, dst=1, payload="lost", size_bytes=32))
+    run_ticks(backend, 3)
+    assert got1 == []
+    assert backend.network.stats()["dropped_loss"] == 1
+    injector.clear_links()
+    backend.network.send(NetMessage(src=0, dst=1, payload="kept", size_bytes=32))
+    run_ticks(backend, 3)
+    assert got1 == ["kept"]
