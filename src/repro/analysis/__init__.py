@@ -1,0 +1,37 @@
+"""Static contract linter for the repro codebase (``python -m repro.analysis``).
+
+The codebase rests on invariants that runtime tests only catch when a
+schedule happens to trip over a violation; this package enforces them at
+**analysis time**, over the AST, before any simulation runs:
+
+* **R1 seam-purity** — protocol packages reach time/scheduling/IO only
+  through the ``repro/runtime`` seam;
+* **R2 determinism** — no unseeded RNGs, wall-clock reads, ``id()``
+  keys, or raw set iteration feeding sends;
+* **R3 wire-safety** — registered wire types bottom out in codec tags;
+  no pickle anywhere;
+* **R4 restart-safety** — timer-arming modules define ``on_restart``;
+* **R5 trace-discipline** — declared ``TraceKind`` members only;
+  checkers consume only structural kinds;
+* **R6 async-blocking** — no blocking calls in runtime coroutines.
+
+See ``docs/analysis.md`` for the rule catalogue and suppression policy.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import AnalysisResult, analyze
+from .findings import Finding
+from .project import Project
+from .rules import ALL_RULES, RuleInfo
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "Project",
+    "RuleInfo",
+    "analyze",
+]

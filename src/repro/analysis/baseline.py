@@ -1,0 +1,73 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline entry matches findings by :attr:`~repro.analysis.findings.Finding.fingerprint`
+(rule + path + scope + source line, no line numbers), so grandfathered
+findings survive unrelated edits but die with the code they point at.
+The repo's baseline (``analysis-baseline.json``) is **seeded empty** and
+is expected to stay that way: new violations are fixed or suppressed
+with a justification, not baselined.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from .findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self.fingerprints: Set[str] = set(fingerprints)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.fingerprints
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(
+            entry["fingerprint"] for entry in data.get("findings", ())
+        )
+
+    @staticmethod
+    def write(path: Path, findings: List[Finding]) -> None:
+        """Write *findings* as the new baseline (sorted, stable)."""
+        entries = [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "scope": f.scope,
+                "snippet": f.snippet,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        path.write_text(
+            json.dumps({"version": _VERSION, "findings": entries}, indent=2,
+                       sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def stale_entries(self, findings: List[Finding]) -> Set[str]:
+        """Baseline fingerprints no finding matched (dead grandfathers)."""
+        live = {f.fingerprint for f in findings}
+        return self.fingerprints - live

@@ -1,0 +1,154 @@
+"""``python -m repro.analysis``: the contract linter CLI.
+
+Usage::
+
+    python -m repro.analysis src/repro --strict
+    python -m repro.analysis src/repro --json
+    python -m repro.analysis src/repro --json-out findings.json
+    python -m repro.analysis src/repro --baseline analysis-baseline.json
+    python -m repro.analysis src/repro --write-baseline
+    python -m repro.analysis --list-rules
+    python -m repro.analysis --write-docs
+
+Exit codes: **0** clean, **1** active findings, **2** usage or internal
+error.  Output ordering is deterministic (path, line, col, rule), so CI
+diffs and the JSON artifact are stable across runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from .baseline import Baseline
+from .docgen import update_doc
+from .engine import analyze
+from .rules import ALL_RULES
+
+__all__ = ["main"]
+
+#: Default baseline file, resolved relative to the working directory.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based contract linter: statically enforces the runtime-seam, "
+            "determinism, wire-safety, restart-safety, trace-discipline and "
+            "async-blocking invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyse (e.g. src/repro)"
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also flag unused suppressions (suppression hygiene)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the JSON report to stdout"
+    )
+    parser.add_argument(
+        "--json-out", metavar="PATH", help="also write the JSON report to PATH"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--write-docs",
+        nargs="?",
+        const="docs/analysis.md",
+        metavar="PATH",
+        help="regenerate the rule table in docs/analysis.md (or PATH) and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, (info, _runner) in ALL_RULES.items():
+            print(f"{code}  {info.name:<18} {info.summary}")
+        return 0
+
+    if args.write_docs is not None:
+        path = pathlib.Path(args.write_docs)
+        changed = update_doc(path)
+        print(f"{'updated' if changed else 'unchanged'}: {path}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis src/repro)")
+
+    rules = None
+    if args.rules:
+        rules = [code.strip().upper() for code in args.rules.split(",") if code.strip()]
+    try:
+        baseline = Baseline.load(pathlib.Path(args.baseline))
+        result = analyze(
+            args.paths, rules=rules, baseline=baseline, strict=args.strict
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.write(pathlib.Path(args.baseline), result.findings)
+        print(
+            f"baseline written: {args.baseline} "
+            f"({len(result.findings)} grandfathered finding(s))"
+        )
+        return 0
+
+    report = {
+        "version": 1,
+        "paths": list(args.paths),
+        "strict": bool(args.strict),
+        "rules": rules or list(ALL_RULES),
+        "findings": [f.to_json() for f in result.findings],
+        "counts": result.counts,
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "stale_baseline_entries": result.stale_baseline,
+    }
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        summary = (
+            f"{len(result.findings)} finding(s)"
+            f" | {len(result.suppressed)} suppressed"
+            f" | {len(result.baselined)} baselined"
+        )
+        if result.stale_baseline:
+            summary += f" | {len(result.stale_baseline)} stale baseline entr(y/ies)"
+        print(summary)
+    return 1 if result.findings else 0

@@ -1,0 +1,57 @@
+"""Generate the rule catalogue table in ``docs/analysis.md``.
+
+Mirrors :mod:`repro.scenarios.docgen`: the rule table in the docs is
+generated from the live :data:`~repro.analysis.rules.ALL_RULES`
+registry, embedded between ``BEGIN GENERATED`` / ``END GENERATED``
+markers, and pinned byte-identical by ``tests/unit/test_docs_sync.py``.
+Regenerate in place::
+
+    python -m repro.analysis --write-docs            # docs/analysis.md
+    python -m repro.analysis --write-docs path.md    # elsewhere
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+from .rules import ALL_RULES
+
+__all__ = ["generated_block", "update_doc", "BEGIN_MARKER", "END_MARKER"]
+
+BEGIN_MARKER = (
+    "<!-- BEGIN GENERATED: analysis rule catalogue "
+    "(regenerate: python -m repro.analysis --write-docs) -->"
+)
+END_MARKER = "<!-- END GENERATED: analysis rule catalogue -->"
+
+
+def generated_block() -> str:
+    """The rule table, rendered from the live registry."""
+    lines: List[str] = [
+        "| Code | Rule | Scope | Contract |",
+        "| --- | --- | --- | --- |",
+    ]
+    for code, (info, _runner) in ALL_RULES.items():
+        lines.append(
+            f"| `{code}` | {info.name} | {info.scope} | {info.summary} |"
+        )
+    return "\n".join(lines)
+
+
+def update_doc(path: pathlib.Path) -> bool:
+    """Replace the generated block in *path*; returns True when changed."""
+    text = path.read_text(encoding="utf-8")
+    begin = text.index(BEGIN_MARKER)
+    end = text.index(END_MARKER)
+    new_text = (
+        text[: begin + len(BEGIN_MARKER)]
+        + "\n\n"
+        + generated_block()
+        + "\n\n"
+        + text[end:]
+    )
+    if new_text != text:
+        path.write_text(new_text, encoding="utf-8")
+        return True
+    return False

@@ -1,0 +1,209 @@
+"""The analysis engine: run rules, apply suppressions and the baseline.
+
+:func:`analyze` is the library entry point the CLI, CI, and the test
+suite all share.  The pipeline per run:
+
+1. load the project (:class:`~repro.analysis.project.Project`) — pure
+   ``ast``, nothing is imported;
+2. run every requested rule, dedupe, and sort findings
+   deterministically (path, line, col, rule, message);
+3. drop findings covered by a *valid* inline suppression
+   (``# repro: ignore[RULE] -- justification``), marking it used;
+4. drop findings whose fingerprint is grandfathered in the baseline;
+5. add suppression-hygiene findings (rule ``SUP``): malformed
+   ``# repro:`` markers, suppressions missing a justification, unknown
+   rule codes always; unused suppressions in ``--strict`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import Baseline
+from .findings import Finding
+from .project import Project
+from .rules import ALL_RULES
+from .source import KNOWN_RULES
+
+__all__ = ["AnalysisResult", "analyze"]
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one :func:`analyze` run.
+
+    Attributes
+    ----------
+    findings:
+        Active findings (not suppressed, not baselined), sorted.
+    suppressed:
+        Findings silenced by a valid inline suppression.
+    baselined:
+        Findings matched by the baseline file.
+    stale_baseline:
+        Baseline fingerprints that matched nothing (safe to prune).
+    project:
+        The loaded project (exposed for tests and tooling).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    project: Optional[Project] = None
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Active finding count per rule code (sorted keys)."""
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run produced zero active findings."""
+        return not self.findings
+
+
+def analyze(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    strict: bool = False,
+) -> AnalysisResult:
+    """Run the contract rules over *paths*.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to scan (recursive, deterministic order).
+    rules:
+        Rule codes to run (default: all).
+    baseline:
+        Grandfathered findings (default: empty).
+    strict:
+        Also flag unused suppressions (suppression hygiene for
+        malformed/unjustified markers is always on).
+    """
+    project = Project(paths)
+    baseline = baseline or Baseline()
+    selected = list(rules) if rules is not None else list(ALL_RULES)
+    unknown = [code for code in selected if code not in ALL_RULES]
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+
+    raw: List[Finding] = []
+    for code in selected:
+        _info, runner = ALL_RULES[code]
+        raw.extend(runner(project))
+    raw = sorted(set(raw), key=Finding.sort_key)
+
+    result = AnalysisResult(project=project)
+    files_by_display = {sf.display_path: sf for sf in project.files}
+    for finding in raw:
+        sf = files_by_display.get(finding.path)
+        suppression = (
+            sf.suppression_for(finding.line, finding.rule) if sf else None
+        )
+        if suppression is not None:
+            suppression.used = True
+            result.suppressed.append(finding)
+        elif finding in baseline:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    result.findings.extend(_hygiene_findings(project, strict, frozenset(selected)))
+    for sf in project.files:
+        if sf.parse_error:
+            result.findings.append(
+                Finding(
+                    rule="SUP",
+                    path=sf.display_path,
+                    line=1,
+                    col=0,
+                    message=f"file does not parse: {sf.parse_error}",
+                    scope=sf.module,
+                )
+            )
+    result.findings.sort(key=Finding.sort_key)
+    result.stale_baseline = sorted(baseline.stale_entries(raw))
+    return result
+
+
+def _hygiene_findings(
+    project: Project, strict: bool, selected: frozenset
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for sf in project.files:
+        for line in sf.malformed_markers:
+            findings.append(
+                Finding(
+                    rule="SUP",
+                    path=sf.display_path,
+                    line=line,
+                    col=0,
+                    message=(
+                        "malformed '# repro:' marker: expected "
+                        "'# repro: ignore[RULE,...] -- justification'"
+                    ),
+                    scope=sf.module,
+                    snippet=sf.snippet(line),
+                )
+            )
+        for sup in sf.suppressions.values():
+            unknown = [c for c in sup.codes if c not in KNOWN_RULES]
+            if unknown:
+                findings.append(
+                    Finding(
+                        rule="SUP",
+                        path=sf.display_path,
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            f"suppression names unknown rule(s) "
+                            f"{', '.join(unknown)} (known: {', '.join(KNOWN_RULES)})"
+                        ),
+                        scope=sf.module,
+                        snippet=sf.snippet(sup.line),
+                    )
+                )
+            if not sup.justification:
+                findings.append(
+                    Finding(
+                        rule="SUP",
+                        path=sf.display_path,
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            "suppression without a justification is inert: "
+                            "write '# repro: ignore[RULE] -- why this is safe'"
+                        ),
+                        scope=sf.module,
+                        snippet=sf.snippet(sup.line),
+                    )
+                )
+            elif (
+                strict
+                and not unknown
+                and not sup.used
+                and set(sup.codes) <= selected
+            ):
+                findings.append(
+                    Finding(
+                        rule="SUP",
+                        path=sf.display_path,
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            f"unused suppression for {', '.join(sup.codes)}: "
+                            "the finding it silenced is gone — remove it"
+                        ),
+                        scope=sf.module,
+                        snippet=sf.snippet(sup.line),
+                    )
+                )
+    return findings

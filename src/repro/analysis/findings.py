@@ -1,0 +1,82 @@
+"""Finding records produced by the contract linter.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects with a deterministic sort order (path, line, column,
+rule code, message) and a stable :attr:`~Finding.fingerprint` used by the
+baseline file to grandfather pre-existing violations without pinning
+line numbers (which drift on every edit).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule code (``"R1"`` .. ``"R6"``, or ``"SUP"`` for suppression
+        hygiene).
+    path:
+        Display path of the file, POSIX-style, stable for a given CLI
+        invocation (the scan argument joined with the relative subpath).
+    line / col:
+        1-based line and 0-based column of the violation.
+    message:
+        Human-readable description of the violation.
+    scope:
+        Dotted name of the enclosing module (plus class/function
+        qualname when known) — part of the baseline fingerprint so the
+        same violation is recognised across unrelated line drift.
+    snippet:
+        The stripped source line the finding points at.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    scope: str = ""
+    snippet: str = ""
+
+    #: Deterministic sort key.
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Key ordering findings by (path, line, col, rule, message)."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline file.
+
+        Hashes the rule, path, enclosing scope, and the stripped source
+        line — but not the line *number*, so unrelated edits above a
+        grandfathered finding do not un-baseline it.
+        """
+        raw = "|".join((self.rule, self.path, self.scope, self.snippet))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:24]
+
+    def render(self) -> str:
+        """One-line ``path:line:col: CODE message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable mapping for ``--json`` output."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "scope": self.scope,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

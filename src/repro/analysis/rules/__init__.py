@@ -1,0 +1,24 @@
+"""The contract rules, one visitor module per rule.
+
+``ALL_RULES`` maps rule codes to ``(RuleInfo, run)`` pairs in catalogue
+order; the engine and the docs generator both iterate it, so adding a
+rule here is all it takes to wire it into the CLI, ``--list-rules``,
+and ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..findings import Finding
+from ..project import Project
+from . import r1_seam, r2_determinism, r3_wire, r4_restart, r5_trace, r6_async
+from .base import RuleInfo
+
+__all__ = ["ALL_RULES", "RuleInfo"]
+
+#: Rule code -> (metadata, entry point), in catalogue order.
+ALL_RULES: Dict[str, Tuple[RuleInfo, Callable[[Project], List[Finding]]]] = {
+    module.RULE.code: (module.RULE, module.run)
+    for module in (r1_seam, r2_determinism, r3_wire, r4_restart, r5_trace, r6_async)
+}

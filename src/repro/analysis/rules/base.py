@@ -1,0 +1,131 @@
+"""Shared rule infrastructure: metadata and AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..findings import Finding
+from ..source import SourceFile
+
+__all__ = [
+    "RuleInfo",
+    "make_finding",
+    "dotted_name",
+    "iter_imports",
+    "enclosing_scope",
+]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Metadata describing one rule (rendered into ``docs/analysis.md``).
+
+    Attributes
+    ----------
+    code:
+        Short code (``"R1"``), also the ``ignore[...]`` key.
+    name:
+        Kebab-case rule name.
+    scope:
+        One-line description of which files the rule examines.
+    summary:
+        One-line statement of the enforced contract.
+    """
+
+    code: str
+    name: str
+    scope: str
+    summary: str
+
+
+def make_finding(
+    rule: str, sf: SourceFile, node: ast.AST, message: str, scope: str = ""
+) -> Finding:
+    """Build a :class:`Finding` anchored at *node* in *sf*."""
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return Finding(
+        rule=rule,
+        path=sf.display_path,
+        line=line,
+        col=col,
+        message=message,
+        scope=scope or sf.module,
+        snippet=sf.snippet(line),
+    )
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to a dotted string."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return (
+        isinstance(test, ast.Attribute)
+        and test.attr == "TYPE_CHECKING"
+        and isinstance(test.value, ast.Name)
+    )
+
+
+def iter_imports(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.stmt, bool]]:
+    """Yield every import statement with a *typing_only* flag.
+
+    The flag is ``True`` for imports inside an ``if TYPE_CHECKING:``
+    block — those never execute at runtime and are exempt from the seam
+    rule (annotations are an acceptable way to reference engine types).
+    """
+
+    def walk(node: ast.AST, typing_only: bool) -> Iterator[Tuple[ast.stmt, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Import, ast.ImportFrom)):
+                yield child, typing_only
+            elif isinstance(child, ast.If):
+                flag = typing_only or _is_type_checking_test(child.test)
+                for stmt in child.body:
+                    yield from walk_stmt(stmt, flag)
+                for stmt in child.orelse:
+                    yield from walk_stmt(stmt, typing_only)
+            else:
+                yield from walk(child, typing_only)
+
+    def walk_stmt(stmt: ast.stmt, typing_only: bool) -> Iterator[Tuple[ast.stmt, bool]]:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt, typing_only
+        else:
+            yield from walk(stmt, typing_only)
+
+    yield from walk(tree, False)
+
+
+def enclosing_scope(tree: ast.AST, target: ast.AST) -> str:
+    """Qualified name of the class/function enclosing *target* (best effort)."""
+    path: List[str] = []
+
+    def visit(node: ast.AST, names: List[str]) -> bool:
+        if node is target:
+            path.extend(names)
+            return True
+        for child in ast.iter_child_nodes(node):
+            child_names = names
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_names = names + [child.name]
+            if visit(child, child_names):
+                return True
+        return False
+
+    visit(tree, [])
+    return ".".join(path)

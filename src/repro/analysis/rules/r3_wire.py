@@ -1,0 +1,260 @@
+"""R3 wire-safety: everything on the datagram path encodes without pickle.
+
+Two checks:
+
+* **no pickle, anywhere** — any import of the pickle family (``pickle``,
+  ``cPickle``, ``_pickle``, ``dill``, ``cloudpickle``, ``shelve``) under
+  the analysed tree is an error: the realtime wire is the safe codec
+  (``repro.runtime.codec``), and a pickle import is one refactor away
+  from executing hostile datagram bytes;
+* **registered wire types bottom out in codec tags** — for every
+  ``register_wire_type(name, Cls, pack, unpack)`` call whose ``pack``
+  is a field-tuple lambda (``lambda m: (m.a, m.b, ...)``), each packed
+  field's class-level annotation must recursively reduce to types the
+  codec encodes: ``None``/``bool``/``int``/``float``/``str``/``bytes``,
+  ``tuple``/``list``/``set``/``frozenset``/``dict`` (and their
+  ``typing`` spellings) of supported types, ``Optional``/``Union`` of
+  supported types, ``Any`` (deferred to the codec's runtime check), or
+  another registered wire class.
+
+The static type model lives in :func:`annotation_supported`;
+``tests/unit/test_wire_drift.py`` pins it against what
+``repro.runtime.codec`` actually accepts at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..findings import Finding
+from ..project import ClassInfo, Project
+from ..source import SourceFile
+from .base import RuleInfo, dotted_name, iter_imports, make_finding
+
+__all__ = [
+    "RULE",
+    "run",
+    "Registration",
+    "collect_registrations",
+    "annotation_supported",
+    "SUPPORTED_LEAF_TYPES",
+    "SUPPORTED_CONTAINER_TYPES",
+]
+
+RULE = RuleInfo(
+    code="R3",
+    name="wire-safety",
+    scope="all of src/repro",
+    summary=(
+        "No pickle-family imports; every register_wire_type class's packed "
+        "fields recursively bottom out in codec-supported tags"
+    ),
+)
+
+#: Import names that deserialise by executing code.
+PICKLE_FAMILY = frozenset(
+    ("pickle", "cPickle", "_pickle", "dill", "cloudpickle", "shelve")
+)
+
+#: Leaf annotation names the codec encodes directly (tag bytes).
+SUPPORTED_LEAF_TYPES = frozenset(
+    ("None", "bool", "int", "float", "str", "bytes", "Any", "Hashable")
+)
+
+#: Container annotation names the codec encodes (element-wise).
+SUPPORTED_CONTAINER_TYPES = frozenset(
+    (
+        "tuple",
+        "list",
+        "set",
+        "frozenset",
+        "dict",
+        "Tuple",
+        "List",
+        "Set",
+        "FrozenSet",
+        "Dict",
+        "Sequence",
+        "Mapping",
+        "Optional",
+        "Union",
+    )
+)
+
+
+@dataclass
+class Registration:
+    """One statically discovered ``register_wire_type`` call."""
+
+    wire_name: str
+    class_name: str
+    file: SourceFile
+    node: ast.Call
+    #: ``pack``-lambda field attribute names, in tuple order (``None``
+    #: when the pack callable was not a plain field-tuple lambda).
+    packed_fields: Optional[Tuple[str, ...]]
+
+
+def collect_registrations(project: Project) -> List[Registration]:
+    """Find every ``register_wire_type(...)`` call in the project."""
+    out: List[Registration] = []
+    for sf in project.files:
+        if sf.tree is None:
+            continue
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func) or ""
+            if func_name.split(".")[-1] != "register_wire_type":
+                continue
+            if len(node.args) < 4:
+                continue
+            name_arg, cls_arg, pack_arg = node.args[0], node.args[1], node.args[2]
+            wire_name = (
+                name_arg.value
+                if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)
+                else "<dynamic>"
+            )
+            class_name = dotted_name(cls_arg) or "<dynamic>"
+            out.append(
+                Registration(
+                    wire_name=wire_name,
+                    class_name=class_name.split(".")[-1],
+                    file=sf,
+                    node=node,
+                    packed_fields=_pack_fields(pack_arg),
+                )
+            )
+    return out
+
+
+def _pack_fields(pack: ast.expr) -> Optional[Tuple[str, ...]]:
+    """Field names of a ``lambda m: (m.a, m.b, ...)`` pack callable."""
+    if not isinstance(pack, ast.Lambda) or len(pack.args.args) != 1:
+        return None
+    param = pack.args.args[0].arg
+    body = pack.body
+    if not isinstance(body, ast.Tuple):
+        return None
+    fields: List[str] = []
+    for element in body.elts:
+        if (
+            isinstance(element, ast.Attribute)
+            and isinstance(element.value, ast.Name)
+            and element.value.id == param
+        ):
+            fields.append(element.attr)
+        else:
+            return None
+    return tuple(fields)
+
+
+def annotation_supported(
+    node: Optional[ast.expr], registered_classes: frozenset
+) -> Tuple[bool, str]:
+    """Whether annotation *node* bottoms out in codec-supported tags.
+
+    Returns ``(ok, offending_name)`` — *offending_name* names the first
+    unsupported leaf when *ok* is ``False``.
+    """
+    if node is None:
+        return True, ""  # unannotated: deferred to the codec's runtime check
+    if isinstance(node, ast.Constant):
+        if node.value is None or node.value is Ellipsis:
+            return True, ""
+        if isinstance(node.value, str):  # string annotation: re-parse
+            try:
+                return annotation_supported(
+                    ast.parse(node.value, mode="eval").body, registered_classes
+                )
+            except SyntaxError:
+                return False, repr(node.value)
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value) or ""
+        leaf = base.split(".")[-1]
+        if leaf not in SUPPORTED_CONTAINER_TYPES:
+            return False, leaf or "<subscript>"
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for element in elements:
+            ok, offender = annotation_supported(element, registered_classes)
+            if not ok:
+                return False, offender
+        return True, ""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):  # X | Y
+        for side in (node.left, node.right):
+            ok, offender = annotation_supported(side, registered_classes)
+            if not ok:
+                return False, offender
+        return True, ""
+    name = dotted_name(node)
+    if name is not None:
+        leaf = name.split(".")[-1]
+        if (
+            leaf in SUPPORTED_LEAF_TYPES
+            or leaf in SUPPORTED_CONTAINER_TYPES
+            or leaf in registered_classes
+        ):
+            return True, ""
+        return False, leaf
+    return False, ast.dump(node)[:40]
+
+
+def _class_annotations(info: ClassInfo) -> Dict[str, Optional[ast.expr]]:
+    out: Dict[str, Optional[ast.expr]] = {}
+    for stmt in info.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            out[stmt.target.id] = stmt.annotation
+    return out
+
+
+def run(project: Project) -> List[Finding]:
+    """Check pickle imports and registered wire-type field models."""
+    findings: List[Finding] = []
+    for sf in project.files:
+        if sf.tree is None:
+            continue
+        for node, _typing_only in iter_imports(sf.tree):
+            names: List[str] = []
+            if isinstance(node, ast.Import):
+                names = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                names = [node.module.split(".")[0]]
+            for name in names:
+                if name in PICKLE_FAMILY:
+                    findings.append(
+                        make_finding(
+                            "R3",
+                            sf,
+                            node,
+                            f"{name!r} import on a codebase with a datagram "
+                            "path: the wire is repro.runtime.codec (no "
+                            "code-executing deserialisation anywhere)",
+                        )
+                    )
+    registrations = collect_registrations(project)
+    registered = frozenset(r.class_name for r in registrations)
+    for reg in registrations:
+        info = project.lookup_class(reg.class_name)
+        if info is None or reg.packed_fields is None:
+            continue  # dynamic registration: deferred to the runtime drift test
+        annotations = _class_annotations(info)
+        for field_name in reg.packed_fields:
+            ok, offender = annotation_supported(
+                annotations.get(field_name), registered
+            )
+            if not ok:
+                findings.append(
+                    make_finding(
+                        "R3",
+                        reg.file,
+                        reg.node,
+                        f"wire type {reg.wire_name!r}: field "
+                        f"{reg.class_name}.{field_name} is annotated with "
+                        f"unsupported type {offender!r} — the codec only "
+                        "encodes its tag types and registered wire classes",
+                    )
+                )
+    return findings

@@ -1,0 +1,91 @@
+"""R5 trace discipline: declared kinds only; checkers stay structural.
+
+Two checks over the ``TraceKind`` enum the project declares (parsed
+statically from wherever ``class TraceKind`` is defined):
+
+* **declared members only** — any ``TraceKind.X`` where ``X`` is not a
+  declared member is a typo that would raise ``AttributeError`` at
+  runtime (or worse, a kind the checkers silently never see);
+* **checkers consume only structural kinds** — property-checker modules
+  (final path component ``properties`` or containing ``checker``) may
+  reference only members of ``STRUCTURAL_TRACE_KINDS``: campaigns run
+  with the per-call firehose (``CALL``, ``CALL_DISPATCHED``,
+  ``RESPONSE``, ``RESPONSE_BUFFERED``) filtered out, so a checker that
+  consumes one of those kinds silently loses its teeth exactly when it
+  matters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..findings import Finding
+from ..project import Project
+from ..source import SourceFile
+from .base import RuleInfo, make_finding
+
+__all__ = ["RULE", "run", "is_checker_module"]
+
+RULE = RuleInfo(
+    code="R5",
+    name="trace-discipline",
+    scope="all of src/repro; checker restriction on *properties*/*checker* modules",
+    summary=(
+        "Only declared TraceKind members may be referenced; checker modules "
+        "may consume only STRUCTURAL_TRACE_KINDS"
+    ),
+)
+
+
+def is_checker_module(module: str) -> bool:
+    """Whether dotted *module* is property-checker code (R5's narrow scope)."""
+    last = module.split(".")[-1]
+    return last == "properties" or "checker" in last
+
+
+def run(project: Project) -> List[Finding]:
+    """Check TraceKind references against the declared/structural member sets."""
+    members = project.trace_kind_members
+    if members is None:
+        return []  # project declares no TraceKind: nothing to enforce
+    structural = project.structural_trace_kinds
+    findings: List[Finding] = []
+    for sf in project.files:
+        if sf.tree is None:
+            continue
+        checker = is_checker_module(sf.module)
+        for node in ast.walk(sf.tree):
+            if not (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "TraceKind"
+            ):
+                continue
+            if node.attr.startswith("__") or not node.attr.isupper():
+                continue  # dunder / enum-API access, not a member reference
+            if node.attr not in members:
+                findings.append(_undeclared(sf, node))
+            elif checker and structural is not None and node.attr not in structural:
+                findings.append(
+                    make_finding(
+                        "R5",
+                        sf,
+                        node,
+                        f"checker consumes non-structural TraceKind.{node.attr}: "
+                        "campaigns filter the per-call firehose out, so this "
+                        "checker loses its teeth under structural tracing "
+                        "(consume STRUCTURAL_TRACE_KINDS only)",
+                    )
+                )
+    return findings
+
+
+def _undeclared(sf: SourceFile, node: ast.Attribute) -> Finding:
+    return make_finding(
+        "R5",
+        sf,
+        node,
+        f"TraceKind.{node.attr} is not a declared member of the TraceKind "
+        "enum: emit only declared kinds",
+    )

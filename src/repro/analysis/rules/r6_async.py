@@ -1,0 +1,93 @@
+"""R6 async-blocking: no synchronous blocking calls inside ``async def``.
+
+The realtime backend (``repro/runtime``) runs every node on one asyncio
+event loop; a single blocking call inside a coroutine stalls *all*
+nodes' timers and sockets at once — heartbeats miss, FDs suspect the
+world, and the soak's latency percentiles record the hiccup as protocol
+cost.  This rule flags calls to known-blocking APIs (``time.sleep``,
+synchronous socket/DNS helpers, ``subprocess``/``os.system``) lexically
+inside ``async def`` bodies in ``repro/runtime`` — use ``await
+asyncio.sleep(...)`` and the loop's non-blocking equivalents instead.
+Nested synchronous ``def`` bodies are not flagged (they may legitimately
+run in executors).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..findings import Finding
+from ..project import Project
+from ..source import SourceFile
+from .base import RuleInfo, dotted_name, make_finding
+
+__all__ = ["RULE", "run"]
+
+RULE = RuleInfo(
+    code="R6",
+    name="async-blocking",
+    scope="repro.runtime (async def bodies)",
+    summary=(
+        "No blocking calls (time.sleep, sync socket/DNS, subprocess) inside "
+        "async def — they stall every node on the shared event loop"
+    ),
+)
+
+_BLOCKING_CALLS = frozenset(
+    (
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "socket.gethostbyaddr",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+    )
+)
+
+
+def _async_body_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically inside *func*, excluding nested sync ``def`` bodies."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef,)):
+            continue  # sync helper: may run in an executor
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def run(project: Project) -> List[Finding]:
+    """Flag blocking calls inside runtime coroutines."""
+    findings: List[Finding] = []
+    for sf in project.files:
+        if sf.tree is None or not _in_runtime(sf):
+            continue
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(node):
+                name = dotted_name(call.func)
+                if name in _BLOCKING_CALLS:
+                    findings.append(
+                        make_finding(
+                            "R6",
+                            sf,
+                            call,
+                            f"{name}() blocks the shared event loop inside "
+                            f"async def {node.name}: every node's timers and "
+                            "sockets stall (use the asyncio equivalent)",
+                        )
+                    )
+    return findings
+
+
+def _in_runtime(sf: SourceFile) -> bool:
+    parts = sf.package_parts
+    return "runtime" in parts[1:2] or (len(parts) == 1 and parts[0] == "runtime")

@@ -1,0 +1,192 @@
+"""Parsed source files and inline suppression comments.
+
+A :class:`SourceFile` bundles everything the rules need about one file:
+its parsed AST, its dotted module name (derived from the ``__init__.py``
+chain above it), its raw lines, and its ``# repro: ignore[...]``
+suppression comments.
+
+Suppression syntax
+------------------
+::
+
+    something_flagged()  # repro: ignore[R2] -- justification text
+
+* The bracket lists one or more rule codes (``ignore[R1,R4]``).
+* The justification after ``--`` is **required**: a suppression without
+  one is inert (the finding still fires) and is itself reported as a
+  ``SUP`` hygiene finding.
+* A suppression applies to findings on its own line, or — when written
+  on a comment-only line — to findings on the next line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Suppression", "SourceFile", "KNOWN_RULES"]
+
+#: Rule codes accepted inside ``ignore[...]`` brackets.
+KNOWN_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<codes>[^\]]*)\]\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+_MARKER_RE = re.compile(r"#\s*repro:")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` comment.
+
+    Attributes
+    ----------
+    line:
+        1-based line the comment sits on.
+    codes:
+        Rule codes listed in the brackets (normalised, upper-case).
+    justification:
+        Text after ``--`` (empty when missing — the suppression is then
+        inert).
+    own_line:
+        Whether the comment is alone on its line (then it covers the
+        *next* line as well).
+    used:
+        Set by the engine when the suppression silenced a finding.
+    """
+
+    line: int
+    codes: Tuple[str, ...]
+    justification: str
+    own_line: bool
+    used: bool = False
+
+    @property
+    def valid(self) -> bool:
+        """Whether this suppression can silence findings at all."""
+        return bool(self.justification) and all(c in KNOWN_RULES for c in self.codes)
+
+
+@dataclass
+class SourceFile:
+    """One parsed file of the analysed project.
+
+    Attributes
+    ----------
+    path:
+        Absolute filesystem path.
+    display_path:
+        POSIX path used in findings: the CLI scan argument joined with
+        the path relative to it (stable regardless of cwd).
+    module:
+        Dotted module name, e.g. ``repro.net.rp2p`` (derived from the
+        ``__init__.py`` package chain on disk).
+    text:
+        Raw source.
+    tree:
+        Parsed AST (``None`` when the file failed to parse; the engine
+        reports a parse error instead of running rules over it).
+    """
+
+    path: Path
+    display_path: str
+    module: str
+    text: str
+    tree: Optional[ast.AST]
+    parse_error: Optional[str] = None
+    lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+    malformed_markers: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Path, display_path: str, module: str) -> "SourceFile":
+        """Read, parse, and scan *path* for suppression comments."""
+        text = path.read_text(encoding="utf-8")
+        tree: Optional[ast.AST] = None
+        parse_error: Optional[str] = None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:  # pragma: no cover - defensive
+            parse_error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        sf = cls(
+            path=path,
+            display_path=display_path,
+            module=module,
+            text=text,
+            tree=tree,
+            parse_error=parse_error,
+            lines=text.splitlines(),
+        )
+        sf._scan_comments()
+        return sf
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            if not _MARKER_RE.search(tok.string):
+                continue
+            lineno = tok.start[0]
+            match = _IGNORE_RE.search(tok.string)
+            if match is None:
+                self.malformed_markers.append(lineno)
+                continue
+            codes = tuple(
+                c.strip().upper() for c in match.group("codes").split(",") if c.strip()
+            )
+            why = (match.group("why") or "").strip()
+            own_line = self.lines[lineno - 1].lstrip().startswith("#")
+            self.suppressions[lineno] = Suppression(
+                line=lineno, codes=codes, justification=why, own_line=own_line
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def suppression_for(self, line: int, rule: str) -> Optional[Suppression]:
+        """The valid suppression covering *rule* at *line*, if any.
+
+        Checks the line itself, then a comment-only suppression on the
+        immediately preceding line.
+        """
+        for candidate_line in (line, line - 1):
+            sup = self.suppressions.get(candidate_line)
+            if sup is None:
+                continue
+            if candidate_line == line - 1 and not sup.own_line:
+                continue
+            if rule in sup.codes and sup.valid:
+                return sup
+        return None
+
+    def snippet(self, line: int) -> str:
+        """The stripped source text of 1-based *line* (empty if absent)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    @property
+    def package_parts(self) -> Tuple[str, ...]:
+        """The dotted module name, split."""
+        return tuple(self.module.split("."))
+
+    def top_level_package(self) -> str:
+        """Second component of the dotted name (``net`` in ``repro.net.udp``).
+
+        This is the package the seam rule (R1) classifies files by; for
+        single-segment modules it is the module name itself.
+        """
+        parts = self.package_parts
+        return parts[1] if len(parts) > 1 else parts[0]

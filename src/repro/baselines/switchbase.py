@@ -89,6 +89,9 @@ class DrainingSwitchModule(Module):
         #: Hooks fired as ``hook(stack_id, epoch, prot, duration)``.
         self.on_switch_complete: List[Callable[..., None]] = []
         self._switch_started_at: Optional[Time] = None
+        #: Deadline of an in-flight creation timer (survives crashes so
+        #: ``on_restart`` can re-arm it; ``None`` when no switch is mid-creation).
+        self._creation_due: Optional[Time] = None
 
         self.export_call(WellKnown.R_ABCAST, "abcast", self._rabcast)
         self.export_call(WellKnown.R_ABCAST, "change_protocol", self.request_change)
@@ -162,9 +165,23 @@ class DrainingSwitchModule(Module):
         # repro.dpu.repl): classloading yields the CPU.
         cost = self.creation_cost * self.modules_replaced_factor()
         if cost > 0:
+            self._creation_due = self.now + cost
             self.set_timer(cost, self._complete_switch, prot)
         else:
             self._complete_switch(prot)
+
+    def on_restart(self) -> None:
+        # A creation timer armed before the crash belongs to the dead
+        # incarnation; if a switch was mid-creation (old module unbound,
+        # new one not yet created) the stack would otherwise drain
+        # forever.  Re-arm the remaining creation time from the surviving
+        # deadline, mirroring repro.dpu.repl's restart resume.
+        if self._creation_due is not None and self._switch_protocol is not None:
+            self.set_timer(
+                max(0.0, self._creation_due - self.now),
+                self._complete_switch,
+                self._switch_protocol,
+            )
 
     def _complete_switch(self, prot: str) -> None:
         tag = f"{prot}/{type(self).__name__}/e{self._epoch}"
@@ -174,6 +191,7 @@ class DrainingSwitchModule(Module):
         self.current_protocol = prot
         self._draining = False
         self._switch_protocol = None
+        self._creation_due = None
         self.counters.incr("switches")
         if self._blocked_since is not None:
             self.app_blocked_total += self.now - self._blocked_since

@@ -39,9 +39,21 @@ class OracleFd(FdModuleBase):
         self._script = sorted(script) if script is not None else []
 
     def on_start(self) -> None:
+        self._arm_script(from_time=None)
+
+    def on_restart(self) -> None:
+        # Timers armed before the crash died with the old incarnation;
+        # re-arm the not-yet-due tail of the script (steps whose instant
+        # already passed stay consumed, matching what an external driver
+        # of a real oracle would observe).
+        self._arm_script(from_time=self.now)
+
+    def _arm_script(self, from_time: Optional[float]) -> None:
         for time, action, rank in self._script:
             if action not in ("suspect", "restore"):
                 raise ValueError(f"unknown oracle action {action!r}")
+            if from_time is not None and time <= from_time:
+                continue
             delay = max(0.0, time - self.now)
             if action == "suspect":
                 self.set_timer(delay, self.inject_suspicion, rank)

@@ -13,12 +13,14 @@ a mistake.  Real systems cannot build this (it is strictly stronger than
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
 
 from ..kernel.stack import Stack
 from ..sim.clock import Duration, ms
-from ..sim.process import Machine
 from .base import FdModuleBase
+
+if TYPE_CHECKING:  # R1 seam purity: the sim oracle is typing-only here
+    from ..sim.process import Machine
 
 __all__ = ["PerfectFd"]
 

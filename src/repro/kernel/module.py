@@ -177,7 +177,7 @@ class Module:
         """Synchronously query the module bound to *service*."""
         return self.stack.query(service, query, *args)
 
-    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any):
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Optional[Any]:
         """Arm a timer on this stack's node (dies with the node).
 
         Routed through the stack's runtime backend (the
@@ -230,7 +230,7 @@ class Module:
 
     # Convenience ------------------------------------------------------- #
     @property
-    def sim(self):
+    def sim(self) -> Any:
         """The scheduler this module's node runs on (the
         :class:`~repro.runtime.api.Scheduler` seam: the simulator in the
         discrete-event backend, a wall-clock scheduler in realtime)."""

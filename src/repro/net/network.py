@@ -26,16 +26,20 @@ doorway.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import NetworkError, UnknownDestinationError
 from ..runtime.api import Transport
 from ..sim.clock import Duration, Time
-from ..sim.engine import Simulator
-from ..sim.process import Machine
 from ..sim.random import BufferedDraws
+
+if TYPE_CHECKING:  # R1 seam purity: engine types appear in annotations only —
+    # SimNetwork drives the engine through the Scheduler/Transport seam objects
+    # handed to it, never by importing engine internals at runtime.
+    from ..sim.engine import Simulator
+    from ..sim.process import Machine
 from .message import NetMessage
 from .topology import SwitchedLan
 

@@ -16,6 +16,8 @@ works as usual.
 See ``docs/runtime.md`` for the full API walk-through.
 """
 
+from typing import Any
+
 from .api import Backend, NodeBackend, Scheduler, Transport
 
 __all__ = [
@@ -49,7 +51,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     """Resolve the backend classes on first access (cycle-free imports)."""
     module_name = _LAZY.get(name)
     if module_name is None:

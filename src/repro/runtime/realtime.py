@@ -625,7 +625,7 @@ class RealtimeBackend(Backend):
         """Node *i* (system-compatible accessor)."""
         return self.nodes[i]
 
-    def stack(self, i: int):
+    def stack(self, i: int) -> Any:
         """Stack of node *i* (system-compatible accessor)."""
         return self.stacks[i]
 

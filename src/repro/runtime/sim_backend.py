@@ -89,7 +89,7 @@ class SimBackend(Backend):
         return self.system.machines
 
     @property
-    def sim(self):
+    def sim(self) -> Any:
         """The shared :class:`~repro.sim.engine.Simulator`."""
         return self.system.sim
 
@@ -99,20 +99,20 @@ class SimBackend(Backend):
         return self.system.stacks
 
     @property
-    def registry(self):
+    def registry(self) -> Any:
         """The shared protocol registry."""
         return self.system.registry
 
     @property
-    def trace(self):
+    def trace(self) -> Any:
         """The shared trace recorder."""
         return self.system.trace
 
-    def machine(self, i: int):
+    def machine(self, i: int) -> Any:
         """Node *i* (system-compatible accessor)."""
         return self.system.machines[i]
 
-    def stack(self, i: int):
+    def stack(self, i: int) -> Any:
         """Stack of node *i* (system-compatible accessor)."""
         return self.system.stacks[i]
 

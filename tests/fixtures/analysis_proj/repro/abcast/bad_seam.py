@@ -1,0 +1,17 @@
+# R1 fixture: a protocol-package module that bypasses the runtime seam.
+
+import time  # planted R1: stdlib time in a protocol package
+
+from ..sim.engine import Simulator  # planted R1: sim engine internals
+
+import asyncio  # repro: ignore[R1] -- fixture: proves a justified suppression silences R1
+
+
+def wall_elapsed(start):
+    # planted R2 on an R1-suppressed *rule* mismatch: the ignore below
+    # names R1 only, so the wall-clock R2 finding must still fire.
+    return time.time() - start  # repro: ignore[R1] -- fixture: wrong-rule suppression must not silence R2
+
+
+def bare_marker():
+    pass  # repro: ignore[R2]

@@ -1,0 +1,8 @@
+# R5 fixture (emission side): referencing an undeclared TraceKind member.
+
+from ..kernel.events import TraceKind
+
+
+def emit(trace, now, stack_id):
+    trace.record(now, TraceKind.BIND, stack_id)  # clean: declared member
+    trace.record(now, TraceKind.REBOOTED, stack_id)  # planted R5: undeclared

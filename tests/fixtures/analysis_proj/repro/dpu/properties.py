@@ -1,0 +1,10 @@
+# R5 fixture (checker side): a property checker consuming a kind the
+# structural filter drops.
+
+from ..kernel.events import TraceKind
+
+
+def check_calls(trace):
+    crashes = trace.of_kind(TraceKind.CRASH)  # clean: structural kind
+    calls = trace.of_kind(TraceKind.CALL)  # planted R5: non-structural in a checker
+    return len(calls), len(crashes)

@@ -1,0 +1,16 @@
+# Fixture twin of repro.kernel.events: a TraceKind enum plus the
+# structural subset, in exactly the shape the project index parses.
+
+import enum
+
+
+class TraceKind(enum.Enum):
+    BIND = "bind"
+    CALL = "call"
+    RESPONSE = "response"
+    CRASH = "crash"
+
+
+STRUCTURAL_TRACE_KINDS = frozenset(TraceKind) - frozenset(
+    (TraceKind.CALL, TraceKind.RESPONSE)
+)

@@ -1,0 +1,45 @@
+# R3 fixture: a pickle import and a wire registration whose field model
+# does not bottom out in codec tags.
+
+import pickle  # planted R3: pickle-family import
+
+
+class OpaqueBlob:
+    pass
+
+
+class BadFrame:
+    src: int
+    blob: OpaqueBlob  # not a codec tag, not a registered wire class
+
+    def __init__(self, src, blob):
+        self.src = src
+        self.blob = blob
+
+
+class GoodFrame:
+    src: int
+    names: "list[str]"
+
+    def __init__(self, src, names):
+        self.src = src
+        self.names = names
+
+
+def register(register_wire_type):
+    register_wire_type(  # planted R3: BadFrame.blob is unsupported
+        "fixture.BadFrame",
+        BadFrame,
+        lambda m: (m.src, m.blob),
+        lambda f: BadFrame(f[0], f[1]),
+    )
+    register_wire_type(  # clean: int + list[str] bottom out in tags
+        "fixture.GoodFrame",
+        GoodFrame,
+        lambda m: (m.src, m.names),
+        lambda f: GoodFrame(f[0], f[1]),
+    )
+
+
+def load(data):
+    return pickle.loads(data)

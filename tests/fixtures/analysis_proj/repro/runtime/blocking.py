@@ -1,0 +1,19 @@
+# R6 fixture: a blocking call inside an async def on the runtime side.
+
+import asyncio
+import time
+
+
+async def pump(queue):
+    while True:
+        time.sleep(0.1)  # planted R6: blocks the shared event loop
+        await queue.get()
+
+
+async def pump_ok(queue):
+    await asyncio.sleep(0.1)  # clean: asyncio equivalent
+    return await queue.get()
+
+
+def sync_helper():
+    time.sleep(0.1)  # clean: not inside async def

@@ -1,0 +1,30 @@
+# R2 fixture: the four determinism hazards in a non-protocol package
+# (so R1 stays quiet and the findings are attributable to R2 alone).
+
+import random
+import time
+
+
+class Broadcaster:
+    def __init__(self, peers):
+        self.peers = set(peers)
+        self.rng = random.Random()  # planted R2: unseeded RNG
+        self.started = time.time()  # planted R2: wall-clock read
+        self.table = {}
+
+    def remember(self, obj):
+        self.table[id(obj)] = obj  # planted R2: id() as a key
+
+    def flush(self):
+        for peer in self.peers:  # planted R2: set iteration feeding sends
+            self.call("udp", "send", peer)
+
+    def flush_sorted(self):
+        for peer in sorted(self.peers):  # clean: sorted view
+            self.call("udp", "send", peer)
+
+    def call(self, service, method, *args):
+        pass
+
+    def seeded_ok(self, seed):
+        return random.Random(seed)  # clean: explicit seed

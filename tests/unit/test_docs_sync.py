@@ -72,3 +72,40 @@ class TestDocsTree:
         readme = (REPO / "README.md").read_text(encoding="utf-8")
         for name in ("docs/architecture.md", "docs/kernel.md", "docs/scenarios.md"):
             assert name in readme, f"README.md does not link {name}"
+
+
+class TestAnalysisCatalogue:
+    def test_generated_block_is_current(self):
+        """The embedded rule table must match the registry byte-for-byte.
+
+        Adding, renaming or re-scoping a rule without regenerating the
+        page fails the build.  Regenerate with
+        ``python -m repro.analysis --write-docs``.
+        """
+        from repro.analysis.docgen import (
+            BEGIN_MARKER as A_BEGIN,
+            END_MARKER as A_END,
+            generated_block as analysis_block,
+        )
+
+        doc = _doc("analysis.md")
+        assert A_BEGIN in doc and A_END in doc, (
+            "docs/analysis.md lost its generated-catalogue markers"
+        )
+        embedded = doc.split(A_BEGIN, 1)[1].split(A_END, 1)[0].strip("\n")
+        assert embedded == analysis_block(), (
+            "docs/analysis.md is stale; run "
+            "`python -m repro.analysis --write-docs`"
+        )
+
+    def test_every_rule_documented_in_prose(self):
+        """Each rule also has a prose entry, not just a table row."""
+        from repro.analysis import ALL_RULES
+
+        doc = _doc("analysis.md")
+        missing = [code for code in ALL_RULES if f"**{code} " not in doc]
+        assert not missing, f"rules missing prose in docs/analysis.md: {missing}"
+
+    def test_readme_links_analysis_docs(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/analysis.md" in readme, "README.md does not link docs/analysis.md"

@@ -1,0 +1,127 @@
+"""Drift test: R3's static wire model vs the runtime codec.
+
+R3 reasons about ``register_wire_type`` calls purely from the AST; the
+runtime codec (:mod:`repro.runtime.codec`) is the ground truth.  This
+test pins the two together: every registration R3 discovers statically
+must exist in the runtime registry (and vice versa), every registered
+type must survive an encode/decode round trip, and the static
+supported-type model must agree with what the codec actually accepts.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.project import Project
+from repro.analysis.rules.r3_wire import collect_registrations
+from repro.net.message import NetMessage
+from repro.runtime.codec import CodecError, decode_value, encode_value
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_TREE = str(REPO_ROOT / "src" / "repro")
+
+# One sample instance per registered wire name.  Adding a wire type
+# without extending this map fails test_every_registered_type_round_trips
+# below — that is the drift alarm doing its job.
+SAMPLES = {
+    "net.NetMessage": lambda: NetMessage(
+        src=1, dst=2, payload=("ping", 7, b"\x00\x01"), size_bytes=92, msg_id=41
+    ),
+}
+
+EQUIVALENT_FIELDS = {
+    "net.NetMessage": ("src", "dst", "payload", "size_bytes", "msg_id"),
+}
+
+
+@pytest.fixture(scope="module")
+def static_registrations():
+    return collect_registrations(Project([SRC_TREE]))
+
+
+def _pristine_runtime_registry(modules):
+    """``registered_wire_types()`` from a fresh interpreter.
+
+    The in-process registry is polluted by tests that register throwaway
+    wire types (``test_codec.py``), so the ground truth comes from a
+    subprocess that imports exactly the modules the static scan found
+    registrations in.
+    """
+    code = "; ".join(
+        [f"import {m}" for m in sorted(set(modules))]
+        + [
+            "from repro.runtime.codec import registered_wire_types",
+            "print('\\n'.join(registered_wire_types()))",
+        ]
+    )
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env
+    )
+    assert out.returncode == 0, out.stderr
+    return sorted(line for line in out.stdout.splitlines() if line)
+
+
+def test_static_model_matches_runtime_registry(static_registrations):
+    static_names = sorted(r.wire_name for r in static_registrations)
+    runtime_names = _pristine_runtime_registry(
+        r.file.module for r in static_registrations
+    )
+    assert static_names == runtime_names, (
+        "R3's AST scan and the runtime codec registry disagree: either a "
+        "registration happens in code R3 cannot see (fix R3) or a static "
+        "registration never runs (fix the module)"
+    )
+
+
+def test_static_pack_fields_match_runtime(static_registrations):
+    by_name = {r.wire_name: r for r in static_registrations}
+    assert set(by_name) == set(EQUIVALENT_FIELDS)
+    for name, fields in EQUIVALENT_FIELDS.items():
+        assert by_name[name].packed_fields == fields
+
+
+def test_every_registered_type_round_trips(static_registrations):
+    # Keyed on the *static* registration list, not the live registry:
+    # other tests register throwaway wire types in this process.
+    names = sorted(r.wire_name for r in static_registrations)
+    missing = sorted(set(names) - set(SAMPLES))
+    assert not missing, f"no round-trip sample for wire type(s): {missing}"
+    for name in names:
+        original = SAMPLES[name]()
+        decoded = decode_value(encode_value(original))
+        assert decoded == original, f"{name} did not survive the wire"
+        assert type(decoded) is type(original)
+
+
+def test_codec_rejects_what_r3_rejects():
+    # The static model calls a bare object unsupported (the fixture's
+    # OpaqueBlob case); the runtime codec must agree at encode time.
+    class OpaqueBlob:
+        pass
+
+    with pytest.raises(CodecError):
+        encode_value(OpaqueBlob())
+    with pytest.raises(CodecError):
+        encode_value(NetMessage(src=1, dst=2, payload=OpaqueBlob(), size_bytes=0))
+
+
+def test_codec_accepts_what_r3_accepts():
+    # Every leaf/container in R3's supported sets maps to a codec tag.
+    sample = {
+        "none": None,
+        "bool": True,
+        "int": 7,
+        "big": 2**40,
+        "float": 0.5,
+        "str": "x",
+        "bytes": b"\x01",
+        "tuple": (1, 2),
+        "list": [1, 2],
+        "set": {1, 2},
+        "frozen": frozenset((1, 2)),
+    }
+    assert decode_value(encode_value(sample)) == sample
