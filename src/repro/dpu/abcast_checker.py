@@ -37,6 +37,7 @@ __all__ = [
     "check_uniform_integrity",
     "check_uniform_total_order",
     "check_recovery_liveness",
+    "check_corruption_containment",
     "chain_agreement_violations",
     "check_all_abcast_properties",
     "assert_abcast_properties",
@@ -191,6 +192,40 @@ def check_recovery_liveness(
                 f"was never Adelivered by stack {r}, which re-joined at "
                 f"t={t_rejoin:.6f}"
             )
+    return violations
+
+
+def check_corruption_containment(
+    network_stats: Dict[str, int], checksum: bool = True
+) -> List[str]:
+    """**Corruption containment**: wire corruption never crosses into a host.
+
+    *network_stats* is the :meth:`repro.net.network.SimNetwork.stats`
+    snapshot.  The two directions, matching the network's corruption
+    model:
+
+    * **tolerated** — with the receiver-NIC *checksum* on, every
+      corrupted frame must have been detected and dropped below the
+      protocol stack (the reliable layers then retransmit, so the ABcast
+      properties are unaffected).  A corrupted frame that was delivered
+      anyway is a containment violation.
+    * **flagged** — with the checksum off, any corrupted frame that was
+      delivered reached a host unprotected; the run is flagged even if
+      the stack happened to survive (the doorway's defensive parsing is
+      best-effort, not a soundness argument).
+    """
+    violations: List[str] = []
+    delivered = network_stats.get("corrupted_delivered", 0)
+    if checksum and delivered:
+        violations.append(
+            f"{delivered} corrupted datagram(s) slipped past the receiver "
+            f"checksum and were delivered"
+        )
+    if not checksum and delivered:
+        violations.append(
+            f"{delivered} corrupted datagram(s) were delivered to hosts "
+            f"with no checksum protection (corruption not contained)"
+        )
     return violations
 
 

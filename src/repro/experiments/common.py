@@ -103,6 +103,12 @@ class GroupCommConfig:
     bandwidth_bps: float = 100e6
     loss_rate: float = 0.0
     duplicate_rate: float = 0.0
+    #: Network-wide per-datagram corruption floor (the Byzantine axis).
+    #: With ``checksum`` on (default) corrupted frames are detected and
+    #: dropped at the receiver NIC; off = delivered mangled and flagged
+    #: by the corruption containment checker.
+    corrupt_rate: float = 0.0
+    checksum: bool = True
     fd_period: Duration = ms(50.0)
     fd_timeout: Duration = ms(200.0)
     token_idle_hold: Duration = ms(1.0)
@@ -261,6 +267,8 @@ def build_group_comm_system(config: GroupCommConfig) -> GroupCommSystem:
         duplicate_rate=config.duplicate_rate,
     )
     network = SimNetwork(system.sim, system.machines, lan)
+    network.corrupt_rate = config.corrupt_rate
+    network.checksum = config.checksum
     system.network = network
     group = list(range(config.n))
     register_standard_protocols(system, group, config)

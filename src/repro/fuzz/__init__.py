@@ -1,0 +1,43 @@
+"""Adversarial schedule search: fuzzing + small-scope model checking.
+
+The ~30 handwritten scenarios in :mod:`repro.scenarios.library` explore a
+sliver of the fault × switch-plan space.  This package searches the rest
+of it, two ways:
+
+* :mod:`~repro.fuzz.generator` + :mod:`~repro.fuzz.campaign` — a
+  **seeded fault-schedule fuzzer**: random :class:`ScenarioSpec` values
+  (crash/recover, symmetric and one-way partitions, loss/dup/reorder
+  bursts, latency spikes, churn, wire corruption) composed with random
+  pipelined switch chains (``SwitchAfterSwitch`` on all three phases,
+  plus the chain-predicate ``SwitchIfStalled`` trigger), run in bulk
+  through the deterministic campaign engine.  Same seed ⇒ byte-identical
+  fuzz report, identical across ``--jobs``.
+* :mod:`~repro.fuzz.shrink` — **delta-debugging** (ddmin) over fault
+  actions, chain entries and member count: any violating schedule is
+  minimised to a 1-minimal reproducer and emitted as replayable JSON
+  (:mod:`repro.scenarios.serde`).
+* :mod:`~repro.fuzz.explorer` — a **small-scope exhaustive explorer**
+  (the DyNetKAT style of model checking for dynamic updates): every
+  interleaving of the abstract ``SwitchTask`` state machine for 2–3
+  stacks × 2–3 versions, with chain agreement checked on every branch.
+
+CLI: ``python -m repro.fuzz --help``.
+"""
+
+from .campaign import FuzzReport, run_fuzz
+from .explorer import ExplorerConfig, ExplorationResult, explore
+from .generator import FuzzConfig, generate_spec, generate_specs
+from .shrink import ddmin, shrink_spec
+
+__all__ = [
+    "FuzzConfig",
+    "generate_spec",
+    "generate_specs",
+    "ddmin",
+    "shrink_spec",
+    "FuzzReport",
+    "run_fuzz",
+    "ExplorerConfig",
+    "ExplorationResult",
+    "explore",
+]

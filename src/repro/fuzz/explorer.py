@@ -1,0 +1,251 @@
+"""Small-scope exhaustive exploration of the switch-chain state machine.
+
+The fuzzer samples the schedule space; this module *enumerates* a small
+corner of it.  The model abstracts each stack's replacement layer to the
+state the chain-agreement argument actually depends on:
+
+* a global totally-ordered log of issued changes (ABcast gives every
+  stack the same delivery order — that part is assumed, not modelled);
+* per stack: a delivery pointer into the log, a sequence number, the
+  chain of completed switches, the module creation in progress (the
+  ``SwitchTask`` analogue) and its FIFO queue of changes accepted while
+  a creation is still running (the pipelined-window case).
+
+Three event types interleave freely: *issue* (the next change is stamped
+with its issuer's **current** sequence number and appended to the log),
+*deliver* (one stack consumes the next log entry: guard-check the stamp,
+then start or queue a creation) and *complete* (one stack finishes its
+running creation and appends to its chain).  :func:`explore` walks
+**every** interleaving for K stacks × V versions, checking chain
+agreement on every leaf.
+
+The stamp-at-issue / guard-at-delivery split is the paper's §5
+``changeABcast`` mechanism in miniature: an issuer that lags behind the
+log stamps a stale sequence number, and only the guard keeps that stale
+change from being applied by *some* stacks and not others.  With the
+guard on, every interleaving converges to an agreed chain; seed the
+model with the ``stack0_skips_guard`` bug (one stack applies stale
+changes) and the explorer exhibits the violating branches.
+
+State counting uses a memoised DP over the (acyclic) state graph, so the
+leaf/violation counts cover the full interleaving tree even where paths
+reconverge; counts are exact and independent of visit order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..dpu.abcast_checker import chain_agreement_violations
+from ..errors import ScenarioError
+
+__all__ = ["ExplorerConfig", "ExplorationResult", "explore"]
+
+#: Known seedable model bugs (for checker-teeth tests).
+BUGS = ("stack0_skips_guard",)
+
+#: Per-stack model state: (log pointer, sequence number, completed chain,
+#: creation in progress (or None), FIFO queue of accepted changes).
+_StackState = Tuple[int, int, Tuple[int, ...], Optional[int], Tuple[int, ...]]
+#: Global model state: (issued log of (stamp, change) pairs, stack states).
+_State = Tuple[Tuple[Tuple[int, int], ...], Tuple[_StackState, ...]]
+#: Chains of every stack at a leaf, as one canonical outcome value.
+_Outcome = Tuple[Tuple[str, ...], ...]
+
+
+@dataclass(frozen=True)
+class ExplorerConfig:
+    """The model size and its guard/bug knobs.
+
+    ``issuers[v]`` is the stack whose sequence number stamps change *v*
+    at issue time (default: stack 0 issues everything — the single-
+    operator shape).  ``bug`` seeds a known defect into the model so
+    tests can prove the checker has teeth on exhaustive branches too.
+    """
+
+    stacks: int = 2
+    versions: int = 2
+    guard: bool = True
+    bug: Optional[str] = None
+    issuers: Optional[Tuple[int, ...]] = None
+    max_states: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.stacks <= 4:
+            raise ScenarioError("explorer is small-scope: stacks must be 1..4")
+        if not 1 <= self.versions <= 4:
+            raise ScenarioError("explorer is small-scope: versions must be 1..4")
+        if self.bug is not None and self.bug not in BUGS:
+            raise ScenarioError(
+                f"unknown seeded bug {self.bug!r}; known: {', '.join(BUGS)}"
+            )
+        if self.issuers is not None:
+            if len(self.issuers) != self.versions:
+                raise ScenarioError("issuers must name one stack per version")
+            for stack in self.issuers:
+                if not 0 <= stack < self.stacks:
+                    raise ScenarioError(f"issuer stack {stack} out of range")
+
+
+@dataclass
+class ExplorationResult:
+    """Exhaustive counts plus the distinct outcomes and counterexamples."""
+
+    config: ExplorerConfig
+    interleavings: int
+    violating: int
+    states: int
+    #: Every distinct leaf outcome: per-stack protocol chains.
+    outcomes: List[_Outcome] = field(default_factory=list)
+    #: One event trace per distinct *violating* outcome (capped).
+    counterexamples: List[List[str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Chain agreement held on every interleaving."""
+        return self.violating == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain, deterministically-serialisable dict."""
+        return {
+            "stacks": self.config.stacks,
+            "versions": self.config.versions,
+            "guard": self.config.guard,
+            "bug": self.config.bug,
+            "ok": self.ok,
+            "interleavings": self.interleavings,
+            "violating": self.violating,
+            "states": self.states,
+            "distinct_outcomes": len(self.outcomes),
+            "outcomes": [[list(chain) for chain in out] for out in self.outcomes],
+            "counterexamples": [list(trace) for trace in self.counterexamples],
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Model semantics
+# --------------------------------------------------------------------------- #
+def _enabled(state: _State, versions: int) -> List[Tuple[str, int]]:
+    """Every event enabled in *state*, in a fixed deterministic order."""
+    issued, stacks = state
+    events: List[Tuple[str, int]] = []
+    if len(issued) < versions:
+        events.append(("issue", len(issued)))
+    for i, (pointer, _seq, _chain, creating, _queue) in enumerate(stacks):
+        if pointer < len(issued):
+            events.append(("deliver", i))
+        if creating is not None:
+            events.append(("complete", i))
+    return events
+
+
+def _apply(state: _State, event: Tuple[str, int], config: ExplorerConfig) -> _State:
+    """The successor of *state* under *event* (pure)."""
+    issued, stacks = state
+    kind, target = event
+    issuers = config.issuers or tuple([0] * config.versions)
+    if kind == "issue":
+        # Stamped with the *issuer's current* sequence number: an issuer
+        # whose delivery pointer lags the log stamps a stale sn.
+        stamp = stacks[issuers[target]][1]
+        return (issued + ((stamp, target),), stacks)
+    pointer, seq, chain, creating, queue = stacks[target]
+    if kind == "deliver":
+        stamp, change = issued[pointer]
+        guarded = config.guard and not (
+            config.bug == "stack0_skips_guard" and target == 0
+        )
+        if guarded and stamp != seq:
+            # Stale change: discarded, pointer advances, seq untouched.
+            new: _StackState = (pointer + 1, seq, chain, creating, queue)
+        elif creating is None:
+            new = (pointer + 1, seq + 1, chain, change, queue)
+        else:
+            # Pipelined window: accepted while an earlier creation runs.
+            new = (pointer + 1, seq + 1, chain, creating, queue + (change,))
+    else:  # complete
+        assert creating is not None
+        done = chain + (creating,)
+        if queue:
+            new = (pointer, seq, done, queue[0], queue[1:])
+        else:
+            new = (pointer, seq, done, None, ())
+    return (issued, stacks[:target] + (new,) + stacks[target + 1 :])
+
+
+def _leaf_outcome(state: _State, config: ExplorerConfig) -> _Outcome:
+    """Per-stack protocol chains at a leaf (``init`` plus ``p<k+1>``…)."""
+    _issued, stacks = state
+    return tuple(
+        ("init",) + tuple(f"p{change + 1}" for change in chain)
+        for (_p, _s, chain, _c, _q) in stacks
+    )
+
+
+def _violates(outcome: _Outcome) -> bool:
+    """Chain agreement on one leaf, via the repo's real checker."""
+    chains = {i: list(chain) for i, chain in enumerate(outcome)}
+    return bool(chain_agreement_violations(chains, crashed={}))
+
+
+# --------------------------------------------------------------------------- #
+# Exhaustive walk
+# --------------------------------------------------------------------------- #
+def explore(config: ExplorerConfig) -> ExplorationResult:
+    """Enumerate every interleaving of the model under *config*.
+
+    Counts come from a memoised DP over the state DAG: each distinct
+    state is expanded once, and ``(leaves, violating, outcomes)`` of a
+    state is the sum/union over its successors.  The interleaving count
+    is therefore the exact number of *paths* through the tree even
+    though the walk visits shared states once.
+    """
+    initial_stack: _StackState = (0, 0, (), None, ())
+    initial: _State = ((), tuple([initial_stack] * config.stacks))
+    # state -> (paths-to-leaves, violating paths, distinct outcomes)
+    memo: Dict[_State, Tuple[int, int, FrozenSet[_Outcome]]] = {}
+    # One representative event trace per distinct violating outcome.
+    traces: Dict[_Outcome, List[str]] = {}
+
+    def walk(state: _State, path: List[str]) -> Tuple[int, int, FrozenSet[_Outcome]]:
+        cached = memo.get(state)
+        if cached is not None:
+            return cached
+        if len(memo) >= config.max_states:
+            raise ScenarioError(
+                f"explorer exceeded max_states={config.max_states}; "
+                f"shrink the model (stacks/versions) or raise the cap"
+            )
+        events = _enabled(state, config.versions)
+        if not events:
+            outcome = _leaf_outcome(state, config)
+            violating = 1 if _violates(outcome) else 0
+            if violating and outcome not in traces:
+                traces[outcome] = list(path)
+            result = (1, violating, frozenset((outcome,)))
+        else:
+            leaves = 0
+            violating = 0
+            outcomes: FrozenSet[_Outcome] = frozenset()
+            for event in events:
+                path.append(f"{event[0]}:{event[1]}")
+                sub = walk(_apply(state, event, config), path)
+                path.pop()
+                leaves += sub[0]
+                violating += sub[1]
+                outcomes |= sub[2]
+            result = (leaves, violating, outcomes)
+        memo[state] = result
+        return result
+
+    leaves, violating, outcomes = walk(initial, [])
+    ordered = sorted(outcomes)
+    return ExplorationResult(
+        config=config,
+        interleavings=leaves,
+        violating=violating,
+        states=len(memo),
+        outcomes=ordered,
+        counterexamples=[traces[o] for o in sorted(traces)][:8],
+    )

@@ -13,7 +13,7 @@ from .message import (
     NetMessage,
     estimate_payload_size,
 )
-from .network import LinkImpairment, SimNetwork
+from .network import CorruptedPayload, LinkImpairment, SimNetwork
 from .rp2p import Rp2pModule
 from .topology import SwitchedLan
 from .udp import UdpModule
@@ -25,6 +25,7 @@ __all__ = [
     "estimate_payload_size",
     "SimNetwork",
     "LinkImpairment",
+    "CorruptedPayload",
     "SwitchedLan",
     "UdpModule",
     "Rp2pModule",

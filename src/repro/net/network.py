@@ -13,6 +13,17 @@
   (loss/duplication/reorder bursts and added latency on selected links,
   see :class:`LinkImpairment`) and a global :attr:`SimNetwork.extra_latency`
   knob for injected latency spikes;
+* **corruption** — an independent per-datagram corruption draw (the
+  network-wide :attr:`SimNetwork.corrupt_rate` floor plus any per-link
+  :attr:`LinkImpairment.corrupt_rate`).  With :attr:`SimNetwork.checksum`
+  on (the default) a corrupted frame is *detected and dropped* at the
+  receiver NIC — tolerated corruption: the reliable layers retransmit
+  and the ABcast properties must still hold.  With the checksum off the
+  mangled frame is delivered, its payload wrapped in
+  :class:`CorruptedPayload`, and counted — *flagged* corruption: the
+  containment checker
+  (:func:`repro.dpu.abcast_checker.check_corruption_containment`) fails
+  any run in which garbage crossed into a host unprotected;
 * **crash semantics** — datagrams from crashed senders are never sent;
   datagrams to crashed receivers are silently dropped (the receiver hook
   double-checks at delivery time, covering crashes that happen while the
@@ -25,7 +36,7 @@ doorway.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -43,7 +54,23 @@ if TYPE_CHECKING:  # R1 seam purity: engine types appear in annotations only —
 from .message import NetMessage
 from .topology import SwitchedLan
 
-__all__ = ["SimNetwork", "LinkImpairment"]
+__all__ = ["SimNetwork", "LinkImpairment", "CorruptedPayload"]
+
+
+@dataclass(frozen=True)
+class CorruptedPayload:
+    """A payload mangled on the wire (delivered only with the checksum off).
+
+    The simulator never serialises payloads, so "bit flips" are modelled
+    structurally: the original object is wrapped, which makes the frame
+    unparseable to every protocol layer above UDP.  The UDP doorway
+    discards such frames defensively (garbage fails frame parsing), but
+    the network's ``corrupted_delivered`` counter records that corruption
+    crossed into the host — which is exactly what the containment
+    checker flags.
+    """
+
+    original: object
 
 
 @dataclass(frozen=True)
@@ -64,6 +91,11 @@ class LinkImpairment:
     extra_latency:
         Deterministic extra one-way delay on this link, in seconds
         (a per-link latency spike).
+    corrupt_rate:
+        Probability that a datagram on this link is corrupted in flight
+        (added to the network-wide :attr:`SimNetwork.corrupt_rate` floor,
+        the sum clamped to 1).  See the module docstring for the
+        checksum-on (tolerated) vs checksum-off (flagged) semantics.
     """
 
     loss_rate: float = 0.0
@@ -71,9 +103,10 @@ class LinkImpairment:
     reorder_rate: float = 0.0
     reorder_delay: Duration = 0.0
     extra_latency: Duration = 0.0
+    corrupt_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        for attr in ("loss_rate", "duplicate_rate", "reorder_rate"):
+        for attr in ("loss_rate", "duplicate_rate", "reorder_rate", "corrupt_rate"):
             value = getattr(self, attr)
             if not 0.0 <= value <= 1.0:
                 raise NetworkError(f"{attr} must be in [0, 1], got {value!r}")
@@ -112,6 +145,17 @@ class SimNetwork(Transport):
         #: Extra one-way delay added to every delivery (latency-spike knob;
         #: deterministic, so toggling it never perturbs the RNG streams).
         self.extra_latency: Duration = 0.0
+        #: Network-wide corruption floor (per-link rates add on top).  The
+        #: corruption draw happens only when the effective rate is > 0, so
+        #: corruption-free runs consume exactly the historical draw
+        #: sequence and stay byte-identical.
+        self.corrupt_rate: float = 0.0
+        #: Whether receiver NICs verify a frame checksum: corrupted frames
+        #: are then *detected and dropped* (tolerated corruption — the
+        #: reliable layers retransmit).  Off = mangled frames are
+        #: delivered wrapped in :class:`CorruptedPayload` (flagged by the
+        #: containment checker).
+        self.checksum: bool = True
         # Both hot streams draw homogeneously, so the block-buffered
         # wrappers reproduce the exact scalar-draw sequences (see
         # BufferedDraws' determinism contract).
@@ -133,6 +177,9 @@ class SimNetwork(Transport):
         self._c_delivered = 0
         self._c_dropped_crashed_receiver = 0
         self._c_dropped_unattached = 0
+        self._c_corrupted = 0
+        self._c_corrupted_dropped = 0
+        self._c_corrupted_delivered = 0
 
     # ------------------------------------------------------------------ #
     # Attachment
@@ -203,6 +250,7 @@ class SimNetwork(Transport):
         reorder_rate: float = 0.0,
         reorder_delay: Duration = 0.0,
         extra_latency: Duration = 0.0,
+        corrupt_rate: float = 0.0,
         symmetric: bool = True,
     ) -> None:
         """Attach a :class:`LinkImpairment` to *src→dst* (and the reverse
@@ -216,6 +264,7 @@ class SimNetwork(Transport):
             reorder_rate=reorder_rate,
             reorder_delay=reorder_delay,
             extra_latency=extra_latency,
+            corrupt_rate=corrupt_rate,
         )
         self._links[(src, dst)] = impairment
         if symmetric:
@@ -269,6 +318,18 @@ class SimNetwork(Transport):
         if loss > 0.0 and self._impair_draws.random() < loss:
             self._c_dropped_loss += 1
             return
+        corrupt = self.corrupt_rate
+        if link is not None and link.corrupt_rate:
+            corrupt = min(1.0, corrupt + link.corrupt_rate)
+        if corrupt > 0.0 and self._impair_draws.random() < corrupt:
+            self._c_corrupted += 1
+            if self.checksum:
+                # Detected at the receiver NIC: the frame vanishes like a
+                # loss, but is accounted separately (tolerated corruption).
+                self._c_corrupted_dropped += 1
+                return
+            # No checksum: the mangled frame travels on and is delivered.
+            message = replace(message, payload=CorruptedPayload(message.payload))
 
         arrival = done + self._one_way_delay(link)
         # Deliveries are never cancelled (crashed receivers are filtered
@@ -314,6 +375,10 @@ class SimNetwork(Transport):
             self._c_dropped_unattached += 1
             return
         self._c_delivered += 1
+        # The isinstance is gated on corruption having happened at all, so
+        # the common corruption-free path stays branch-cheap.
+        if self._c_corrupted and isinstance(message.payload, CorruptedPayload):
+            self._c_corrupted_delivered += 1
         hook(message, self.sim.now)
 
     # ------------------------------------------------------------------ #
@@ -343,6 +408,9 @@ class SimNetwork(Transport):
             ("delivered", self._c_delivered),
             ("dropped_crashed_receiver", self._c_dropped_crashed_receiver),
             ("dropped_unattached", self._c_dropped_unattached),
+            ("corrupted", self._c_corrupted),
+            ("corrupted_dropped", self._c_corrupted_dropped),
+            ("corrupted_delivered", self._c_corrupted_delivered),
         ):
             if value:
                 out[key] = value

@@ -22,6 +22,7 @@ from ..kernel.stack import Stack
 from ..runtime.api import Transport
 from ..sim.clock import Duration, Time, us
 from .message import UDP_HEADER_BYTES, NetMessage
+from .network import CorruptedPayload
 
 __all__ = ["UdpModule"]
 
@@ -52,6 +53,9 @@ class UdpModule(Module):
         self.network = network
         self.recv_cost = recv_cost
         self.send_cost = send_cost
+        #: Frames that arrived mangled (checksum off upstream) and were
+        #: discarded here because they fail protocol-level parsing.
+        self.garbage_dropped = 0
         self.export_call(WellKnown.UDP, "send", self._send)
         network.attach(stack.stack_id, self._on_datagram)
 
@@ -80,6 +84,13 @@ class UdpModule(Module):
     # Inbound
     # ------------------------------------------------------------------ #
     def _on_datagram(self, message: NetMessage, arrival: Time) -> None:
+        if isinstance(message.payload, CorruptedPayload):
+            # A mangled frame reached the host (no checksum below us): it
+            # fails frame parsing at this doorway and is discarded — but
+            # the network already counted the breach, so the corruption
+            # containment checker still flags the run.
+            self.garbage_dropped += 1
+            return
         # Charge receive processing on this host's CPU, then hand the
         # payload to whoever requires the udp service.
         self.respond(

@@ -375,6 +375,7 @@ class RealtimeUdpTransport(Transport):
         self._c_duplicated = 0
         self._c_reordered = 0
         self._c_delayed = 0
+        self._c_corrupted = 0
 
     async def open(self) -> None:
         """Bind one UDP socket per node (must run inside the loop)."""
@@ -444,6 +445,7 @@ class RealtimeUdpTransport(Transport):
         reorder_rate: float = 0.0,
         reorder_delay: float = 0.0,
         extra_latency: float = 0.0,
+        corrupt_rate: float = 0.0,
         symmetric: bool = True,
     ) -> None:
         """Attach a :class:`LinkImpairment` to *src→dst* (and the reverse
@@ -457,6 +459,7 @@ class RealtimeUdpTransport(Transport):
             reorder_rate=reorder_rate,
             reorder_delay=reorder_delay,
             extra_latency=extra_latency,
+            corrupt_rate=corrupt_rate,
         )
         self._links[(src, dst)] = impairment
         if symmetric:
@@ -495,6 +498,15 @@ class RealtimeUdpTransport(Transport):
             return
         data = encode_datagram(message.src, message.dst, message.payload,
                                message.size_bytes)
+        link = self._links.get((message.src, message.dst)) if self._links else None
+        if (link is not None and link.corrupt_rate > 0.0
+                and self._impair_rng.random() < link.corrupt_rate):
+            # Wire corruption, mangled where the receiver's codec is
+            # guaranteed to notice (the magic): on the real backend every
+            # corrupted frame is detected and dropped as malformed — the
+            # safe-wire-codec contract is the checksum, always on.
+            self._c_corrupted += 1
+            data = b"\x00" + data[1:]
         endpoint.sendto(data, addr)
         self._c_sent += 1
         self._c_bytes_sent += len(data)
@@ -564,7 +576,7 @@ class RealtimeUdpTransport(Transport):
 
     def stats(self) -> Dict[str, int]:
         """Datagram counters, dict-shaped like ``SimNetwork.stats()``."""
-        return {
+        out = {
             "sent": self._c_sent,
             "bytes_sent": self._c_bytes_sent,
             "received": self._c_received,
@@ -577,6 +589,11 @@ class RealtimeUdpTransport(Transport):
             "reordered": self._c_reordered,
             "delayed": self._c_delayed,
         }
+        if self._c_corrupted:
+            # Conditional, like SimNetwork: corruption-free runs keep the
+            # historical stats shape.
+            out["corrupted"] = self._c_corrupted
+        return out
 
 
 class RealtimeBackend(Backend):

@@ -44,10 +44,12 @@ from .spec import (
     Recover,
     ScenarioSpec,
 )
+from .serde import spec_from_dict, spec_from_json, spec_to_dict, spec_to_json
 from .switchplan import (
     SwitchAfterDeliveries,
     SwitchAfterSwitch,
     SwitchAt,
+    SwitchIfStalled,
     SwitchOnFault,
     SwitchPlan,
     SwitchStep,
@@ -69,8 +71,13 @@ __all__ = [
     "SwitchAfterDeliveries",
     "SwitchOnFault",
     "SwitchAfterSwitch",
+    "SwitchIfStalled",
     "SwitchStep",
     "SwitchPlan",
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_to_json",
+    "spec_from_json",
     "ScenarioResult",
     "Campaign",
     "CampaignResult",

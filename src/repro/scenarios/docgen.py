@@ -38,6 +38,7 @@ from .switchplan import (
     SwitchAfterDeliveries,
     SwitchAfterSwitch,
     SwitchAt,
+    SwitchIfStalled,
     SwitchOnFault,
     SwitchStep,
 )
@@ -89,6 +90,8 @@ def describe_fault(action: FaultAction) -> str:
             )
         if action.extra_latency:
             parts.append(f"+{action.extra_latency * 1e3:g} ms latency")
+        if action.corrupt_rate:
+            parts.append(f"{action.corrupt_rate:.0%} corrupt")
         until = f"–{action.until:g}" if action.until is not None else ""
         return (
             f"link {action.src}→{action.dst} {' '.join(parts)} "
@@ -145,6 +148,12 @@ def describe_switch(step: SwitchStep) -> str:
         else:
             src = "phase stack"
         return f"→`{step.protocol}` once v{step.version} {step.phase}{delay} ({src})"
+    if isinstance(step, SwitchIfStalled):
+        src = f"m{step.from_stack}" if step.from_stack is not None else "lowest alive"
+        return (
+            f"→`{step.protocol}` if v{step.version} still open "
+            f"{step.timeout:g} s after start ({src})"
+        )
     raise ScenarioError(f"undocumentable switch step {step!r}")  # pragma: no cover
 
 
@@ -155,6 +164,10 @@ def _spec_extras(spec: ScenarioSpec) -> List[str]:
         extras.append(f"{spec.loss_rate:.0%} LAN loss")
     if spec.duplicate_rate:
         extras.append(f"{spec.duplicate_rate:.0%} LAN dup")
+    if spec.corrupt_rate:
+        extras.append(f"{spec.corrupt_rate:.0%} LAN corrupt")
+    if not spec.checksum:
+        extras.append("checksum off")
     if spec.load_burst > 1 or spec.load_jitter:
         extras.append(
             f"bursty load (burst={spec.load_burst}, jitter={spec.load_jitter:g})"

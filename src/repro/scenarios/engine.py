@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..dpu.abcast_checker import (
     check_all_abcast_properties,
+    check_corruption_containment,
     check_recovery_liveness,
     is_post_rejoin_send,
 )
@@ -247,6 +248,8 @@ def _config_for(spec: ScenarioSpec, seed: int, trace: str = "full") -> GroupComm
         with_gm=spec.with_gm,
         loss_rate=spec.loss_rate,
         duplicate_rate=spec.duplicate_rate,
+        corrupt_rate=spec.corrupt_rate,
+        checksum=spec.checksum,
         guard_change_sn=spec.guard_change_sn,
         reissue_policy=spec.reissue_policy,
         creation_cost=spec.creation_cost,
@@ -322,6 +325,12 @@ def run_scenario(
     violations["chain agreement"] = check_chain_agreement(
         system.trace, stacks, crashed=crashed
     )
+    if spec.uses_corruption():
+        # Key added only for corruption-armed scenarios: corruption-free
+        # campaign reports (and the pinned goldens) keep their shape.
+        violations["corruption containment"] = check_corruption_containment(
+            gcs.network.stats(), checksum=spec.checksum
+        )
     protocols_bound = {spec.initial_protocol}
     protocols_bound.update(step.protocol for step in spec.switches)
     for protocol in sorted(protocols_bound):

@@ -43,6 +43,7 @@ from .switchplan import (
     SwitchAfterDeliveries,
     SwitchAfterSwitch,
     SwitchAt,
+    SwitchIfStalled,
     SwitchOnFault,
 )
 
@@ -461,6 +462,40 @@ register_scenario(ScenarioSpec(
     ),
     switches=(SwitchAt(protocol=PROTOCOL_CT, at=2.5, from_stack=0),),
     quiescence_extra=16.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="corrupt-links-tolerated",
+    description="a 1% LAN-wide bit-corruption floor plus a 10% burst on one "
+                "link while a CT→CT replacement runs; checksums detect and "
+                "drop every mangled frame, retransmissions absorb the loss "
+                "and the containment checker stays quiet",
+    n=5,
+    duration=6.0,
+    load_msgs_per_sec=70.0,
+    corrupt_rate=0.01,
+    faults=(
+        ImpairLink(at=2.0, src=0, dst=1, corrupt_rate=0.1, until=4.0),
+    ),
+    switches=(SwitchAt(protocol=PROTOCOL_CT, at=3.0, from_stack=0),),
+    quiescence_extra=14.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="stall-escape-switch",
+    description="module creation takes 500 ms, so the first replacement's "
+                "window provably outlives the 100 ms stall budget: the "
+                "SwitchIfStalled escape fires and chains a second "
+                "replacement onto the still-open window",
+    n=3,
+    duration=5.0,
+    load_msgs_per_sec=60.0,
+    creation_cost=0.5,
+    switches=(
+        SwitchAt(protocol=PROTOCOL_CT, at=2.0, from_stack=0),
+        SwitchIfStalled(protocol=PROTOCOL_CT, version=1, timeout=0.1),
+    ),
+    quiescence_extra=14.0,
 ))
 
 

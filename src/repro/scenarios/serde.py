@@ -1,0 +1,149 @@
+"""JSON (de)serialisation of :class:`~repro.scenarios.spec.ScenarioSpec`.
+
+The fuzzer's whole value is a **replayable reproducer**: when a randomly
+generated schedule violates a property and the shrinker minimises it, the
+result must survive as a plain JSON file that anyone can replay —
+``spec_from_json(path.read_text())`` → ``run_scenario(spec, seed)`` —
+without the generator, the seed, or this repo's Python objects in the
+loop.  So every fault action and switch step serialises to a tagged plain
+dict (``{"kind": "Crash", "at": 2.0, "machine": 3}``), and the spec to a
+dict of scalars plus those lists.
+
+Round-tripping is exact: ``spec_from_dict(spec_to_dict(s)) == s`` for
+every representable spec (specs are frozen dataclasses, so equality is
+field-wise), pinned by the serde unit tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, fields
+from typing import Any, Dict, Type
+
+from ..errors import ScenarioError
+from .spec import (
+    Churn,
+    Crash,
+    FaultAction,
+    Heal,
+    ImpairLink,
+    LatencySpike,
+    Partition,
+    PartitionOneWay,
+    RandomCrashes,
+    Recover,
+    ScenarioSpec,
+)
+from .switchplan import (
+    SwitchAfterDeliveries,
+    SwitchAfterSwitch,
+    SwitchAt,
+    SwitchIfStalled,
+    SwitchOnFault,
+    SwitchStep,
+)
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_to_json",
+    "spec_from_json",
+]
+
+#: Tag -> class for every serialisable fault action and switch step.
+_ACTION_KINDS: Dict[str, Type[Any]] = {
+    cls.__name__: cls
+    for cls in (
+        Crash,
+        Recover,
+        Partition,
+        PartitionOneWay,
+        Heal,
+        ImpairLink,
+        LatencySpike,
+        Churn,
+        RandomCrashes,
+        SwitchAt,
+        SwitchAfterDeliveries,
+        SwitchOnFault,
+        SwitchAfterSwitch,
+        SwitchIfStalled,
+    )
+}
+
+
+def _tagged(obj: Any) -> Dict[str, Any]:
+    """One action/step as a plain dict with a ``kind`` tag."""
+    out: Dict[str, Any] = {"kind": type(obj).__name__}
+    out.update(asdict(obj))
+    return out
+
+
+def _retuple(value: Any) -> Any:
+    """JSON lists back to the tuples the frozen dataclasses expect."""
+    if isinstance(value, list):
+        return tuple(_retuple(v) for v in value)
+    return value
+
+
+def _untagged(data: Dict[str, Any]) -> Any:
+    """Rebuild one action/step from its tagged dict."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = _ACTION_KINDS.get(str(kind))
+    if cls is None:
+        raise ScenarioError(f"unknown fault/switch kind {kind!r} in spec JSON")
+    known = {f.name for f in fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ScenarioError(
+            f"unknown field(s) {sorted(unknown)} for {kind} in spec JSON"
+        )
+    return cls(**{name: _retuple(value) for name, value in payload.items()})
+
+
+def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """A JSON-ready plain dict of *spec* (tuples become lists)."""
+    out: Dict[str, Any] = {}
+    for f in fields(ScenarioSpec):
+        value = getattr(spec, f.name)
+        if f.name == "faults":
+            out[f.name] = [_tagged(a) for a in value]
+        elif f.name == "switches":
+            out[f.name] = [_tagged(s) for s in value]
+        elif f.name == "expected_faulty":
+            out[f.name] = list(value)
+        else:
+            out[f.name] = value
+    return out
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from :func:`spec_to_dict` output."""
+    payload = dict(data)
+    known = {f.name for f in fields(ScenarioSpec)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ScenarioError(f"unknown spec field(s) {sorted(unknown)} in JSON")
+    faults = tuple(_untagged(a) for a in payload.pop("faults", []))
+    switches = tuple(_untagged(s) for s in payload.pop("switches", []))
+    expected = tuple(payload.pop("expected_faulty", ()))
+    return ScenarioSpec(
+        faults=faults, switches=switches, expected_faulty=expected, **payload
+    )
+
+
+def spec_to_json(spec: ScenarioSpec, indent: int = 2) -> str:
+    """Deterministic JSON text for *spec* (sorted keys)."""
+    return json.dumps(spec_to_dict(spec), indent=indent, sort_keys=True)
+
+
+def spec_from_json(text: str) -> ScenarioSpec:
+    """Parse a spec from :func:`spec_to_json` text."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ScenarioError(f"spec JSON does not parse: {exc}") from None
+    if not isinstance(data, dict):
+        raise ScenarioError("spec JSON must be an object")
+    return spec_from_dict(data)

@@ -141,6 +141,7 @@ class ImpairLink:
     reorder_rate: float = 0.0
     reorder_delay: Duration = 0.0
     extra_latency: Duration = 0.0
+    corrupt_rate: float = 0.0
     until: Optional[Time] = None
 
     def schedule(self, injector: FaultInjector) -> None:
@@ -154,6 +155,7 @@ class ImpairLink:
             reorder_rate=self.reorder_rate,
             reorder_delay=self.reorder_delay,
             extra_latency=self.extra_latency,
+            corrupt_rate=self.corrupt_rate,
         )
         if self.until is not None:
             injector.clear_link_at(self.until, self.src, self.dst)
@@ -265,6 +267,13 @@ class ScenarioSpec:
         Attach the group-membership module (churn scenarios want it).
     loss_rate / duplicate_rate:
         LAN-wide impairment floors (per-link bursts come via faults).
+    corrupt_rate / checksum:
+        The Byzantine axis: a network-wide per-datagram corruption floor
+        (per-link bursts via :class:`ImpairLink`) and whether receiver
+        NICs verify a frame checksum.  Checksum on = corruption is
+        *tolerated* (detected + dropped, retransmission recovers);
+        off = mangled frames are delivered and the corruption
+        containment checker flags the run.
     guard_change_sn / reissue_policy:
         The replacement layer's stale-change handling (DESIGN.md §4).
         ``guard_change_sn=False`` runs the **paper-literal** variant whose
@@ -300,6 +309,8 @@ class ScenarioSpec:
     with_gm: bool = False
     loss_rate: float = 0.0
     duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    checksum: bool = True
     guard_change_sn: bool = True
     reissue_policy: str = "drop"
     creation_cost: float = 0.005
@@ -321,6 +332,20 @@ class ScenarioSpec:
                     f"scenario {self.name!r}: expected_faulty machine {machine} "
                     f"out of range for n={self.n}"
                 )
+
+    def uses_corruption(self) -> bool:
+        """Whether any corruption knob is armed (spec floor or per-link).
+
+        The engine adds the ``corruption containment`` violations key only
+        for such scenarios, so corruption-free campaign reports (and their
+        pinned goldens) keep their historical shape.
+        """
+        if self.corrupt_rate > 0.0:
+            return True
+        return any(
+            isinstance(action, ImpairLink) and action.corrupt_rate > 0.0
+            for action in self.faults
+        )
 
     def declared_faulty(self) -> Tuple[int, ...]:
         """Machines the schedule may take down, plus *expected_faulty*."""

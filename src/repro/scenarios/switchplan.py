@@ -11,6 +11,11 @@ condition:
 * :class:`SwitchOnFault` — a fixed *delay* after the *fault_index*-th
   injected fault fires (switch-on-fault-detection: the operator reacting
   to trouble by moving to a sturdier protocol);
+* :class:`SwitchIfStalled` — a **chain-level predicate trigger**: fires
+  only if switch *version*'s convergence time exceeds *timeout* (the
+  window is still open *timeout* seconds after its first stack started
+  it) — the operator escalating to a sturdier protocol when a
+  replacement drags; if the window closes in time the step never fires;
 * :class:`SwitchAfterSwitch` — a *delay* after an earlier switch
   *version* reaches a phase, which is how plans express **back-to-back
   and deliberately overlapping (pipelined) replacement chains**:
@@ -43,6 +48,7 @@ __all__ = [
     "SwitchAfterDeliveries",
     "SwitchOnFault",
     "SwitchAfterSwitch",
+    "SwitchIfStalled",
     "SwitchStep",
     "SwitchPlan",
 ]
@@ -112,7 +118,40 @@ class SwitchAfterSwitch:
             raise ScenarioError("SwitchAfterSwitch chains off version >= 1")
 
 
-SwitchStep = Union[SwitchAt, SwitchAfterDeliveries, SwitchOnFault, SwitchAfterSwitch]
+@dataclass(frozen=True)
+class SwitchIfStalled:
+    """Switch to *protocol* if switch *version*'s convergence lags.
+
+    A **chain-predicate trigger** ("when convergence time exceeds X"):
+    armed when the first stack starts switch *version*, it checks
+    *timeout* seconds later whether the version's window is still open —
+    i.e. some non-crashed stack has not completed the switch.  If so,
+    the replacement is judged stalled and this step fires (by default
+    from the lowest-ranked alive stack); if the window closed in time,
+    the step never fires.  This is the conditional escape hatch of a
+    switch plan: "move to a sturdier protocol only if the current
+    replacement drags".
+    """
+
+    protocol: str
+    version: int = 1
+    timeout: Duration = 1.0
+    from_stack: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ScenarioError("SwitchIfStalled watches version >= 1")
+        if self.timeout <= 0.0:
+            raise ScenarioError("SwitchIfStalled timeout must be > 0")
+
+
+SwitchStep = Union[
+    SwitchAt,
+    SwitchAfterDeliveries,
+    SwitchOnFault,
+    SwitchAfterSwitch,
+    SwitchIfStalled,
+]
 
 
 class SwitchPlan:
@@ -141,6 +180,8 @@ class SwitchPlan:
                 self._arm_fault_trigger(gcs, injector, step)
             elif isinstance(step, SwitchAfterSwitch):
                 self._arm_version_trigger(gcs, step)
+            elif isinstance(step, SwitchIfStalled):
+                self._arm_stall_trigger(gcs, step)
             else:  # pragma: no cover - defensive
                 raise ScenarioError(f"unknown switch step {step!r}")
 
@@ -211,6 +252,30 @@ class SwitchPlan:
                 )
             )
 
+    def _arm_stall_trigger(self, gcs: Any, step: SwitchIfStalled) -> None:
+        """Fire *step* iff version *step.version* is still open after the
+        timeout (the chain-level "convergence time exceeds X" predicate).
+
+        Armed off ``on_version_started`` so the timeout measures the
+        version's own convergence time, not absolute simulation time.
+        """
+        manager = gcs.manager
+        state = {"armed": True}
+
+        def check() -> None:
+            if not state["armed"]:
+                return
+            state["armed"] = False
+            if manager.replacement_complete(step.version):
+                return  # converged within the budget: predicate false
+            self._fire(gcs, step, step.from_stack)
+
+        def on_started(version: int, prot: str, stack_id: int, at: Time) -> None:
+            if version == step.version and state["armed"]:
+                gcs.system.sim.schedule_at(at + step.timeout, check)
+
+        manager.on_version_started.append(on_started)
+
     # ------------------------------------------------------------------ #
     # Firing
     # ------------------------------------------------------------------ #
@@ -233,4 +298,7 @@ class SwitchPlan:
         if isinstance(step, SwitchAfterSwitch):
             record["after_version"] = step.version
             record["phase"] = step.phase
+        elif isinstance(step, SwitchIfStalled):
+            record["stalled_version"] = step.version
+            record["timeout"] = step.timeout
         self.fired.append(record)

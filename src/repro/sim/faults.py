@@ -179,6 +179,7 @@ class FaultInjector:
         reorder_rate: float = 0.0,
         reorder_delay: Duration = 0.0,
         extra_latency: Duration = 0.0,
+        corrupt_rate: float = 0.0,
         symmetric: bool = True,
     ) -> None:
         """Degrade the *src→dst* link (both directions when *symmetric*)."""
@@ -190,12 +191,18 @@ class FaultInjector:
             reorder_rate=reorder_rate,
             reorder_delay=reorder_delay,
             extra_latency=extra_latency,
+            corrupt_rate=corrupt_rate,
             symmetric=symmetric,
         )
-        self._record(
-            "impair-link", src, dst, loss_rate, duplicate_rate, reorder_rate,
+        detail = [
+            src, dst, loss_rate, duplicate_rate, reorder_rate,
             reorder_delay, extra_latency,
-        )
+        ]
+        if corrupt_rate:
+            # Appended conditionally so corruption-free fault records (and
+            # the campaign goldens that pin them) keep their shape.
+            detail.append(corrupt_rate)
+        self._record("impair-link", *detail)
 
     def clear_link(self, src: int, dst: int, symmetric: bool = True) -> None:
         """Remove the impairment on *src↔dst*."""

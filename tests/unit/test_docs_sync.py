@@ -74,6 +74,26 @@ class TestDocsTree:
             assert name in readme, f"README.md does not link {name}"
 
 
+class TestFuzzDocs:
+    """The fuzzer/explorer are documented where users will look."""
+
+    def test_scenarios_doc_has_fuzz_section(self):
+        doc = _doc("scenarios.md")
+        assert "## Fuzzing & model checking" in doc
+        assert "python -m repro.fuzz" in doc
+        assert "--explore" in doc
+        assert "ddmin" in doc
+        assert "tests/fixtures/fuzz/fuzz-1-2.json" in doc
+
+    def test_readme_has_fuzz_section(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "### Fuzzing & model checking" in readme
+        assert "python -m repro.fuzz" in readme
+
+    def test_committed_reproducer_fixture_exists(self):
+        assert (REPO / "tests" / "fixtures" / "fuzz" / "fuzz-1-2.json").is_file()
+
+
 class TestAnalysisCatalogue:
     def test_generated_block_is_current(self):
         """The embedded rule table must match the registry byte-for-byte.

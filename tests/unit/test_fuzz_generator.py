@@ -1,0 +1,170 @@
+"""Unit tests for the fuzz generator and the spec serde it relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.experiments.common import PROTOCOL_CT
+from repro.fuzz.generator import FuzzConfig, generate_spec, generate_specs
+from repro.scenarios.serde import (
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+from repro.scenarios.spec import (
+    Churn,
+    Crash,
+    Heal,
+    ImpairLink,
+    LatencySpike,
+    Partition,
+    PartitionOneWay,
+    RandomCrashes,
+    Recover,
+    ScenarioSpec,
+)
+from repro.scenarios.switchplan import (
+    SwitchAfterDeliveries,
+    SwitchAfterSwitch,
+    SwitchAt,
+    SwitchIfStalled,
+    SwitchOnFault,
+)
+
+
+class TestGenerator:
+    def test_pure_in_seed_and_index(self):
+        config = FuzzConfig(seed=7, budget=10)
+        for index in range(10):
+            assert generate_spec(config, index) == generate_spec(config, index)
+
+    def test_independent_streams_per_index(self):
+        # Index i does not depend on having generated 0..i-1.
+        config = FuzzConfig(seed=3, budget=20)
+        assert generate_specs(config)[13] == generate_spec(config, 13)
+
+    def test_different_seeds_differ(self):
+        a = generate_spec(FuzzConfig(seed=0), 0)
+        b = generate_spec(FuzzConfig(seed=1), 0)
+        assert a != b
+
+    def test_specs_are_well_formed_and_ct_only(self):
+        for seed in (0, 1, 2):
+            for spec in generate_specs(FuzzConfig(seed=seed, budget=25)):
+                assert 3 <= spec.n <= 5
+                assert spec.switches  # always a switch chain
+                assert all(s.protocol == PROTOCOL_CT for s in spec.switches)
+                assert spec.initial_protocol == PROTOCOL_CT
+                # Corruption is only ever generated tolerated: checksum on.
+                assert spec.checksum
+                # Every referenced machine exists.
+                for action in spec.faults:
+                    for machine in action.faulty_machines():
+                        assert 0 <= machine < spec.n
+
+    def test_schedule_family_exercises_the_axes(self):
+        # Over a healthy budget the generator hits partitions (both
+        # kinds), crashes, impairments, corruption, stall triggers and
+        # the pipelined chain on multiple phases.
+        specs = [
+            s
+            for seed in range(4)
+            for s in generate_specs(FuzzConfig(seed=seed, budget=25))
+        ]
+        kinds = {type(a) for s in specs for a in s.faults}
+        assert {Partition, PartitionOneWay, Crash, Heal} <= kinds
+        assert ImpairLink in kinds and LatencySpike in kinds
+        step_kinds = {type(st) for s in specs for st in s.switches}
+        assert SwitchAfterSwitch in step_kinds and SwitchAt in step_kinds
+        assert SwitchIfStalled in step_kinds
+        phases = {
+            st.phase
+            for s in specs
+            for st in s.switches
+            if isinstance(st, SwitchAfterSwitch)
+        }
+        assert phases == {"started", "completed", "closed"}
+        assert any(s.uses_corruption() for s in specs)
+        assert any(isinstance(st, SwitchIfStalled) for s in specs for st in s.switches)
+
+    def test_guard_knob_propagates(self):
+        guarded = generate_spec(FuzzConfig(seed=0), 0)
+        literal = generate_spec(FuzzConfig(seed=0, guard_change_sn=False), 0)
+        assert guarded.guard_change_sn and not literal.guard_change_sn
+        # The schedule itself is identical: only the guard differs.
+        assert guarded.faults == literal.faults
+        assert guarded.switches == literal.switches
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ScenarioError):
+            generate_spec(FuzzConfig(), -1)
+
+
+class TestSerde:
+    def _omnibus(self) -> ScenarioSpec:
+        """One spec touching every fault action and switch step kind."""
+        return ScenarioSpec(
+            name="omnibus",
+            n=6,
+            guard_change_sn=False,
+            corrupt_rate=0.01,
+            checksum=False,
+            faults=(
+                Crash(at=1.0, machine=2),
+                Recover(at=2.0, machine=2),
+                Partition(at=2.5, groups=((0, 1), (2, 3, 4, 5))),
+                PartitionOneWay(at=2.6, src=(0,), dst=(1, 2)),
+                Heal(at=3.0),
+                ImpairLink(at=1.5, src=0, dst=1, loss_rate=0.1, corrupt_rate=0.2,
+                           until=2.0),
+                LatencySpike(at=1.8, extra=0.004, duration=0.5),
+                Churn(start=3.5, machines=(5,), period=1.0, downtime=0.3),
+                RandomCrashes(start=4.0, window=1.0, count=1, candidates=(3, 4),
+                              recover_after=0.5),
+            ),
+            switches=(
+                SwitchAt(protocol="abcast-ct", at=2.0, from_stack=1),
+                SwitchAfterDeliveries(protocol="abcast-seq", count=10, on_stack=2),
+                SwitchOnFault(protocol="abcast-ct", fault_index=1, delay=0.1),
+                SwitchAfterSwitch(protocol="abcast-ct", version=2, phase="started"),
+                SwitchIfStalled(protocol="abcast-ct", version=1, timeout=0.7),
+            ),
+            expected_faulty=(5,),
+        )
+
+    def test_roundtrip_exact_over_all_kinds(self):
+        spec = self._omnibus()
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_roundtrip_exact_over_generated_budget(self):
+        for spec in generate_specs(FuzzConfig(seed=5, budget=25)):
+            assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_json_is_deterministic(self):
+        spec = self._omnibus()
+        assert spec_to_json(spec) == spec_to_json(spec_from_json(spec_to_json(spec)))
+
+    def test_unknown_kind_rejected(self):
+        data = spec_to_dict(self._omnibus())
+        data["faults"][0]["kind"] = "Meteor"
+        with pytest.raises(ScenarioError):
+            spec_from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = spec_to_dict(self._omnibus())
+        data["faults"][0]["blast_radius"] = 3
+        with pytest.raises(ScenarioError):
+            spec_from_dict(data)
+        data = spec_to_dict(self._omnibus())
+        data["warp_factor"] = 9
+        with pytest.raises(ScenarioError):
+            spec_from_dict(data)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ScenarioError):
+            spec_from_json("{nope")
+        with pytest.raises(ScenarioError):
+            spec_from_json("[1, 2]")

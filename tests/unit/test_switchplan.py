@@ -12,6 +12,7 @@ from repro.experiments import (
 from repro.scenarios import (
     SwitchAfterDeliveries,
     SwitchAt,
+    SwitchIfStalled,
     SwitchOnFault,
     SwitchPlan,
 )
@@ -241,3 +242,46 @@ class TestClosedPhaseFullOutage:
         for m in gcs.system.machines:
             m.crash()
         assert closed == []  # vacuous closure suppressed
+
+
+class TestSwitchIfStalled:
+    def test_fires_when_convergence_exceeds_timeout(self):
+        # Module creation takes 0.5 s: 0.1 s after v1 starts, the window
+        # is provably still open, so the stall escape must fire.
+        cfg = GroupCommConfig(n=3, seed=3, load_msgs_per_sec=60.0,
+                              load_stop=3.0, creation_cost=0.5)
+        gcs = build_group_comm_system(cfg)
+        inj = FaultInjector(gcs.system.sim, gcs.system.machines,
+                            network=gcs.network, name="t")
+        plan = SwitchPlan([
+            SwitchAt(protocol=PROTOCOL_CT, at=1.0),
+            SwitchIfStalled(protocol=PROTOCOL_CT, version=1, timeout=0.1),
+        ])
+        plan.arm(gcs, inj)
+        gcs.run(until=6.0)
+        gcs.run_to_quiescence()
+        assert len(plan.fired) == 2
+        stalled = plan.fired[1]
+        assert stalled["trigger"] == "SwitchIfStalled"
+        assert stalled["stalled_version"] == 1
+        assert stalled["timeout"] == pytest.approx(0.1)
+        assert stalled["time"] == pytest.approx(1.1, abs=0.01)
+        assert gcs.manager.module(0).seq_number == 2  # the escape switched
+
+    def test_never_fires_when_window_closes_in_time(self):
+        gcs, inj = build()  # default creation cost: ~5 ms per module
+        plan = SwitchPlan([
+            SwitchAt(protocol=PROTOCOL_CT, at=1.0),
+            SwitchIfStalled(protocol=PROTOCOL_CT, version=1, timeout=1.0),
+        ])
+        plan.arm(gcs, inj)
+        gcs.run(until=4.0)
+        gcs.run_to_quiescence()
+        assert [f["trigger"] for f in plan.fired] == ["SwitchAt"]
+        assert gcs.manager.module(0).seq_number == 1  # no second switch
+
+    def test_validation(self):
+        with pytest.raises(ScenarioError):
+            SwitchIfStalled(protocol=PROTOCOL_CT, version=0)
+        with pytest.raises(ScenarioError):
+            SwitchIfStalled(protocol=PROTOCOL_CT, timeout=0.0)
