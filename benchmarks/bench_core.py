@@ -39,7 +39,7 @@ from typing import Any, Dict, Optional
 import pytest
 
 from conftest import q
-from repro.scenarios import get_campaign, run_campaign
+from repro.scenarios import Campaign, ScenarioSpec, get_campaign, run_campaign
 from repro.sim import Machine, Simulator, lan_latency
 from repro.net import NetMessage, SimNetwork, SwitchedLan
 
@@ -57,6 +57,13 @@ N_QUERIES = q(200_000, 20_000)
 CAMPAIGN_SEEDS = q((0, 1), (0,))
 #: Scenarios (from the smoke campaign) used for the campaign measurement.
 CAMPAIGN_NAME = "smoke"
+#: Wide-matrix campaign: specs × seeds cells (>= 64 in full mode), the
+#: shape the warm-pool executor is built for.
+WIDE_SPECS = q(16, 4)
+WIDE_SEEDS = q(4, 2)
+#: Messages per send_many batch in the burst-delivery microbench (the
+#: fan-out degree of an ABcast-style broadcast on a mid-size group).
+BURST_SIZE = 16
 #: Default trajectory file.  Unlike the regenerable artefacts under
 #: ``benchmarks/out/`` (gitignored), the trajectory is **committed**: one
 #: record per invocation, so the perf curve across PRs stays visible.
@@ -291,11 +298,124 @@ def bench_campaign(jobs: int = 4) -> Dict[str, Any]:
     return record
 
 
+def _wide_campaign(n_specs: int) -> Campaign:
+    """A synthetic campaign of *n_specs* short scenarios.
+
+    Each cell is deliberately small (seconds of simulated time, tens of
+    messages) so the matrix is wide rather than deep: the measurement
+    isolates the executor's scheduling/IPC overhead and scaling, not
+    per-cell simulation cost.
+    """
+    specs = tuple(
+        ScenarioSpec(
+            name=f"wide-{i:02d}",
+            n=3,
+            duration=0.4,
+            load_msgs_per_sec=40.0,
+            quiescence_extra=2.0,
+        )
+        for i in range(n_specs)
+    )
+    return Campaign(name="bench-wide", scenarios=specs,
+                    description="synthetic wide matrix for executor benchmarks")
+
+
+def bench_campaign_wide(
+    jobs: int = 4, chunk_size: Optional[int] = None
+) -> Dict[str, Any]:
+    """Wide-matrix campaign wall-clock: 64+ cells, serial vs warm pool.
+
+    The scenario under measurement is the executor itself: many small
+    ``(spec, seed)`` cells, where pool warm-up, chunked scheduling and
+    the merge dominate unless they are cheap.  Warm-up (spawning and
+    ping-ponging the workers) is timed **separately** from the campaign
+    so the trajectory distinguishes pool amortisation from per-cell
+    scaling.  ``byte_identical`` re-checks the determinism contract on
+    every benchmark run.
+    """
+    from repro.parallel import get_pool
+
+    campaign = _wide_campaign(WIDE_SPECS)
+    seeds = tuple(range(WIDE_SEEDS))
+    record: Dict[str, Any] = {
+        "campaign": campaign.name,
+        "cells": len(campaign.scenarios) * len(seeds),
+        "seeds": list(seeds),
+        "jobs": jobs,
+        "chunk_size": chunk_size,
+        "cpu_count": os.cpu_count(),
+    }
+    t0 = time.perf_counter()
+    pool = get_pool(jobs)
+    pool.warm()
+    record["warmup_seconds"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    serial = run_campaign(campaign, seeds=seeds)
+    record["jobs1_seconds"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_campaign(campaign, seeds=seeds, jobs=jobs,
+                            chunk_size=chunk_size)
+    record["jobsN_seconds"] = time.perf_counter() - t0
+    record["speedup"] = record["jobs1_seconds"] / record["jobsN_seconds"]
+    record["byte_identical"] = serial.to_json() == parallel.to_json()
+    return record
+
+
+def bench_datagram_burst(n_datagrams: Optional[int] = None) -> Dict[str, float]:
+    """Datagrams/sec through the vectorised ``send_many`` fan-out path.
+
+    Same substrate as :func:`bench_datagram_path`, but each pump tick
+    sends one :data:`BURST_SIZE`-message batch — one latency block and
+    one heap burst instead of per-message draws and pushes.  The ratio
+    to the scalar bench is the fan-out batching win."""
+    if n_datagrams is None:
+        n_datagrams = N_DATAGRAMS
+    best: Optional[Dict[str, float]] = None
+    for _ in range(REPEATS):
+        sim = Simulator(seed=2)
+        machines = [Machine(sim, i) for i in range(4)]
+        net = SimNetwork(sim, machines, SwitchedLan(latency=lan_latency()))
+        delivered = [0]
+        for m in machines:
+            net.attach(
+                m.machine_id,
+                lambda msg, t: delivered.__setitem__(0, delivered[0] + 1),
+            )
+        sched = sim.schedule_fast
+        sent = [0]
+
+        def pump() -> None:
+            if sent[0] < n_datagrams:
+                base = sent[0]
+                batch = [
+                    NetMessage((base + j) % 4, (base + j + 1) % 4, "x", 256)
+                    for j in range(min(BURST_SIZE, n_datagrams - base))
+                ]
+                sent[0] = base + len(batch)
+                net.send_many(batch)
+                sched(1e-6, pump)
+
+        sim.schedule(0.0, pump)
+        t0 = time.perf_counter()
+        sim.run()
+        seconds = time.perf_counter() - t0
+        rate = delivered[0] / seconds
+        if best is None or rate > best["datagrams_per_sec"]:
+            best = {
+                "datagrams": delivered[0],
+                "seconds": seconds,
+                "datagrams_per_sec": rate,
+            }
+    assert best is not None
+    return best
+
+
 def run_all(quick: bool, campaign_jobs: int = 4) -> Dict[str, Any]:
     """One full measurement record (the shape appended to the trajectory)."""
     pyops = calibrate_pyops()
     event_loop = bench_event_loop()
     kernel_dispatch = bench_kernel_dispatch()
+    campaign_wide = bench_campaign_wide(jobs=campaign_jobs)
     record: Dict[str, Any] = {
         "schema": 2,
         # Which runtime backend produced the numbers.  Everything here
@@ -308,13 +428,23 @@ def run_all(quick: bool, campaign_jobs: int = 4) -> Dict[str, Any]:
         "event_loop_steady": bench_event_loop_steady(),
         "event_loop_cancellable": bench_event_loop_steady(fast=False),
         "datagram_path": bench_datagram_path(),
+        "datagram_burst": bench_datagram_burst(),
         "kernel_dispatch": kernel_dispatch,
         "query_path": bench_query_path(),
         "campaign": bench_campaign(jobs=campaign_jobs),
+        "campaign_wide": campaign_wide,
         # The gated metrics: hardware-normalised event-loop and
         # full-stack kernel-dispatch throughput.
         "events_score": event_loop["events_per_sec"] / pyops,
         "calls_score": kernel_dispatch["calls_per_sec"] / pyops,
+        # Multi-core executor scaling: the wide-matrix speedup, or None
+        # on a single-CPU box where speedup > 1 is unattainable and the
+        # gate skips (the raw numbers are still in campaign_wide).
+        "parallel_score": (
+            campaign_wide["speedup"]
+            if (campaign_wide["cpu_count"] or 1) > 1
+            else None
+        ),
     }
     return record
 
@@ -387,6 +517,30 @@ def check_baseline(record: Dict[str, Any], baseline_path: pathlib.Path, toleranc
                 file=sys.stderr,
             )
             status = 1
+    # Executor scaling gate: absolute, not baseline-relative — on a
+    # multi-core box the warm-pool executor must actually be faster than
+    # serial (speedup >= 1.0); on a 1-CPU runner speedup > 1 is
+    # physically unattainable, so the check skips (visibly).
+    parallel_score = record.get("parallel_score")
+    cpus = record.get("campaign_wide", {}).get("cpu_count") or 1
+    if cpus <= 1 or parallel_score is None:
+        print(
+            f"bench_core gate: parallel_score skipped (cpu_count={cpus}; "
+            "multi-core speedup is unattainable on this runner)"
+        )
+    else:
+        verdict = "ok" if parallel_score >= 1.0 else "REGRESSION"
+        print(
+            f"bench_core gate: parallel_score={parallel_score:.3f} "
+            f"floor=1.000 (absolute, cpu_count={cpus}) -> {verdict}"
+        )
+        if parallel_score < 1.0:
+            print(
+                f"bench_core: wide-matrix campaign is slower with --jobs than "
+                f"serial on a {cpus}-CPU box (speedup {parallel_score:.3f} < 1.0)",
+                file=sys.stderr,
+            )
+            status = 1
     return status
 
 
@@ -416,11 +570,12 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
 
     global N_EVENTS, N_DATAGRAMS, N_QUERIES, CAMPAIGN_SEEDS, REPEATS
-    global FULLSTACK_SIM_SECONDS
+    global FULLSTACK_SIM_SECONDS, WIDE_SPECS, WIDE_SEEDS
     if args.quick:
         N_EVENTS, N_DATAGRAMS, CAMPAIGN_SEEDS, REPEATS = 20_000, 5_000, (0,), 2
         FULLSTACK_SIM_SECONDS = 0.5
         N_QUERIES = 20_000
+        WIDE_SPECS, WIDE_SEEDS = 4, 2
 
     record = run_all(quick=args.quick, campaign_jobs=args.jobs)
     print(json.dumps(record, indent=2, sort_keys=True))
@@ -436,6 +591,13 @@ def main(argv: Optional[list] = None) -> int:
         f"jobs={camp['jobs']}: "
         + (f"{jobs_n:.2f}s" if jobs_n is not None else "n/a")
         + f"  (cpus={camp['cpu_count']}, byte_identical={camp['byte_identical']})"
+    )
+    wide = record["campaign_wide"]
+    print(
+        f"wide matrix ({wide['cells']} cells): warmup {wide['warmup_seconds']:.2f}s  "
+        f"jobs=1: {wide['jobs1_seconds']:.2f}s  jobs={wide['jobs']}: "
+        f"{wide['jobsN_seconds']:.2f}s  speedup {wide['speedup']:.2f}x  "
+        f"burst datagrams/sec: {record['datagram_burst']['datagrams_per_sec']:,.0f}"
     )
 
     if not args.no_out:
@@ -484,6 +646,19 @@ def test_core_campaign_parallel_identity():
     a = run_campaign(campaign, seeds=seeds, jobs=1)
     b = run_campaign(campaign, seeds=seeds, jobs=2)
     assert a.to_json() == b.to_json()
+
+
+def test_core_campaign_wide_identity():
+    """The wide matrix stays byte-identical through the warm pool."""
+    record = bench_campaign_wide(jobs=2)
+    assert record["byte_identical"] is True
+    assert record["cells"] == WIDE_SPECS * WIDE_SEEDS
+
+
+@pytest.mark.benchmark(group="core")
+def test_core_datagram_burst(benchmark):
+    result = benchmark(bench_datagram_burst)
+    assert result["datagrams"] > 0
 
 
 if __name__ == "__main__":

@@ -35,6 +35,12 @@ METRICS: Dict[str, Any] = {
     "events_score": lambda r: r.get("events_score"),
     "calls_score": lambda r: r.get("calls_score"),
     "campaign_jobs1_seconds": lambda r: _dig(r, "campaign", "jobs1_seconds"),
+    "campaign_speedup": lambda r: _dig(r, "campaign", "speedup"),
+    "campaign_wide_jobs1_seconds": lambda r: _dig(r, "campaign_wide", "jobs1_seconds"),
+    "campaign_wide_speedup": lambda r: _dig(r, "campaign_wide", "speedup"),
+    "warm_pool_warmup_seconds": lambda r: _dig(r, "campaign_wide", "warmup_seconds"),
+    "parallel_score": lambda r: r.get("parallel_score"),
+    "datagrams_burst_per_sec": lambda r: _dig(r, "datagram_burst", "datagrams_per_sec"),
 }
 
 #: Eight-level bar glyphs (a "sparkline"): lowest value → thinnest bar.

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..scenarios.engine import Campaign, run_campaign
 from ..scenarios.serde import spec_to_dict
@@ -88,13 +88,16 @@ def run_fuzz(
     jobs: int = 1,
     trace: str = "structural",
     shrink: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> FuzzReport:
     """Fuzz one budget: generate, run, replay-confirm, shrink.
 
-    The bulk run fans out over *jobs* processes via the campaign engine;
-    shrinking runs serially in index order (each ddmin step depends on
-    the previous verdict), so the report stays byte-identical for any
-    *jobs* value.
+    The bulk run fans out over *jobs* warm workers via the campaign
+    engine (:mod:`repro.parallel` — the pool is shared with scenario
+    campaigns and stays alive between budgets); shrinking runs serially
+    in index order (each ddmin step depends on the previous verdict), so
+    the report stays byte-identical for any *jobs* × *chunk_size*
+    combination.
     """
     specs = generate_specs(config)
     campaign = Campaign(
@@ -102,7 +105,13 @@ def run_fuzz(
         scenarios=tuple(specs),
         description=f"fuzz budget {config.budget} of generator seed {config.seed}",
     )
-    bulk = run_campaign(campaign, seeds=(config.run_seed,), jobs=jobs, trace=trace)
+    bulk = run_campaign(
+        campaign,
+        seeds=(config.run_seed,),
+        jobs=jobs,
+        trace=trace,
+        chunk_size=chunk_size,
+    )
 
     report = FuzzReport(config=config, trace=trace)
     predicate = violation_predicate(seed=config.run_seed, trace=trace)

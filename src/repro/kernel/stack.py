@@ -293,7 +293,7 @@ class Stack:
             self.unbind(service)
         del self.modules[name]
         self._response_cache.clear()
-        self.trace.record(
+        self.trace.record_fast(
             self._sim.now,
             TraceKind.MODULE_REMOVED,
             self.stack_id,
@@ -316,7 +316,7 @@ class Stack:
         self.bindings.bind(service, module)
         self._dispatch_cache.clear()
         self._query_cache.clear()
-        self.trace.record(
+        self.trace.record_fast(
             self._sim.now,
             TraceKind.BIND,
             self.stack_id,
@@ -331,7 +331,7 @@ class Stack:
         module = self.bindings.unbind(service)
         self._dispatch_cache.clear()
         self._query_cache.clear()
-        self.trace.record(
+        self.trace.record_fast(
             self._sim.now,
             TraceKind.UNBIND,
             self.stack_id,
@@ -384,7 +384,7 @@ class Stack:
         self._call_seq = seq
         trace = self.trace
         if self._trace_call and trace.enabled:
-            trace.record(
+            trace.record_fast(
                 self._sim.now,
                 TraceKind.CALL,
                 self.stack_id,
@@ -413,7 +413,7 @@ class Stack:
                 trace = self.trace
                 if self._trace_dispatch and trace.enabled:
                     provider = entry[0]
-                    trace.record(
+                    trace.record_fast(
                         self._sim.now,
                         TraceKind.CALL_DISPATCHED,
                         self.stack_id,
@@ -438,7 +438,7 @@ class Stack:
             self._blocked_since[seq] = self._sim.now
             trace = self.trace
             if self._trace_blocked and trace.enabled:
-                trace.record(
+                trace.record_fast(
                     self._sim.now,
                     TraceKind.CALL_BLOCKED,
                     self.stack_id,
@@ -472,7 +472,7 @@ class Stack:
             self._dispatch_cache[key] = (provider, handler)
         trace = self.trace
         if self._trace_dispatch and trace.enabled:
-            trace.record(
+            trace.record_fast(
                 self._sim.now,
                 TraceKind.CALL_DISPATCHED,
                 self.stack_id,
@@ -524,7 +524,7 @@ class Stack:
             if blocked_at is not None:
                 self._blocked_time_total += sim.now - blocked_at
             if self._trace_unblocked and trace.enabled:
-                trace.record(
+                trace.record_fast(
                     sim.now,
                     TraceKind.CALL_UNBLOCKED,
                     self.stack_id,
@@ -636,7 +636,7 @@ class Stack:
         self._responses_issued += 1
         trace = self.trace
         if self._trace_response and trace.enabled:
-            trace.record(
+            trace.record_fast(
                 self._sim.now,
                 TraceKind.RESPONSE,
                 self.stack_id,
@@ -693,7 +693,7 @@ class Stack:
             queue.append((event, args, provider_name, provider_protocol))
             trace = self.trace
             if self._trace_response_buffered and trace.enabled:
-                trace.record(
+                trace.record_fast(
                     self._sim.now,
                     TraceKind.RESPONSE_BUFFERED,
                     self.stack_id,
@@ -738,7 +738,7 @@ class Stack:
         # Pending drain tasks died with the CPU (epoch guard); clear the
         # flags so a post-recovery bind can restart the drains.
         self._draining.clear()
-        self.trace.record(time, TraceKind.CRASH, self.stack_id)
+        self.trace.record_fast(time, TraceKind.CRASH, self.stack_id)
 
     def _on_machine_recover(self, time: float) -> None:
         """Machine recovery hook: record, then run the restart protocol."""

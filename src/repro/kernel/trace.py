@@ -9,17 +9,37 @@ to bound memory — campaigns run with
 :data:`~repro.kernel.events.STRUCTURAL_TRACE_KINDS` so the checkers keep
 their teeth while the per-call firehose is never allocated.
 
+Storage is **columnar**: recording appends plain scalars to ten parallel
+column lists (plus a per-kind row index) instead of allocating a
+:class:`TraceRecord` object per event.  Appending to a list of floats and
+strings is a handful of ``list.append`` calls — no object header, no
+slot initialisation, no per-record GC tracking — which matters because
+structural tracing stays on during campaigns and sits directly on the
+kernel's dispatch path.  Records are materialised lazily, once, at query
+time (the analysis phase), and cached until the next append.
+
 Hot-path contract with :class:`~repro.kernel.stack.Stack`: the stack
 caches per-kind "wants" flags (see :meth:`TraceRecorder.wants`) at
 construction and re-checks only the cheap :attr:`enabled` attribute per
-call, so a trace-off dispatch pays a single attribute read instead of a
-keyword-argument pack per record.  The :attr:`keep` filter is therefore
-fixed at construction; toggle :attr:`enabled` freely.
+call; trace sites whose fields all land in named slots call
+:meth:`record_fast`, which takes no ``**kwargs`` (CPython builds the
+kwargs dict for ``**detail`` even when empty).  The :attr:`keep` filter
+is fixed at construction; toggle :attr:`enabled` freely.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+)
 
 from ..sim.clock import Time
 from .events import TraceKind, TraceRecord
@@ -39,7 +59,23 @@ class TraceRecorder:
         Fixed at construction (stacks cache per-kind flags from it).
     """
 
-    __slots__ = ("enabled", "keep", "_events", "_by_kind", "subscribers")
+    __slots__ = (
+        "enabled",
+        "keep",
+        "subscribers",
+        "_times",
+        "_kinds",
+        "_stacks",
+        "_services",
+        "_modules",
+        "_protocols",
+        "_methods",
+        "_call_ids",
+        "_event_names",
+        "_details",
+        "_kind_rows",
+        "_records",
+    )
 
     def __init__(
         self,
@@ -48,10 +84,24 @@ class TraceRecorder:
     ) -> None:
         self.enabled = enabled
         self.keep: Optional[Set[TraceKind]] = set(keep) if keep is not None else None
-        self._events: List[TraceRecord] = []
-        #: Per-kind index (mirrors ``EventLog``): ``of_kind`` and the
-        #: checkers that call it stop scanning the full stream.
-        self._by_kind: Dict[TraceKind, List[TraceRecord]] = {}
+        # Columnar event storage: one list per record field, row i across
+        # all columns is event i.  Append-only between clears.
+        self._times: List[Time] = []
+        self._kinds: List[TraceKind] = []
+        self._stacks: List[int] = []
+        self._services: List[Optional[str]] = []
+        self._modules: List[Optional[str]] = []
+        self._protocols: List[Optional[str]] = []
+        self._methods: List[Optional[str]] = []
+        self._call_ids: List[Optional[str]] = []
+        self._event_names: List[Optional[str]] = []
+        self._details: List[Optional[Mapping[str, Any]]] = []
+        #: Per-kind row indices (mirrors the old per-kind record index):
+        #: ``of_kind`` and the checkers that call it stop scanning the
+        #: full stream.
+        self._kind_rows: Dict[TraceKind, List[int]] = {}
+        #: Lazily materialised records, invalidated on append/clear.
+        self._records: Optional[List[TraceRecord]] = None
         #: Live subscribers called on each recorded event (e.g. online checkers).
         self.subscribers: List[Callable[[TraceRecord], None]] = []
 
@@ -65,6 +115,52 @@ class TraceRecorder:
         with a live ``enabled`` check, which is the stack's fast path.
         """
         return self.keep is None or kind in self.keep
+
+    def record_fast(
+        self,
+        time: Time,
+        kind: TraceKind,
+        stack_id: int,
+        service: Optional[str] = None,
+        module: Optional[str] = None,
+        protocol: Optional[str] = None,
+        method: Optional[str] = None,
+        call_id: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> None:
+        """Hot-path :meth:`record`: named slots only, no ``**detail``.
+
+        Semantically identical to :meth:`record` with no extra keyword
+        arguments, but the signature has no ``**kwargs`` so CPython never
+        allocates a kwargs dict.  The structural kinds the kernel records
+        per dispatch all route through here; only the rare detail-bearing
+        kinds (``module_added``, ``recover``, ...) pay for :meth:`record`.
+        """
+        if not self.enabled:
+            return
+        keep = self.keep
+        if keep is not None and kind not in keep:
+            return
+        row = len(self._times)
+        self._times.append(time)
+        self._kinds.append(kind)
+        self._stacks.append(stack_id)
+        self._services.append(service)
+        self._modules.append(module)
+        self._protocols.append(protocol)
+        self._methods.append(method)
+        self._call_ids.append(call_id)
+        self._event_names.append(event)
+        self._details.append(None)
+        rows = self._kind_rows.get(kind)
+        if rows is None:
+            rows = self._kind_rows[kind] = []
+        rows.append(row)
+        self._records = None
+        if self.subscribers:
+            record = self._row(row)
+            for sub in self.subscribers:
+                sub(record)
 
     def record(
         self,
@@ -87,74 +183,114 @@ class TraceRecorder:
         """
         if not self.enabled:
             return
-        if self.keep is not None and kind not in self.keep:
+        keep = self.keep
+        if keep is not None and kind not in keep:
             return
-        if detail:
-            record = TraceRecord(
-                time, kind, stack_id, service, module, protocol,
-                method, call_id, event, detail,
+        row = len(self._times)
+        self._times.append(time)
+        self._kinds.append(kind)
+        self._stacks.append(stack_id)
+        self._services.append(service)
+        self._modules.append(module)
+        self._protocols.append(protocol)
+        self._methods.append(method)
+        self._call_ids.append(call_id)
+        self._event_names.append(event)
+        self._details.append(detail if detail else None)
+        rows = self._kind_rows.get(kind)
+        if rows is None:
+            rows = self._kind_rows[kind] = []
+        rows.append(row)
+        self._records = None
+        if self.subscribers:
+            record = self._row(row)
+            for sub in self.subscribers:
+                sub(record)
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def _row(self, i: int) -> TraceRecord:
+        """Materialise row *i* as a :class:`TraceRecord`."""
+        detail = self._details[i]
+        if detail is not None:
+            return TraceRecord(
+                self._times[i], self._kinds[i], self._stacks[i],
+                self._services[i], self._modules[i], self._protocols[i],
+                self._methods[i], self._call_ids[i], self._event_names[i],
+                detail,
             )
-        else:
-            record = TraceRecord(
-                time, kind, stack_id, service, module, protocol,
-                method, call_id, event,
-            )
-        self._events.append(record)
-        index = self._by_kind.get(kind)
-        if index is None:
-            index = self._by_kind[kind] = []
-        index.append(record)
-        for sub in self.subscribers:
-            sub(record)
+        return TraceRecord(
+            self._times[i], self._kinds[i], self._stacks[i],
+            self._services[i], self._modules[i], self._protocols[i],
+            self._methods[i], self._call_ids[i], self._event_names[i],
+        )
+
+    def _materialise(self) -> List[TraceRecord]:
+        """All rows as records, built once and cached until the next append."""
+        records = self._records
+        if records is None:
+            records = self._records = [self._row(i) for i in range(len(self._times))]
+        return records
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._times)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._events)
+        return iter(self._materialise())
 
     @property
     def events(self) -> List[TraceRecord]:
-        """The raw record list (do not mutate)."""
-        return self._events
+        """The materialised record list (do not mutate)."""
+        return self._materialise()
 
     def of_kind(self, *kinds: TraceKind) -> List[TraceRecord]:
         """Records whose kind is one of *kinds*, in recording order.
 
-        Served from the per-kind index when at most one requested kind
-        is present (the common case: every checker's single-kind
-        queries, and multi-kind queries where the other kinds never
-        occurred).  When two or more requested kinds hold records, falls
-        back to one pass over the full stream — records carry no global
-        sequence number, so that scan *is* the stable merge.
+        Row indices are recording order, so a multi-kind query is a
+        sorted merge of the per-kind row lists — no full-stream scan
+        either way.
         """
         if len(kinds) == 1:
-            return list(self._by_kind.get(kinds[0], ()))
-        streams = [s for s in (self._by_kind.get(k, []) for k in set(kinds)) if s]
-        if not streams:
+            rows = self._kind_rows.get(kinds[0])
+            if not rows:
+                return []
+            records = self._materialise()
+            return [records[i] for i in rows]
+        lists = [r for r in (self._kind_rows.get(k) for k in set(kinds)) if r]
+        if not lists:
             return []
-        if len(streams) == 1:
-            return list(streams[0])
-        wanted = set(kinds)
-        return [e for e in self._events if e.kind in wanted]
+        if len(lists) == 1:
+            merged = lists[0]
+        else:
+            merged = sorted(row for rows in lists for row in rows)
+        records = self._materialise()
+        return [records[i] for i in merged]
 
     def for_stack(self, stack_id: int) -> List[TraceRecord]:
         """Records of a single stack, in time order."""
-        return [e for e in self._events if e.stack_id == stack_id]
+        records = self._materialise()
+        return [records[i] for i, s in enumerate(self._stacks) if s == stack_id]
 
     def for_service(self, service: str) -> List[TraceRecord]:
         """Records mentioning *service*, in time order."""
-        return [e for e in self._events if e.service == service]
+        records = self._materialise()
+        return [records[i] for i, s in enumerate(self._services) if s == service]
 
     def crashes(self) -> Dict[int, Time]:
-        """Map of ``stack_id -> crash time`` for stacks that crashed."""
+        """Map of ``stack_id -> crash time`` for stacks that crashed.
+
+        Reads the columns directly — no record materialisation.
+        """
         out: Dict[int, Time] = {}
-        for e in self._by_kind.get(TraceKind.CRASH, ()):
-            if e.stack_id not in out:
-                out[e.stack_id] = e.time
+        times, stacks = self._times, self._stacks
+        for row in self._kind_rows.get(TraceKind.CRASH, ()):
+            stack_id = stacks[row]
+            if stack_id not in out:
+                out[stack_id] = times[row]
         return out
 
     def crashed_before(self, stack_id: int, time: Time) -> bool:
@@ -165,15 +301,25 @@ class TraceRecorder:
     def counts(self) -> Mapping[str, int]:
         """Histogram of event kinds (for quick diagnostics)."""
         return {
-            kind.value: len(records)
-            for kind, records in self._by_kind.items()
-            if records
+            kind.value: len(rows)
+            for kind, rows in self._kind_rows.items()
+            if rows
         }
 
     def clear(self) -> None:
         """Drop all recorded events."""
-        self._events.clear()
-        self._by_kind.clear()
+        self._times.clear()
+        self._kinds.clear()
+        self._stacks.clear()
+        self._services.clear()
+        self._modules.clear()
+        self._protocols.clear()
+        self._methods.clear()
+        self._call_ids.clear()
+        self._event_names.clear()
+        self._details.clear()
+        self._kind_rows.clear()
+        self._records = None
 
 
 class _NullTraceRecorder(TraceRecorder):

@@ -44,7 +44,7 @@ Design constraints
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Sequence
 
 __all__ = ["Scheduler", "NodeBackend", "Transport", "Backend"]
 
@@ -96,6 +96,21 @@ class Scheduler(ABC):
     def schedule_at_fast(self, time: float, callback: Callable[..., Any], *args: Any,
                          priority: int = 0) -> None:
         """Fire-and-forget :meth:`schedule_at`."""
+
+    def schedule_burst_fast(self, times: Sequence[float],
+                            callback: Callable[..., Any], items: Sequence[Any],
+                            priority: int = 0) -> None:
+        """Fire-and-forget burst: ``callback(items[i])`` at ``times[i]``.
+
+        Semantically identical to ``schedule_at_fast(times[i], callback,
+        items[i])`` in sequence — same relative ordering at equal
+        deadlines — but implementations may push the whole burst in one
+        pass (the simulator does; see
+        :meth:`repro.sim.engine.Simulator.schedule_burst_fast`).  This is
+        the delivery half of the network's vectorised fan-out path.
+        """
+        for time, item in zip(times, items):
+            self.schedule_at_fast(time, callback, item, priority=priority)
 
     @abstractmethod
     def call_soon(self, callback: Callable[..., Any], *args: Any,
@@ -224,6 +239,19 @@ class Transport(ABC):
     def send(self, message: Any) -> None:
         """Send one datagram (unreliable, unordered: whatever the
         substrate does)."""
+
+    def send_many(self, messages: Sequence[Any]) -> None:
+        """Send a batch of datagrams, equivalent to :meth:`send` in
+        sequence.
+
+        Implementations may vectorise the batch (the simulated network
+        draws one latency block and pushes one delivery burst when every
+        message takes the homogeneous fast path); the default just
+        loops.  Behaviour — delivery order, impairment draws, counters —
+        must be indistinguishable from sequential sends.
+        """
+        for message in messages:
+            self.send(message)
 
     @abstractmethod
     def send_local(self, message: Any) -> None:

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -58,6 +57,7 @@ __all__ = [
     "CampaignResult",
     "run_scenario",
     "run_campaign",
+    "result_from_dict",
     "compare_reports",
 ]
 
@@ -395,10 +395,39 @@ def run_scenario(
 # --------------------------------------------------------------------------- #
 # Running a campaign
 # --------------------------------------------------------------------------- #
-def _scenario_task(task: Tuple[ScenarioSpec, int, str]) -> ScenarioResult:
-    """Process-pool entry point: run one ``(spec, seed)`` cell."""
-    spec, seed, trace = task
-    return run_scenario(spec, seed=seed, trace=trace)
+def result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
+    """Rebuild a :class:`ScenarioResult` from its :meth:`~ScenarioResult.to_dict` form.
+
+    The exact inverse of ``to_dict`` (integer-keyed maps are restored
+    from their stringified JSON shape; the derived ``ok`` key is
+    ignored), so a result that round-trips through compact worker JSON
+    re-serialises **byte-identically** — the property the warm pool's
+    fragment merge relies on, pinned by
+    ``tests/integration/test_warm_pool.py``.
+    """
+    return ScenarioResult(
+        name=data["name"],
+        seed=data["seed"],
+        n=data["n"],
+        sim_time_end=data["sim_time_end"],
+        events_processed=data["events_processed"],
+        sent_total=data["sent_total"],
+        delivered_per_stack={
+            int(k): v for k, v in data["delivered_per_stack"].items()
+        },
+        ordered_common=data["ordered_common"],
+        mean_latency_s=data["mean_latency_s"],
+        faults=list(data["faults"]),
+        switches_fired=list(data["switches_fired"]),
+        switch_windows=list(data["switch_windows"]),
+        switch_chain=dict(data["switch_chain"]),
+        final_protocols={int(k): v for k, v in data["final_protocols"].items()},
+        crashed={int(k): v for k, v in data["crashed"].items()},
+        rejoined={int(k): v for k, v in data["rejoined"].items()},
+        correct_stacks=list(data["correct_stacks"]),
+        violations={k: list(v) for k, v in data["violations"].items()},
+        network=dict(data["network"]),
+    )
 
 
 def run_campaign(
@@ -406,20 +435,32 @@ def run_campaign(
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
     trace: str = "structural",
+    chunk_size: Optional[int] = None,
 ) -> CampaignResult:
     """Run every scenario of *campaign* at every seed, in a fixed order.
 
-    ``jobs`` fans the ``(spec, seed)`` matrix over a process pool
-    (``jobs=0`` means one worker per CPU).  Each cell is a pure function
-    of its arguments — every run owns a private simulator and RNG
-    registry — and results are merged in task-submission order, so the
-    report is **byte-identical** for any ``jobs`` value; only the
-    wall-clock changes.  ``trace`` is the per-cell kernel trace depth
-    (see :func:`run_scenario`); reports are byte-identical between
+    ``jobs`` fans the ``(spec, seed)`` matrix over the process-wide
+    **warm worker pool** (:mod:`repro.parallel`; ``jobs=0`` means one
+    worker per CPU).  Workers import the engine once and stay alive
+    across campaigns, cells ship in chunks of ``chunk_size`` (``None``
+    picks a size amortising IPC over ~4 rounds per worker), and workers
+    reply with compact pre-serialised JSON fragments that the parent
+    merges **by cell index** — so the report is **byte-identical** for
+    any ``jobs`` × ``chunk_size`` combination; only the wall-clock
+    changes.  Each cell is a pure function of its arguments (every run
+    owns a private simulator and RNG registry), which is what makes the
+    fan-out sound.  ``trace`` is the per-cell kernel trace depth (see
+    :func:`run_scenario`); reports are byte-identical between
     ``"structural"`` and ``"full"``.
+
+    A cell that raises in a worker fails the campaign with a
+    :class:`~repro.errors.ScenarioError` naming the scenario and seed;
+    the pool survives and the next campaign reuses it.
     """
     if jobs < 0:
         raise ScenarioError(f"jobs must be >= 0, got {jobs}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ScenarioError(f"chunk_size must be >= 1, got {chunk_size}")
     tasks = [(spec, seed, trace) for spec in campaign.scenarios for seed in seeds]
     result = CampaignResult(campaign=campaign.name, seeds=list(seeds))
     if jobs == 0:
@@ -429,9 +470,11 @@ def run_campaign(
             run_scenario(spec, seed=seed, trace=trace) for spec, seed, trace in tasks
         )
         return result
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        # Executor.map preserves input order: the deterministic merge.
-        result.results.extend(pool.map(_scenario_task, tasks, chunksize=1))
+    from ..parallel import get_pool  # deferred: workers import this module
+
+    pool = get_pool(min(jobs, len(tasks)))
+    fragments = pool.run_cells(tasks, chunk_size=chunk_size, max_workers=jobs)
+    result.results.extend(result_from_dict(json.loads(f)) for f in fragments)
     return result
 
 

@@ -135,12 +135,51 @@ class BufferedDraws:
             return value
         return self._serve(_KIND_RANDOM, lambda rng, n: rng.random(n))
 
+    def _take_block(self, kind: Tuple, fill, count: int) -> list:
+        """*count* draws of *kind*, bit-identical to *count* scalar calls.
+
+        Serves whole buffer slices instead of one value per call, but
+        refills in exactly the scalar path's ``_block``-sized steps — the
+        refill schedule is what keeps the underlying bitstream aligned
+        with scalar code, so mixing scalar and block draws on one stream
+        stays deterministic.
+        """
+        out: list = []
+        remaining = count
+        while remaining > 0:
+            if self._kind != kind or self._idx >= len(self._buf):
+                self._buf = fill(self._rng, self._block).tolist()
+                self._idx = 0
+                self._kind = kind
+            take = len(self._buf) - self._idx
+            if take > remaining:
+                take = remaining
+            out.extend(self._buf[self._idx : self._idx + take])
+            self._idx += take
+            remaining -= take
+        return out
+
     def random_block(self, count: int) -> np.ndarray:
         """*count* uniform draws on [0, 1), served from the same buffer."""
-        out = np.empty(count)
-        for i in range(count):
-            out[i] = self.random()
-        return out
+        return np.asarray(self._take_block(_KIND_RANDOM, lambda rng, n: rng.random(n), count))
+
+    def uniform_block(self, low: float, high: float, count: int) -> list:
+        """*count* ``uniform(low, high)`` draws, served from the same buffer."""
+        return self._take_block(
+            ("uniform", low, high), lambda rng, n: rng.uniform(low, high, n), count
+        )
+
+    def exponential_block(self, scale: float, count: int) -> list:
+        """*count* ``exponential(scale)`` draws, served from the same buffer."""
+        return self._take_block(
+            ("exponential", scale), lambda rng, n: rng.exponential(scale, n), count
+        )
+
+    def lognormal_block(self, mu: float, sigma: float, count: int) -> list:
+        """*count* ``lognormal(mu, sigma)`` draws, served from the same buffer."""
+        return self._take_block(
+            ("lognormal", mu, sigma), lambda rng, n: rng.lognormal(mu, sigma, n), count
+        )
 
     def uniform(self, low: float, high: float) -> float:
         """Block-buffered ``rng.uniform(low, high)``."""
